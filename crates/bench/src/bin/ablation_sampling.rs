@@ -1,0 +1,62 @@
+//! Ablation of the sampling strategy.
+//!
+//! §4.2 attributes error-rate wobble to random sample selection: "even
+//! though the data selection is random, it is possible that the selected
+//! points may not be uniform through out the design space". This harness
+//! compares the paper's uniform-random draw against systematic and
+//! predictor-stratified sampling at 1 % and 3 %.
+
+use bench::{banner, parse_common_args};
+use cpusim::runner::sweep_design_space;
+use cpusim::Benchmark;
+use dse::report::{f, render_table};
+use dse::sampled::{run_sampled_dse, SampledConfig, SamplingStrategy};
+use mlmodels::ModelKind;
+
+fn main() {
+    let (scale, seed, _) = parse_common_args();
+    banner("ablation: sampling strategy (random vs systematic vs stratified)", scale);
+
+    let space = scale.space();
+    let mut sim = scale.sim_options();
+    sim.seed = seed;
+    // Share one sweep across all strategies.
+    let sweep = sweep_design_space(&space, Benchmark::Gcc, &sim);
+
+    let mut rows = Vec::new();
+    for (name, strategy) in [
+        ("random (paper)", SamplingStrategy::Random),
+        ("systematic", SamplingStrategy::Systematic),
+        ("stratified", SamplingStrategy::StratifiedByPredictor),
+    ] {
+        let cfg = SampledConfig {
+            sampling_rates: vec![0.01, 0.03],
+            strategy,
+            models: vec![ModelKind::NnS, ModelKind::LrB],
+            sim,
+            seed,
+            estimate_errors: false,
+        };
+        let run = run_sampled_dse(Benchmark::Gcc, &space, &cfg, Some(sweep.clone()));
+        rows.push(vec![
+            name.to_string(),
+            f(run.point(ModelKind::NnS, 0.01).unwrap().true_error, 2),
+            f(run.point(ModelKind::NnS, 0.03).unwrap().true_error, 2),
+            f(run.point(ModelKind::LrB, 0.01).unwrap().true_error, 2),
+            f(run.point(ModelKind::LrB, 0.03).unwrap().true_error, 2),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "strategy".into(),
+                "NN-S @1%".into(),
+                "NN-S @3%".into(),
+                "LR-B @1%".into(),
+                "LR-B @3%".into(),
+            ],
+            &rows,
+        )
+    );
+}

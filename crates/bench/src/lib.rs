@@ -1,0 +1,123 @@
+//! Shared plumbing for the reproduction harnesses (`repro_*` binaries) and
+//! the Criterion benchmarks.
+//!
+//! Every harness accepts a common `--scale` knob so the paper's experiments
+//! can be regenerated at full fidelity (hours of simulation) or smoke-tested
+//! in seconds:
+//!
+//! * `--scale full`   — the paper's setup: all 4608 configurations,
+//!   100 000-instruction intervals.
+//! * `--scale medium` — every 4th configuration (1152), 60 000 instructions.
+//! * `--scale quick`  — every 16th configuration (288), 30 000 instructions
+//!   (default for smoke runs).
+
+use cpusim::runner::SimOptions;
+use cpusim::DesignSpace;
+
+/// Experiment scale presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-fidelity: full lattice, long intervals.
+    Full,
+    /// Quarter lattice, medium intervals.
+    Medium,
+    /// Sixteenth lattice, short intervals.
+    Quick,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "full" => Some(Scale::Full),
+            "medium" => Some(Scale::Medium),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+
+    /// The design space at this scale.
+    pub fn space(self) -> DesignSpace {
+        let full = DesignSpace::table1();
+        let step = match self {
+            Scale::Full => 1,
+            Scale::Medium => 4,
+            Scale::Quick => 16,
+        };
+        if step == 1 {
+            full
+        } else {
+            DesignSpace::from_configs(full.configs().iter().copied().step_by(step).collect())
+        }
+    }
+
+    /// Simulator options at this scale.
+    pub fn sim_options(self) -> SimOptions {
+        let instructions = match self {
+            Scale::Full => 100_000,
+            Scale::Medium => 60_000,
+            Scale::Quick => 30_000,
+        };
+        SimOptions { instructions, ..Default::default() }
+    }
+}
+
+/// Parse `--scale <value>` (and `--seed <n>`) from argv; defaults to
+/// `Quick` so casual runs stay fast. Returns (scale, seed, leftover args).
+pub fn parse_common_args() -> (Scale, u64, Vec<String>) {
+    let mut scale = Scale::Quick;
+    let mut seed = 42u64;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale '{v}' (full|medium|quick)"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    (scale, seed, rest)
+}
+
+/// Banner header for every harness.
+pub fn banner(title: &str, scale: Scale) {
+    println!("perfpredict reproduction — {title}");
+    println!(
+        "scale: {scale:?} (use --scale full for the paper-fidelity run)\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn space_sizes_scale_down() {
+        assert_eq!(Scale::Full.space().len(), 4608);
+        assert_eq!(Scale::Medium.space().len(), 1152);
+        assert_eq!(Scale::Quick.space().len(), 288);
+    }
+
+    #[test]
+    fn sim_options_scale_instructions() {
+        assert!(Scale::Full.sim_options().instructions > Scale::Quick.sim_options().instructions);
+    }
+}

@@ -1,0 +1,404 @@
+//! The microarchitecture configuration space of Table 1.
+//!
+//! Twenty-four parameters describe one simulated processor. The paper's
+//! study enumerates 4608 configurations per benchmark; Table 1's free knobs
+//! would over-count that, so — as documented in DESIGN.md §5 — this module
+//! fixes the canonical tying: L1 line sizes move together, L2 size and
+//! associativity move together, the L3's line/associativity follow its
+//! presence, RUU and LSQ scale together, the two TLBs scale together, and
+//! the functional-unit mix follows the pipeline width. The simulator itself
+//! ([`CpuConfig`]) treats all 24 knobs independently; the tying lives only
+//! in [`DesignSpace::table1`].
+
+use serde::{Deserialize, Serialize};
+
+/// Branch predictor selection (Table 1: Perfect, Bimodal, 2-level,
+/// Combination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchPredictorKind {
+    /// Oracle predictor: never mispredicts. Upper bound used by the paper.
+    Perfect,
+    /// Per-branch 2-bit saturating counters.
+    Bimodal,
+    /// Two-level adaptive (gshare): global history XOR PC indexes counters.
+    TwoLevel,
+    /// Tournament of bimodal and two-level with a chooser table.
+    Combination,
+}
+
+impl BranchPredictorKind {
+    /// All four predictor kinds, in Table 1 order.
+    pub const ALL: [BranchPredictorKind; 4] = [
+        BranchPredictorKind::Perfect,
+        BranchPredictorKind::Bimodal,
+        BranchPredictorKind::TwoLevel,
+        BranchPredictorKind::Combination,
+    ];
+
+    /// Stable numeric code used when a model needs a numeric encoding.
+    pub fn code(self) -> usize {
+        match self {
+            BranchPredictorKind::Perfect => 0,
+            BranchPredictorKind::Bimodal => 1,
+            BranchPredictorKind::TwoLevel => 2,
+            BranchPredictorKind::Combination => 3,
+        }
+    }
+
+    /// Human-readable name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            BranchPredictorKind::Perfect => "Perfect",
+            BranchPredictorKind::Bimodal => "Bimodal",
+            BranchPredictorKind::TwoLevel => "2-level",
+            BranchPredictorKind::Combination => "Combination",
+        }
+    }
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in kilobytes.
+    pub size_kb: u32,
+    /// Line (block) size in bytes.
+    pub line_b: u32,
+    /// Set associativity (ways).
+    pub assoc: u32,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        let lines = (self.size_kb as usize * 1024) / self.line_b as usize;
+        (lines / self.assoc as usize).max(1)
+    }
+}
+
+/// Functional unit counts (Table 1: ialu, imult, memport, fpalu, fpmult).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuConfig {
+    /// Integer ALUs.
+    pub ialu: u8,
+    /// Integer multiply/divide units.
+    pub imult: u8,
+    /// Cache ports (load/store issue slots per cycle).
+    pub memport: u8,
+    /// Floating-point adders.
+    pub fpalu: u8,
+    /// Floating-point multiply/divide units.
+    pub fpmult: u8,
+}
+
+impl FuConfig {
+    /// The 4-wide FU mix from Table 1: 4/2/2/4/2.
+    pub const NARROW: FuConfig =
+        FuConfig { ialu: 4, imult: 2, memport: 2, fpalu: 4, fpmult: 2 };
+    /// The 8-wide FU mix from Table 1: 8/4/4/8/4.
+    pub const WIDE: FuConfig =
+        FuConfig { ialu: 8, imult: 4, memport: 4, fpalu: 8, fpmult: 4 };
+}
+
+/// One point in the microprocessor design space — all 24 Table-1 parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// L1 data cache geometry (16/32/64 KB, 32/64 B lines, 4-way).
+    pub l1d: CacheGeometry,
+    /// L1 instruction cache geometry (16/32/64 KB, 32/64 B lines, 4-way).
+    pub l1i: CacheGeometry,
+    /// Unified L2 geometry (256/1024 KB, 128 B lines, 4/8-way).
+    pub l2: CacheGeometry,
+    /// Optional L3 (None, or 8 MB / 256 B / 8-way).
+    pub l3: Option<CacheGeometry>,
+    /// Branch predictor kind.
+    pub bpred: BranchPredictorKind,
+    /// Decode/issue/commit width (4 or 8).
+    pub width: u8,
+    /// Whether wrong-path instructions are fetched and issued after a
+    /// mispredicted branch (SimpleScalar's `-issue:wrongpath`).
+    pub issue_wrong_path: bool,
+    /// Register Update Unit entries (128 or 256).
+    pub ruu_size: u32,
+    /// Load/store queue entries (64 or 128).
+    pub lsq_size: u32,
+    /// Instruction TLB reach in KB (256 or 1024).
+    pub itlb_kb: u32,
+    /// Data TLB reach in KB (512 or 2048).
+    pub dtlb_kb: u32,
+    /// Functional unit mix.
+    pub fu: FuConfig,
+}
+
+impl CpuConfig {
+    /// A sane mid-range baseline (32 KB L1s, 256 KB L2, no L3, combining
+    /// predictor, 4-wide). Used by examples and as a test fixture.
+    pub fn baseline() -> Self {
+        CpuConfig {
+            l1d: CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 },
+            l1i: CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 },
+            l2: CacheGeometry { size_kb: 256, line_b: 128, assoc: 4 },
+            l3: None,
+            bpred: BranchPredictorKind::Combination,
+            width: 4,
+            issue_wrong_path: false,
+            ruu_size: 128,
+            lsq_size: 64,
+            itlb_kb: 256,
+            dtlb_kb: 512,
+            fu: FuConfig::NARROW,
+        }
+    }
+
+    /// Encode the configuration as the model-facing feature vector.
+    ///
+    /// Layout (`feature_names` gives the labels): all numeric Table-1
+    /// parameters plus the branch predictor as a single numeric code. The
+    /// ML layer re-encodes the predictor one-hot for neural networks; linear
+    /// regression consumes the numeric columns directly, mirroring
+    /// Clementine's "numeric inputs only" behaviour (§3.4).
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.l1d.size_kb as f64,
+            self.l1d.line_b as f64,
+            self.l1d.assoc as f64,
+            self.l1i.size_kb as f64,
+            self.l1i.line_b as f64,
+            self.l1i.assoc as f64,
+            self.l2.size_kb as f64,
+            self.l2.line_b as f64,
+            self.l2.assoc as f64,
+            self.l3.map_or(0.0, |c| c.size_kb as f64),
+            self.l3.map_or(0.0, |c| c.line_b as f64),
+            self.l3.map_or(0.0, |c| c.assoc as f64),
+            self.bpred.code() as f64,
+            self.width as f64,
+            if self.issue_wrong_path { 1.0 } else { 0.0 },
+            self.ruu_size as f64,
+            self.lsq_size as f64,
+            self.itlb_kb as f64,
+            self.dtlb_kb as f64,
+            self.fu.ialu as f64,
+            self.fu.imult as f64,
+            self.fu.memport as f64,
+            self.fu.fpalu as f64,
+            self.fu.fpmult as f64,
+        ]
+    }
+
+    /// Names for the columns of [`CpuConfig::features`], in order.
+    pub fn feature_names() -> Vec<&'static str> {
+        vec![
+            "l1d_size_kb",
+            "l1d_line_b",
+            "l1d_assoc",
+            "l1i_size_kb",
+            "l1i_line_b",
+            "l1i_assoc",
+            "l2_size_kb",
+            "l2_line_b",
+            "l2_assoc",
+            "l3_size_kb",
+            "l3_line_b",
+            "l3_assoc",
+            "bpred",
+            "width",
+            "issue_wrong_path",
+            "ruu_size",
+            "lsq_size",
+            "itlb_kb",
+            "dtlb_kb",
+            "fu_ialu",
+            "fu_imult",
+            "fu_memport",
+            "fu_fpalu",
+            "fu_fpmult",
+        ]
+    }
+
+    /// Index of the branch-predictor column within [`CpuConfig::features`].
+    pub const BPRED_FEATURE_INDEX: usize = 12;
+}
+
+/// An enumerable design space over [`CpuConfig`]s.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    configs: Vec<CpuConfig>,
+}
+
+impl DesignSpace {
+    /// The canonical Table-1 lattice: exactly 4608 configurations.
+    ///
+    /// Free axes: L1D size ×3, L1I size ×3, branch predictor ×4, shared L1
+    /// line size ×2, L2 {256 KB/4-way, 1024 KB/8-way} ×2, L3 present ×2,
+    /// width (with tied FU mix) ×2, wrong-path issue ×2, window
+    /// {RUU 128 + LSQ 64, RUU 256 + LSQ 128} ×2, TLB pair ×2.
+    pub fn table1() -> Self {
+        let mut configs = Vec::with_capacity(4608);
+        for &l1d_size in &[16u32, 32, 64] {
+            for &l1i_size in &[16u32, 32, 64] {
+                for &bpred in &BranchPredictorKind::ALL {
+                    for &line in &[32u32, 64] {
+                        for &(l2_size, l2_assoc) in &[(256u32, 4u32), (1024, 8)] {
+                            for &l3_present in &[false, true] {
+                                for &width in &[4u8, 8] {
+                                    for &wrong in &[false, true] {
+                                        for &(ruu, lsq) in &[(128u32, 64u32), (256, 128)] {
+                                            for &(itlb, dtlb) in &[(256u32, 512u32), (1024, 2048)]
+                                            {
+                                                configs.push(CpuConfig {
+                                                    l1d: CacheGeometry {
+                                                        size_kb: l1d_size,
+                                                        line_b: line,
+                                                        assoc: 4,
+                                                    },
+                                                    l1i: CacheGeometry {
+                                                        size_kb: l1i_size,
+                                                        line_b: line,
+                                                        assoc: 4,
+                                                    },
+                                                    l2: CacheGeometry {
+                                                        size_kb: l2_size,
+                                                        line_b: 128,
+                                                        assoc: l2_assoc,
+                                                    },
+                                                    l3: l3_present.then_some(CacheGeometry {
+                                                        size_kb: 8192,
+                                                        line_b: 256,
+                                                        assoc: 8,
+                                                    }),
+                                                    bpred,
+                                                    width,
+                                                    issue_wrong_path: wrong,
+                                                    ruu_size: ruu,
+                                                    lsq_size: lsq,
+                                                    itlb_kb: itlb,
+                                                    dtlb_kb: dtlb,
+                                                    fu: if width == 4 {
+                                                        FuConfig::NARROW
+                                                    } else {
+                                                        FuConfig::WIDE
+                                                    },
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        DesignSpace { configs }
+    }
+
+    /// A reduced lattice for tests and quick demos: drops the TLB, window,
+    /// and wrong-path axes (576 configurations).
+    pub fn table1_reduced() -> Self {
+        let full = Self::table1();
+        let configs = full
+            .configs
+            .into_iter()
+            .filter(|c| {
+                !c.issue_wrong_path && c.ruu_size == 128 && c.itlb_kb == 256
+            })
+            .collect();
+        DesignSpace { configs }
+    }
+
+    /// Build from an explicit configuration list.
+    pub fn from_configs(configs: Vec<CpuConfig>) -> Self {
+        DesignSpace { configs }
+    }
+
+    /// Borrow the configurations.
+    pub fn configs(&self) -> &[CpuConfig] {
+        &self.configs
+    }
+
+    /// Number of design points.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_exactly_4608_points() {
+        let space = DesignSpace::table1();
+        assert_eq!(space.len(), 4608);
+    }
+
+    #[test]
+    fn table1_points_are_distinct() {
+        let space = DesignSpace::table1();
+        let mut set = std::collections::HashSet::new();
+        for c in space.configs() {
+            assert!(set.insert(*c), "duplicate config {c:?}");
+        }
+    }
+
+    #[test]
+    fn table1_respects_value_domains() {
+        for c in DesignSpace::table1().configs() {
+            assert!([16, 32, 64].contains(&c.l1d.size_kb));
+            assert!([16, 32, 64].contains(&c.l1i.size_kb));
+            assert!([32, 64].contains(&c.l1d.line_b));
+            assert_eq!(c.l1d.line_b, c.l1i.line_b);
+            assert!([256, 1024].contains(&c.l2.size_kb));
+            assert_eq!(c.l2.line_b, 128);
+            assert!([4, 8].contains(&c.l2.assoc));
+            if let Some(l3) = c.l3 {
+                assert_eq!((l3.size_kb, l3.line_b, l3.assoc), (8192, 256, 8));
+            }
+            assert!([4, 8].contains(&c.width));
+            assert!([128, 256].contains(&c.ruu_size));
+            assert!([64, 128].contains(&c.lsq_size));
+            assert_eq!(c.lsq_size * 2, c.ruu_size);
+            assert!([256, 1024].contains(&c.itlb_kb));
+            assert!([512, 2048].contains(&c.dtlb_kb));
+            let expect_fu = if c.width == 4 { FuConfig::NARROW } else { FuConfig::WIDE };
+            assert_eq!(c.fu, expect_fu);
+        }
+    }
+
+    #[test]
+    fn features_match_names_in_length_and_count_24() {
+        let f = CpuConfig::baseline().features();
+        let n = CpuConfig::feature_names();
+        assert_eq!(f.len(), n.len());
+        assert_eq!(f.len(), 24, "Table 1 has 24 parameters");
+        assert_eq!(n[CpuConfig::BPRED_FEATURE_INDEX], "bpred");
+    }
+
+    #[test]
+    fn reduced_space_is_subset() {
+        let full: std::collections::HashSet<_> =
+            DesignSpace::table1().configs().iter().copied().collect();
+        let reduced = DesignSpace::table1_reduced();
+        assert_eq!(reduced.len(), 576);
+        assert!(reduced.configs().iter().all(|c| full.contains(c)));
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let g = CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 };
+        // 32KB / 64B = 512 lines / 4 ways = 128 sets.
+        assert_eq!(g.num_sets(), 128);
+    }
+
+    #[test]
+    fn bpred_codes_are_distinct() {
+        let codes: std::collections::HashSet<_> =
+            BranchPredictorKind::ALL.iter().map(|b| b.code()).collect();
+        assert_eq!(codes.len(), 4);
+    }
+}

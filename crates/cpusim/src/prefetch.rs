@@ -1,0 +1,221 @@
+//! Hardware prefetchers — a library extension beyond the paper's Table 1.
+//!
+//! The paper's design space has no prefetcher knob (SimpleScalar's default
+//! hierarchy), but any downstream user exploring cache design will want
+//! one. Two classic designs are provided:
+//!
+//! * [`NextLinePrefetcher`] — on a miss to line `L`, prefetch `L+1`
+//!   (tagged sequential prefetch).
+//! * [`StridePrefetcher`] — a reference-prediction table keyed by a
+//!   stream id (we use the static block, standing in for the load PC)
+//!   that detects constant strides and prefetches ahead.
+//!
+//! Prefetchers observe the demand-access stream and emit prefetch
+//! addresses; the core inserts those lines into the hierarchy off the
+//! critical path. `ablation_prefetch` in `crates/bench` quantifies the
+//! effect per workload.
+
+use serde::{Deserialize, Serialize};
+
+/// Prefetcher selection for a [`crate::core::Core`] extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PrefetcherKind {
+    /// No prefetching (the paper's configuration).
+    #[default]
+    None,
+    /// Tagged next-line prefetch.
+    NextLine,
+    /// Stride prefetch with a reference-prediction table.
+    Stride,
+}
+
+impl PrefetcherKind {
+    /// All variants, for sweeps.
+    pub const ALL: [PrefetcherKind; 3] =
+        [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Stride];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "next-line",
+            PrefetcherKind::Stride => "stride",
+        }
+    }
+}
+
+/// Common interface: observe a demand access, optionally emit prefetch
+/// addresses.
+pub trait Prefetcher {
+    /// Observe a demand access (`miss` = it missed L1) and return the
+    /// byte addresses to prefetch.
+    fn observe(&mut self, stream_id: u32, addr: u64, miss: bool) -> Vec<u64>;
+    /// Number of prefetches issued so far.
+    fn issued(&self) -> u64;
+}
+
+/// Tagged next-line prefetcher.
+#[derive(Debug, Default)]
+pub struct NextLinePrefetcher {
+    line_shift: u32,
+    issued: u64,
+}
+
+impl NextLinePrefetcher {
+    /// `line_b` must match the L1 line size.
+    pub fn new(line_b: u32) -> Self {
+        assert!(line_b.is_power_of_two());
+        NextLinePrefetcher { line_shift: line_b.trailing_zeros(), issued: 0 }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn observe(&mut self, _stream_id: u32, addr: u64, miss: bool) -> Vec<u64> {
+        if miss {
+            self.issued += 1;
+            vec![((addr >> self.line_shift) + 1) << self.line_shift]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// One reference-prediction-table entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct RptEntry {
+    tag: u32,
+    last_addr: u64,
+    stride: i64,
+    /// 2-bit confidence.
+    confidence: u8,
+}
+
+/// Stride prefetcher (reference prediction table, Chen & Baer style).
+#[derive(Debug)]
+pub struct StridePrefetcher {
+    table: Vec<RptEntry>,
+    mask: u32,
+    /// Prefetch distance in strides once confident.
+    degree: u64,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// `entries` must be a power of two; `degree` = how many strides ahead.
+    pub fn new(entries: usize, degree: u64) -> Self {
+        assert!(entries.is_power_of_two());
+        assert!(degree >= 1);
+        StridePrefetcher {
+            table: vec![RptEntry::default(); entries],
+            mask: entries as u32 - 1,
+            degree,
+            issued: 0,
+        }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn observe(&mut self, stream_id: u32, addr: u64, _miss: bool) -> Vec<u64> {
+        let e = &mut self.table[(stream_id & self.mask) as usize];
+        if e.tag != stream_id {
+            *e = RptEntry { tag: stream_id, last_addr: addr, stride: 0, confidence: 0 };
+            return Vec::new();
+        }
+        let new_stride = addr as i64 - e.last_addr as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            if e.confidence < 3 {
+                e.confidence += 1;
+            }
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = new_stride;
+            }
+        }
+        e.last_addr = addr;
+        if e.confidence >= 2 && e.stride != 0 {
+            self.issued += 1;
+            let target = addr as i64 + e.stride * self.degree as i64;
+            if target > 0 {
+                return vec![target as u64];
+            }
+        }
+        Vec::new()
+    }
+
+    fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Build the prefetcher selected by `kind` for an L1 with the given line
+/// size.
+pub fn build(kind: PrefetcherKind, line_b: u32) -> Option<Box<dyn Prefetcher + Send>> {
+    match kind {
+        PrefetcherKind::None => None,
+        PrefetcherKind::NextLine => Some(Box::new(NextLinePrefetcher::new(line_b))),
+        PrefetcherKind::Stride => Some(Box::new(StridePrefetcher::new(256, 2))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_prefetches_on_miss_only() {
+        let mut p = NextLinePrefetcher::new(64);
+        assert!(p.observe(0, 0x1000, false).is_empty());
+        let pf = p.observe(0, 0x1000, true);
+        assert_eq!(pf, vec![0x1040]);
+        assert_eq!(p.issued(), 1);
+    }
+
+    #[test]
+    fn stride_locks_onto_constant_stride() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let mut issued = Vec::new();
+        for i in 0..8u64 {
+            issued.extend(p.observe(7, 0x1000 + i * 64, true));
+        }
+        // After training, prefetches land 2 strides ahead.
+        assert!(!issued.is_empty());
+        let last = *issued.last().unwrap();
+        assert_eq!(last, 0x1000 + 7 * 64 + 2 * 64);
+    }
+
+    #[test]
+    fn stride_ignores_random_streams() {
+        let mut p = StridePrefetcher::new(64, 2);
+        let addrs = [0x1000u64, 0x9040, 0x3300, 0x7780, 0x2210, 0xBB00];
+        let mut total = 0;
+        for &a in &addrs {
+            total += p.observe(3, a, true).len();
+        }
+        assert_eq!(total, 0, "no confident stride should emerge");
+    }
+
+    #[test]
+    fn streams_are_tracked_independently() {
+        let mut p = StridePrefetcher::new(64, 1);
+        for i in 0..6u64 {
+            let _ = p.observe(1, 0x1000 + i * 8, true);
+            let _ = p.observe(2, 0x90000 + i * 128, true);
+        }
+        let a = p.observe(1, 0x1000 + 6 * 8, true);
+        let b = p.observe(2, 0x90000 + 6 * 128, true);
+        assert_eq!(a, vec![0x1000 + 7 * 8]);
+        assert_eq!(b, vec![0x90000 + 7 * 128]);
+    }
+
+    #[test]
+    fn build_matches_kind() {
+        assert!(build(PrefetcherKind::None, 64).is_none());
+        assert!(build(PrefetcherKind::NextLine, 64).is_some());
+        assert!(build(PrefetcherKind::Stride, 64).is_some());
+    }
+}

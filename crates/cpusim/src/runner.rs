@@ -1,0 +1,266 @@
+//! High-level simulation drivers.
+//!
+//! [`simulate`] produces the cycle count of one `(benchmark, config)` pair;
+//! [`sweep_design_space`] evaluates a whole [`DesignSpace`] in parallel with
+//! Rayon, replaying one materialized trace so every configuration sees
+//! byte-identical instructions. The sweep is the substitute for the paper's
+//! "4608 simulations per benchmark" SimpleScalar campaign.
+
+use crate::config::{CpuConfig, DesignSpace};
+use crate::core::{Core, PipelineStats};
+use crate::simpoint::{analyze, SimPointAnalysis};
+use crate::trace::{Inst, ReplaySource, TraceGenerator};
+use crate::workload::Benchmark;
+use linalg::dist::child_seed;
+use rayon::prelude::*;
+
+/// Options controlling a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Instructions to simulate per configuration (per interval when
+    /// SimPoints are used). The paper runs 100M-instruction intervals; the
+    /// default here is scaled down so a full 4608-point sweep stays
+    /// laptop-friendly while keeping the same response structure.
+    pub instructions: u64,
+    /// Trace seed (deterministic per benchmark).
+    pub seed: u64,
+    /// Use SimPoint phase analysis to pick representative intervals
+    /// instead of simulating from the trace start.
+    pub use_simpoints: bool,
+    /// Number of candidate intervals when SimPoints are enabled.
+    pub n_intervals: usize,
+    /// Maximum clusters for the SimPoint BIC sweep.
+    pub max_k: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            instructions: 50_000,
+            seed: 0xC0FFEE,
+            use_simpoints: false,
+            n_intervals: 10,
+            max_k: 4,
+        }
+    }
+}
+
+impl SimOptions {
+    /// A fast preset for unit tests and examples.
+    pub fn quick() -> Self {
+        SimOptions { instructions: 8_000, ..Default::default() }
+    }
+}
+
+/// Result of simulating one configuration.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The simulated configuration.
+    pub config: CpuConfig,
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Estimated execution cycles for the simulated instruction budget
+    /// (SimPoint-weighted when enabled). This is the model target `y`.
+    pub cycles: f64,
+    /// Raw pipeline statistics (of the single run, or of the heaviest
+    /// SimPoint interval).
+    pub stats: PipelineStats,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles / self.stats.instructions.max(1) as f64
+    }
+}
+
+/// Materialize the instruction window(s) a run will replay.
+///
+/// Returns the interval traces and their weights. Without SimPoints this is
+/// a single full-weight window from the trace start.
+fn materialize(
+    benchmark: Benchmark,
+    opts: &SimOptions,
+) -> (Vec<Vec<Inst>>, Vec<f64>, Option<SimPointAnalysis>) {
+    if !opts.use_simpoints {
+        let mut gen = TraceGenerator::for_benchmark(benchmark, opts.seed);
+        return (vec![gen.take_vec(opts.instructions as usize)], vec![1.0], None);
+    }
+    let analysis = analyze(
+        benchmark,
+        opts.seed,
+        opts.n_intervals,
+        opts.instructions,
+        opts.max_k,
+    );
+    // Selected intervals are materialized in trace order with one pass.
+    let mut gen = TraceGenerator::for_benchmark(benchmark, opts.seed);
+    let mut traces = Vec::with_capacity(analysis.points.len());
+    let mut weights = Vec::with_capacity(analysis.points.len());
+    let mut cursor = 0usize;
+    for p in &analysis.points {
+        while cursor < p.interval {
+            // Skip intervals between representatives.
+            for _ in 0..opts.instructions {
+                let _ = gen.next_inst();
+            }
+            cursor += 1;
+        }
+        traces.push(gen.take_vec(opts.instructions as usize));
+        cursor += 1;
+        weights.push(p.weight);
+    }
+    (traces, weights, Some(analysis))
+}
+
+/// Simulate one configuration on the materialized windows.
+fn run_windows(
+    config: CpuConfig,
+    benchmark: Benchmark,
+    traces: &[Vec<Inst>],
+    weights: &[f64],
+    seed: u64,
+) -> SimResult {
+    debug_assert_eq!(traces.len(), weights.len());
+    let mut weighted_cycles = 0.0;
+    let mut heaviest: Option<(f64, PipelineStats)> = None;
+    for (i, (trace, &w)) in traces.iter().zip(weights).enumerate() {
+        let mut src = ReplaySource::new(trace, child_seed(seed, i as u64));
+        let mut core = Core::new(config);
+        let stats = core.run(&mut src, trace.len() as u64);
+        weighted_cycles += w * stats.cycles as f64;
+        if heaviest.as_ref().is_none_or(|(hw, _)| w > *hw) {
+            heaviest = Some((w, stats));
+        }
+    }
+    let stats = heaviest.expect("at least one window").1;
+    SimResult { config, benchmark, cycles: weighted_cycles, stats }
+}
+
+/// Simulate a single `(benchmark, config)` pair.
+pub fn simulate(benchmark: Benchmark, config: CpuConfig, opts: &SimOptions) -> SimResult {
+    let (traces, weights, _) = materialize(benchmark, opts);
+    run_windows(config, benchmark, &traces, &weights, opts.seed)
+}
+
+/// Simulate every configuration of a design space in parallel.
+///
+/// The trace is materialized once and replayed per configuration, so the
+/// whole sweep is embarrassingly parallel and deterministic. Results are
+/// returned in design-space order.
+pub fn sweep_design_space(
+    space: &DesignSpace,
+    benchmark: Benchmark,
+    opts: &SimOptions,
+) -> Vec<SimResult> {
+    let (traces, weights, _) = materialize(benchmark, opts);
+    space
+        .configs()
+        .par_iter()
+        .map(|&config| run_windows(config, benchmark, &traces, &weights, opts.seed))
+        .collect()
+}
+
+/// Per-benchmark summary line of a sweep, matching §4.1's
+/// "range / variance" report (range = fastest-to-slowest cycle ratio,
+/// variance = coefficient of variation of cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSummary {
+    /// Ratio of the slowest to the fastest configuration.
+    pub range: f64,
+    /// Coefficient of variation of cycle counts.
+    pub variation: f64,
+}
+
+/// Summarize a sweep's cycle distribution.
+pub fn summarize_sweep(results: &[SimResult]) -> SweepSummary {
+    let cycles: Vec<f64> = results.iter().map(|r| r.cycles).collect();
+    SweepSummary {
+        range: linalg::stats::range_ratio(&cycles),
+        variation: linalg::stats::variation(&cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_baseline_is_deterministic() {
+        let opts = SimOptions::quick();
+        let a = simulate(Benchmark::Applu, CpuConfig::baseline(), &opts);
+        let b = simulate(Benchmark::Applu, CpuConfig::baseline(), &opts);
+        assert_eq!(a.cycles, b.cycles);
+        assert!(a.cycles > 0.0);
+    }
+
+    #[test]
+    fn sweep_reduced_space_produces_spread() {
+        let space = DesignSpace::from_configs(
+            DesignSpace::table1_reduced().configs()[..24].to_vec(),
+        );
+        let opts = SimOptions::quick();
+        let results = sweep_design_space(&space, Benchmark::Mcf, &opts);
+        assert_eq!(results.len(), 24);
+        let s = summarize_sweep(&results);
+        assert!(s.range > 1.0, "configs should differ in cycles: range {}", s.range);
+    }
+
+    #[test]
+    fn sweep_order_matches_space_order() {
+        let space = DesignSpace::from_configs(
+            DesignSpace::table1_reduced().configs()[..8].to_vec(),
+        );
+        let opts = SimOptions::quick();
+        let results = sweep_design_space(&space, Benchmark::Mesa, &opts);
+        for (r, c) in results.iter().zip(space.configs()) {
+            assert_eq!(r.config, *c);
+        }
+    }
+
+    #[test]
+    fn simpoint_mode_runs_and_weights_apply() {
+        let opts = SimOptions {
+            instructions: 3_000,
+            use_simpoints: true,
+            n_intervals: 6,
+            max_k: 3,
+            ..Default::default()
+        };
+        let r = simulate(Benchmark::Gcc, CpuConfig::baseline(), &opts);
+        assert!(r.cycles > 0.0);
+        assert!(r.stats.instructions > 0);
+    }
+
+    #[test]
+    fn summary_matches_manual_stats() {
+        let space = DesignSpace::from_configs(
+            DesignSpace::table1_reduced().configs()[..6].to_vec(),
+        );
+        let results = sweep_design_space(&space, Benchmark::Applu, &SimOptions::quick());
+        let s = summarize_sweep(&results);
+        let cycles: Vec<f64> = results.iter().map(|r| r.cycles).collect();
+        let lo = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cycles.iter().cloned().fold(0.0f64, f64::max);
+        assert!((s.range - hi / lo).abs() < 1e-12);
+        assert!(s.variation >= 0.0);
+    }
+
+    #[test]
+    fn different_benchmarks_produce_different_cycles() {
+        let cfg = CpuConfig::baseline();
+        let opts = SimOptions::quick();
+        let a = simulate(Benchmark::Applu, cfg, &opts);
+        let m = simulate(Benchmark::Mcf, cfg, &opts);
+        assert_ne!(a.cycles, m.cycles);
+        assert_eq!(a.benchmark, Benchmark::Applu);
+        assert_eq!(m.benchmark, Benchmark::Mcf);
+    }
+
+    #[test]
+    fn cpi_is_positive_and_finite() {
+        let r = simulate(Benchmark::Equake, CpuConfig::baseline(), &SimOptions::quick());
+        let cpi = r.cpi();
+        assert!(cpi.is_finite() && cpi > 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! SimPoint-style representative-interval selection.
+//!
+//! The paper (§4.1) uses SimPoint [Sherwood et al., ASPLOS '02] to pick a
+//! handful of 100M-instruction intervals whose weighted simulation
+//! reproduces whole-program behaviour. The pipeline here is the same, scaled
+//! down: split the trace into fixed-length intervals, collect a **basic
+//! block vector** (BBV — execution frequency of each static block) per
+//! interval, random-project the BBVs to a low dimension, cluster them with
+//! k-means (k chosen by a BIC-style score), and return one representative
+//! interval per cluster weighted by cluster population.
+
+use crate::trace::{InstSource, TraceGenerator};
+use crate::workload::Benchmark;
+use linalg::dist::{child_seed, seeded_rng};
+use rand::Rng;
+
+/// Projected dimensionality of the BBVs (SimPoint uses 15).
+pub const PROJECTED_DIMS: usize = 16;
+
+/// One selected simulation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// Interval index within the trace (interval `i` spans instructions
+    /// `[i*len, (i+1)*len)`).
+    pub interval: usize,
+    /// Fraction of execution this point represents (cluster weight).
+    pub weight: f64,
+}
+
+/// Result of the phase analysis.
+#[derive(Debug, Clone)]
+pub struct SimPointAnalysis {
+    /// Selected representative intervals.
+    pub points: Vec<SimPoint>,
+    /// Cluster assignment of every interval.
+    pub assignments: Vec<usize>,
+    /// Chosen k.
+    pub k: usize,
+    /// Interval length in instructions.
+    pub interval_len: u64,
+}
+
+/// Collect per-interval basic-block vectors, already random-projected to
+/// [`PROJECTED_DIMS`] dimensions and L1-normalized.
+pub fn collect_bbvs(
+    benchmark: Benchmark,
+    seed: u64,
+    n_intervals: usize,
+    interval_len: u64,
+) -> Vec<[f64; PROJECTED_DIMS]> {
+    let mut gen = TraceGenerator::for_benchmark(benchmark, seed);
+    // Random ±1 projection per (block, dim), derived on the fly by hashing
+    // so the matrix never materializes.
+    let salt = child_seed(seed, 0x9b9b);
+    let proj = |block: u32, dim: usize| -> f64 {
+        let h = child_seed(salt, ((block as u64) << 5) | dim as u64);
+        if h & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    };
+    let mut bbvs = Vec::with_capacity(n_intervals);
+    for _ in 0..n_intervals {
+        let mut v = [0.0f64; PROJECTED_DIMS];
+        let mut count = 0u64;
+        for _ in 0..interval_len {
+            let inst = gen.fetch();
+            for (d, slot) in v.iter_mut().enumerate() {
+                *slot += proj(inst.block, d);
+            }
+            count += 1;
+        }
+        // Normalize by interval length so vectors are comparable.
+        for slot in &mut v {
+            *slot /= count as f64;
+        }
+        bbvs.push(v);
+    }
+    bbvs
+}
+
+/// Squared Euclidean distance between projected BBVs.
+fn dist2(a: &[f64; PROJECTED_DIMS], b: &[f64; PROJECTED_DIMS]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's k-means with k-means++ seeding. Returns (assignments, centroids,
+/// within-cluster sum of squares).
+pub fn kmeans(
+    points: &[[f64; PROJECTED_DIMS]],
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, f64) {
+    assert!(k >= 1 && k <= points.len(), "kmeans: bad k={k} for {} points", points.len());
+    let mut rng = seeded_rng(seed);
+
+    // k-means++ initialization.
+    let mut centroids: Vec<[f64; PROJECTED_DIMS]> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())]);
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points already coincide with centroids; duplicate one.
+            centroids.push(points[rng.random_range(0..points.len())]);
+            continue;
+        }
+        let mut t = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            t -= d;
+            if t <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen]);
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut wss = f64::INFINITY;
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        let mut new_wss = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, bd) = centroids
+                .iter()
+                .enumerate()
+                .map(|(j, c)| (j, dist2(p, c)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("kmeans: NaN distance"))
+                .expect("kmeans: no centroids");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_wss += bd;
+        }
+        wss = new_wss;
+        // Update.
+        let mut sums = vec![[0.0f64; PROJECTED_DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for ((sum, &count), centroid) in sums.iter_mut().zip(&counts).zip(&mut centroids) {
+            if count > 0 {
+                for s in sum.iter_mut() {
+                    *s /= count as f64;
+                }
+                *centroid = *sum;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assignments, centroids, wss)
+}
+
+/// BIC-style score for a clustering (higher is better): spherical-Gaussian
+/// log-likelihood minus a complexity penalty, following the SimPoint paper's
+/// model-selection recipe.
+pub fn bic_score(n: usize, k: usize, wss: f64) -> f64 {
+    let n_f = n as f64;
+    let d = PROJECTED_DIMS as f64;
+    let variance = (wss / (n_f * d)).max(1e-12);
+    let loglik = -0.5 * n_f * d * (variance.ln() + 1.0 + (2.0 * std::f64::consts::PI).ln());
+    let params = k as f64 * (d + 1.0);
+    loglik - 0.5 * params * n_f.ln()
+}
+
+/// Full SimPoint analysis: collect BBVs, sweep k in `1..=max_k`, keep the
+/// best BIC, and return one representative interval per cluster.
+pub fn analyze(
+    benchmark: Benchmark,
+    seed: u64,
+    n_intervals: usize,
+    interval_len: u64,
+    max_k: usize,
+) -> SimPointAnalysis {
+    assert!(n_intervals >= 1);
+    let bbvs = collect_bbvs(benchmark, seed, n_intervals, interval_len);
+    let max_k = max_k.min(n_intervals).max(1);
+
+    type Clustering = (f64, usize, Vec<usize>, Vec<[f64; PROJECTED_DIMS]>);
+    let mut best: Option<Clustering> = None;
+    for k in 1..=max_k {
+        let (assign, centroids, wss) = kmeans(&bbvs, k, 50, child_seed(seed, k as u64));
+        let score = bic_score(n_intervals, k, wss);
+        if best.as_ref().is_none_or(|(s, ..)| score > *s) {
+            best = Some((score, k, assign, centroids));
+        }
+    }
+    let (_, k, assignments, centroids) = best.expect("at least one clustering");
+
+    // Representative per cluster: the member closest to the centroid,
+    // weighted by cluster population.
+    let mut points = Vec::with_capacity(k);
+    #[allow(clippy::needless_range_loop)] // j is a cluster id, not an index walk
+    for j in 0..k {
+        let members: Vec<usize> =
+            (0..n_intervals).filter(|&i| assignments[i] == j).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist2(&bbvs[a], &centroids[j])
+                    .partial_cmp(&dist2(&bbvs[b], &centroids[j]))
+                    .expect("NaN distance")
+            })
+            .expect("nonempty cluster");
+        points.push(SimPoint {
+            interval: rep,
+            weight: members.len() as f64 / n_intervals as f64,
+        });
+    }
+    points.sort_by_key(|p| p.interval);
+    SimPointAnalysis { points, assignments, k, interval_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_points(
+        centers: &[[f64; PROJECTED_DIMS]],
+        per: usize,
+        spread: f64,
+        seed: u64,
+    ) -> Vec<[f64; PROJECTED_DIMS]> {
+        let mut rng = seeded_rng(seed);
+        let mut out = Vec::new();
+        for c in centers {
+            for _ in 0..per {
+                let mut p = *c;
+                for x in &mut p {
+                    *x += spread * (rng.random::<f64>() - 0.5);
+                }
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_clusters() {
+        let mut c1 = [0.0; PROJECTED_DIMS];
+        let mut c2 = [0.0; PROJECTED_DIMS];
+        c1[0] = 10.0;
+        c2[0] = -10.0;
+        let pts = cluster_points(&[c1, c2], 20, 0.5, 1);
+        let (assign, _, wss) = kmeans(&pts, 2, 50, 2);
+        // All of the first 20 in one cluster, the rest in the other.
+        let a0 = assign[0];
+        assert!(assign[..20].iter().all(|&a| a == a0));
+        assert!(assign[20..].iter().all(|&a| a != a0));
+        assert!(wss < 20.0);
+    }
+
+    #[test]
+    fn kmeans_k1_centroid_is_mean() {
+        let pts = cluster_points(&[[1.0; PROJECTED_DIMS]], 10, 0.2, 3);
+        let (assign, centroids, _) = kmeans(&pts, 1, 10, 4);
+        assert!(assign.iter().all(|&a| a == 0));
+        for d in 0..PROJECTED_DIMS {
+            let m: f64 = pts.iter().map(|p| p[d]).sum::<f64>() / pts.len() as f64;
+            assert!((centroids[0][d] - m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bic_penalizes_complexity_at_equal_fit() {
+        let s1 = bic_score(100, 2, 50.0);
+        let s2 = bic_score(100, 10, 50.0);
+        assert!(s1 > s2, "same WSS, more clusters must score lower");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let a = analyze(Benchmark::Gcc, 42, 12, 2000, 4);
+        let total: f64 = a.points.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(!a.points.is_empty());
+        assert!(a.points.iter().all(|p| p.interval < 12));
+    }
+
+    #[test]
+    fn phase_structure_is_detected() {
+        // gcc's profile has 3 phases with disjoint code; with intervals
+        // shorter than a phase segment, the analysis should find k >= 2.
+        let a = analyze(Benchmark::Gcc, 7, 16, 5000, 5);
+        assert!(a.k >= 2, "expected multiple phases, got k={}", a.k);
+    }
+
+    #[test]
+    fn assignments_cover_all_intervals() {
+        let a = analyze(Benchmark::Mesa, 9, 10, 2000, 3);
+        assert_eq!(a.assignments.len(), 10);
+        for &c in &a.assignments {
+            assert!(c < a.k);
+        }
+    }
+}

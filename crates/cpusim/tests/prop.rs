@@ -1,0 +1,153 @@
+//! Property-based tests for the simulator substrate.
+
+use cpusim::bpred::{self, BranchPredictor};
+use cpusim::cache::Cache;
+use cpusim::config::{BranchPredictorKind, CacheGeometry, CpuConfig, DesignSpace};
+use cpusim::core::Core;
+use cpusim::tlb::Tlb;
+use cpusim::trace::{InstSource, OpClass, ReplaySource, TraceGenerator};
+use cpusim::workload::Benchmark;
+use proptest::prelude::*;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL12.to_vec())
+}
+
+fn small_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..3, 0u32..2, 0u32..3).prop_map(|(s, l, a)| CacheGeometry {
+        size_kb: [4, 16, 64][s as usize],
+        line_b: [32, 64][l as usize],
+        assoc: [2, 4, 8][a as usize],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cache miss count never exceeds access count, and a repeat of the
+    /// same address stream can only raise the hit rate.
+    #[test]
+    fn cache_counters_are_consistent(
+        geom in small_geometry(),
+        addrs in prop::collection::vec(0u64..1_000_000, 1..400),
+    ) {
+        let mut c = Cache::new(geom);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert!(c.misses() <= c.accesses());
+        let first_pass_misses = c.misses();
+        for &a in &addrs {
+            c.access(a);
+        }
+        // Second pass can add at most as many misses as the first.
+        prop_assert!(c.misses() - first_pass_misses <= first_pass_misses);
+    }
+
+    /// TLB behaves like a cache of pages: same page twice in a row always
+    /// hits on the second access.
+    #[test]
+    fn tlb_back_to_back_hits(reach in prop::sample::select(vec![256u32, 512, 1024, 2048]),
+                             pages in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut t = Tlb::new(reach);
+        for &p in &pages {
+            let addr = p * 4096;
+            t.access(addr);
+            prop_assert!(t.access(addr + 123), "immediate repeat must hit");
+        }
+    }
+
+    /// Branch predictors never report more mispredicts than lookups, and
+    /// the perfect predictor reports none.
+    #[test]
+    fn predictor_stats_are_sane(
+        kind in prop::sample::select(BranchPredictorKind::ALL.to_vec()),
+        stream in prop::collection::vec((0u32..64, any::<bool>()), 1..500),
+    ) {
+        let mut p = bpred::build(kind);
+        for &(id, taken) in &stream {
+            let _ = p.resolve(id, taken);
+        }
+        let (lookups, mispredicts) = p.stats();
+        prop_assert_eq!(lookups, stream.len() as u64);
+        prop_assert!(mispredicts <= lookups);
+        if kind == BranchPredictorKind::Perfect {
+            prop_assert_eq!(mispredicts, 0);
+        }
+    }
+
+    /// The trace generator is a pure function of (benchmark, seed).
+    #[test]
+    fn trace_is_deterministic(b in arb_benchmark(), seed in 0u64..1000) {
+        let mut g1 = TraceGenerator::for_benchmark(b, seed);
+        let mut g2 = TraceGenerator::for_benchmark(b, seed);
+        for _ in 0..500 {
+            let (a, c) = (g1.next_inst(), g2.next_inst());
+            prop_assert_eq!(a.addr, c.addr);
+            prop_assert_eq!(a.block, c.block);
+            prop_assert_eq!(a.op, c.op);
+            prop_assert_eq!(a.taken, c.taken);
+        }
+    }
+
+    /// Every simulated run commits exactly the requested instructions and
+    /// needs at least one cycle per `width` instructions.
+    #[test]
+    fn core_commits_exactly(b in arb_benchmark(), seed in 0u64..100) {
+        let n = 3_000u64;
+        let cfg = CpuConfig::baseline();
+        let mut gen = TraceGenerator::for_benchmark(b, seed);
+        let mut core = Core::new(cfg);
+        let s = core.run(&mut gen, n);
+        prop_assert_eq!(s.instructions, n);
+        prop_assert!(s.cycles >= n / cfg.width as u64);
+        prop_assert!(s.mispredicts <= s.branches);
+        prop_assert!(s.l2_accesses <= s.l1d_misses + s.l1i_misses);
+    }
+
+    /// Replaying a materialized trace commits the same instruction count
+    /// and yields identical cycles to a second identical replay.
+    #[test]
+    fn replay_is_reproducible(b in arb_benchmark(), seed in 0u64..100) {
+        let mut gen = TraceGenerator::for_benchmark(b, seed);
+        let trace = gen.take_vec(2_000);
+        let run = |wp_seed: u64| {
+            let mut src = ReplaySource::new(&trace, wp_seed);
+            let mut core = Core::new(CpuConfig::baseline());
+            core.run(&mut src, 2_000).cycles
+        };
+        prop_assert_eq!(run(1), run(1));
+    }
+
+    /// Arbitrary subsets of the Table-1 lattice keep all config invariants.
+    #[test]
+    fn design_space_subsets_are_valid(step in 1usize..64, offset in 0usize..64) {
+        let full = DesignSpace::table1();
+        let sub: Vec<CpuConfig> = full
+            .configs()
+            .iter()
+            .copied()
+            .skip(offset)
+            .step_by(step)
+            .collect();
+        for c in &sub {
+            prop_assert_eq!(c.features().len(), 24);
+            prop_assert!(c.l1d.size_kb >= 16 && c.l1d.size_kb <= 64);
+            prop_assert!(c.ruu_size == 2 * c.lsq_size);
+        }
+    }
+
+    /// Memory instructions always carry an address inside the (scaled)
+    /// footprint; non-memory instructions carry none.
+    #[test]
+    fn addresses_only_on_memory_ops(b in arb_benchmark(), seed in 0u64..50) {
+        let mut g = TraceGenerator::for_benchmark(b, seed);
+        for _ in 0..2_000 {
+            let i = g.fetch();
+            match i.op {
+                OpClass::Load | OpClass::Store => {}
+                _ => prop_assert_eq!(i.addr, 0),
+            }
+        }
+    }
+}

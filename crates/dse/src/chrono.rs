@@ -1,0 +1,224 @@
+//! Chronological predictive modelling (Figure 1b, §4.3).
+//!
+//! Train every model on the announcements of one year and predict the
+//! following year's systems. The paper's headline: linear regression wins
+//! (networks over-fit the training year and extrapolate poorly), LR-E best
+//! on the Intel single-socket families, LR-S/LR-B best on the Opteron
+//! SMPs, and everything within ~2 % on Pentium D's short, homogeneous
+//! history.
+
+use crate::data::table_from_announcements;
+use linalg::dist::child_seed;
+use linalg::stats::mape;
+use mlmodels::crossval::{estimate_error, ErrorEstimate};
+use mlmodels::importance::{importance, Importance};
+use mlmodels::{train, ModelKind};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use specdata::{AnnouncementSet, ProcessorFamily};
+
+/// Configuration of a chronological experiment.
+#[derive(Debug, Clone)]
+pub struct ChronoConfig {
+    /// Training year (the paper uses 2005 → 2006).
+    pub train_year: u32,
+    /// Models to evaluate (Figures 7–8 plot all nine).
+    pub models: Vec<ModelKind>,
+    /// Data-generation seed.
+    pub data_seed: u64,
+    /// Training seed.
+    pub seed: u64,
+    /// Whether to run §3.3 error estimation on the training year.
+    pub estimate_errors: bool,
+}
+
+impl Default for ChronoConfig {
+    fn default() -> Self {
+        ChronoConfig {
+            train_year: 2005,
+            models: ModelKind::FIGURE7_ORDER.to_vec(),
+            data_seed: 42,
+            seed: 0xC4,
+            estimate_errors: false,
+        }
+    }
+}
+
+/// One model's chronological prediction quality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChronoPoint {
+    /// Model evaluated.
+    pub model: ModelKind,
+    /// Mean percentage error on the future year.
+    pub error_mean: f64,
+    /// Std-dev of the percentage error (the Figure 7/8 error bars).
+    pub error_std: f64,
+    /// Estimated error from the training year (when requested).
+    pub estimated: Option<ErrorEstimate>,
+    /// Predictor importance from this trained model.
+    pub importance: Vec<Importance>,
+}
+
+/// Full chronological result for one family.
+#[derive(Debug, Clone)]
+pub struct ChronoResult {
+    /// Processor family.
+    pub family: ProcessorFamily,
+    /// Training rows (train year).
+    pub n_train: usize,
+    /// Test rows (train year + 1).
+    pub n_test: usize,
+    /// Per-model results, in `cfg.models` order.
+    pub points: Vec<ChronoPoint>,
+}
+
+impl ChronoResult {
+    /// The best (lowest mean error) model and its error — Table 2's cells.
+    pub fn best(&self) -> (&ChronoPoint, f64) {
+        let p = self
+            .points
+            .iter()
+            .min_by(|a, b| a.error_mean.partial_cmp(&b.error_mean).expect("NaN error"))
+            .expect("at least one model");
+        (p, p.error_mean)
+    }
+
+    /// All models within `slack` (relative) of the best — the paper lists
+    /// ties like "LR-B/LR-S".
+    pub fn best_set(&self, slack: f64) -> Vec<ModelKind> {
+        let (_, best) = self.best();
+        self.points
+            .iter()
+            .filter(|p| p.error_mean <= best * (1.0 + slack))
+            .map(|p| p.model)
+            .collect()
+    }
+}
+
+/// Run the chronological experiment for one family.
+pub fn run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> ChronoResult {
+    let set = AnnouncementSet::generate(family, cfg.data_seed);
+    let (train_recs, test_recs) = set.chronological_split(cfg.train_year);
+    let train_table = table_from_announcements(&train_recs);
+    let test_table = table_from_announcements(&test_recs);
+
+    let points: Vec<ChronoPoint> = cfg
+        .models
+        .par_iter()
+        .enumerate()
+        .map(|(mi, &kind)| {
+            let seed = child_seed(cfg.seed, mi as u64);
+            let model = train(kind, &train_table, seed);
+            let preds = model.predict(&test_table);
+            let (error_mean, error_std) = mape(&preds, test_table.target());
+            let estimated = if cfg.estimate_errors {
+                Some(estimate_error(kind, &train_table, child_seed(seed, 0xE5)))
+            } else {
+                None
+            };
+            let imp = importance(&model, &train_table);
+            ChronoPoint { model: kind, error_mean, error_std, estimated, importance: imp }
+        })
+        .collect();
+
+    ChronoResult {
+        family,
+        n_train: train_table.n_rows(),
+        n_test: test_table.n_rows(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ChronoConfig {
+        ChronoConfig {
+            models: vec![ModelKind::LrE, ModelKind::LrB, ModelKind::NnS],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_results_for_each_model() {
+        let r = run_chronological(ProcessorFamily::Opteron, &quick_cfg());
+        assert_eq!(r.points.len(), 3);
+        assert!(r.n_train > 10 && r.n_test > 10);
+        for p in &r.points {
+            assert!(p.error_mean.is_finite() && p.error_mean >= 0.0);
+            assert!(p.error_std >= 0.0);
+            assert!(!p.importance.is_empty());
+        }
+    }
+
+    #[test]
+    fn linear_models_predict_the_future_year_well() {
+        for fam in [ProcessorFamily::Opteron, ProcessorFamily::Xeon] {
+            let r = run_chronological(fam, &quick_cfg());
+            let lr_best = r
+                .points
+                .iter()
+                .filter(|p| p.model.is_linear())
+                .map(|p| p.error_mean)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                lr_best < 10.0,
+                "{}: best LR error {lr_best}% too high",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn processor_speed_dominates_importance() {
+        let r = run_chronological(ProcessorFamily::Opteron, &quick_cfg());
+        // For the LR-E model the top importance should be processor speed
+        // (paper: standardized beta 0.915).
+        let lre = r.points.iter().find(|p| p.model == ModelKind::LrE).unwrap();
+        assert_eq!(
+            lre.importance[0].name, "processor_speed_mhz",
+            "importances: {:?}",
+            &lre.importance[..3.min(lre.importance.len())]
+        );
+    }
+
+    #[test]
+    fn best_set_includes_the_minimum() {
+        let r = run_chronological(ProcessorFamily::PentiumD, &quick_cfg());
+        let (best_point, _) = r.best();
+        assert!(r.best_set(0.1).contains(&best_point.model));
+    }
+
+    #[test]
+    fn estimated_errors_present_when_requested() {
+        let cfg = ChronoConfig {
+            models: vec![ModelKind::LrE],
+            estimate_errors: true,
+            ..Default::default()
+        };
+        let r = run_chronological(ProcessorFamily::Opteron, &cfg);
+        let est = r.points[0].estimated.expect("requested estimation");
+        assert!(est.max >= est.mean);
+    }
+
+    #[test]
+    fn train_year_is_configurable() {
+        let cfg = ChronoConfig {
+            train_year: 2004,
+            models: vec![ModelKind::LrE],
+            ..Default::default()
+        };
+        let r = run_chronological(ProcessorFamily::Opteron4, &cfg);
+        assert!(r.n_train > 0 && r.n_test > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seeds() {
+        let a = run_chronological(ProcessorFamily::Opteron2, &quick_cfg());
+        let b = run_chronological(ProcessorFamily::Opteron2, &quick_cfg());
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.error_mean, y.error_mean);
+        }
+    }
+}

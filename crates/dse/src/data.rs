@@ -1,0 +1,202 @@
+//! Adapters: simulator sweeps and SPEC announcements → model tables.
+
+use cpusim::config::CpuConfig;
+use cpusim::runner::SimResult;
+use mlmodels::Table;
+use specdata::Announcement;
+
+/// Build the sampled-DSE table from sweep results: the 24 Table-1
+/// parameters as predictors (branch predictor categorical, wrong-path a
+/// flag, the rest numeric), simulated cycles as the target.
+pub fn table_from_sweep(results: &[SimResult]) -> Table {
+    assert!(!results.is_empty(), "empty sweep");
+    let mut numeric: Vec<(usize, Vec<f64>)> = Vec::new();
+    let names = CpuConfig::feature_names();
+
+    // All numeric features except the categorical bpred and the flag
+    // issue_wrong_path.
+    let flag_idx = names
+        .iter()
+        .position(|&n| n == "issue_wrong_path")
+        .expect("issue_wrong_path feature");
+    for (j, _) in names.iter().enumerate() {
+        if j == CpuConfig::BPRED_FEATURE_INDEX || j == flag_idx {
+            continue;
+        }
+        let col: Vec<f64> = results.iter().map(|r| r.config.features()[j]).collect();
+        numeric.push((j, col));
+    }
+
+    let mut t = Table::new();
+    for (j, col) in numeric {
+        t.add_numeric(names[j], col);
+    }
+    t.add_flag(
+        "issue_wrong_path",
+        results.iter().map(|r| r.config.issue_wrong_path).collect(),
+    );
+    t.add_categorical(
+        "bpred",
+        results.iter().map(|r| r.config.bpred.code() as u32).collect(),
+        cpusim::BranchPredictorKind::ALL.iter().map(|b| b.name().to_string()).collect(),
+    );
+    t.set_target(results.iter().map(|r| r.cycles).collect());
+    t.validate();
+    t
+}
+
+/// Build a chronological-modelling table from announcements: all 32
+/// parameters typed as §3.4 expects, SPECint rate as the target.
+pub fn table_from_announcements(records: &[&Announcement]) -> Table {
+    assert!(!records.is_empty(), "empty announcement set");
+
+    let mut t = Table::new();
+    // The three identifier fields are categorical.
+    for (name, get) in [
+        ("company", 0usize),
+        ("system_name", 1),
+        ("processor_model", 2),
+    ] {
+        let values: Vec<String> =
+            records.iter().map(|r| r.categorical_features()[get].to_string()).collect();
+        let mut levels: Vec<String> = values.clone();
+        levels.sort();
+        levels.dedup();
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|v| levels.iter().position(|l| l == v).expect("level exists") as u32)
+            .collect();
+        t.add_categorical(name, codes, levels);
+    }
+
+    // Numeric/flag parameters. Flags keep their flag type; disk type is a
+    // proper categorical.
+    let num = |f: fn(&Announcement) -> f64| -> Vec<f64> { records.iter().map(|r| f(r)).collect() };
+    let flag = |f: fn(&Announcement) -> bool| -> Vec<bool> { records.iter().map(|r| f(r)).collect() };
+
+    t.add_numeric("bus_frequency_mhz", num(|r| r.bus_frequency_mhz));
+    t.add_numeric("processor_speed_mhz", num(|r| r.processor_speed_mhz));
+    t.add_flag("fpu", flag(|r| r.fpu));
+    t.add_numeric("total_cores", num(|r| r.total_cores as f64));
+    t.add_numeric("total_chips", num(|r| r.total_chips as f64));
+    t.add_numeric("cores_per_chip", num(|r| r.cores_per_chip as f64));
+    t.add_flag("smt", flag(|r| r.smt));
+    t.add_flag("parallel", flag(|r| r.parallel));
+    t.add_numeric("l1i_kb", num(|r| r.l1i_kb as f64));
+    t.add_numeric("l1d_kb", num(|r| r.l1d_kb as f64));
+    t.add_flag("l1_per_core", flag(|r| r.l1_per_core));
+    t.add_numeric("l2_kb", num(|r| r.l2_kb as f64));
+    t.add_flag("l2_on_chip", flag(|r| r.l2_on_chip));
+    t.add_flag("l2_shared", flag(|r| r.l2_shared));
+    t.add_flag("l2_unified", flag(|r| r.l2_unified));
+    t.add_numeric("l3_kb", num(|r| r.l3_kb as f64));
+    t.add_flag("l3_on_chip", flag(|r| r.l3_on_chip));
+    t.add_flag("l3_per_core", flag(|r| r.l3_per_core));
+    t.add_flag("l3_shared", flag(|r| r.l3_shared));
+    t.add_flag("l3_unified", flag(|r| r.l3_unified));
+    t.add_numeric("l4_kb", num(|r| r.l4_kb as f64));
+    t.add_numeric("l4_shared_count", num(|r| r.l4_shared_count as f64));
+    t.add_flag("l4_on_chip", flag(|r| r.l4_on_chip));
+    t.add_numeric("memory_gb", num(|r| r.memory_gb));
+    t.add_numeric("memory_freq_mhz", num(|r| r.memory_freq_mhz));
+    t.add_numeric("disk_gb", num(|r| r.disk_gb));
+    t.add_numeric("disk_rpm", num(|r| r.disk_rpm));
+    t.add_categorical(
+        "disk_type",
+        records.iter().map(|r| r.disk_type.code() as u32).collect(),
+        vec!["SCSI".into(), "SATA".into(), "IDE".into()],
+    );
+    t.add_numeric("extra_components", num(|r| r.extra_components as f64));
+
+    t.set_target(records.iter().map(|r| r.specint_rate).collect());
+    t.validate();
+    t
+}
+
+/// Like [`table_from_announcements`] but targeting the SPECfp2000 rate —
+/// the floating-point counterpart the paper mentions in §4 ("SPECint2000
+/// rate (and SPECfp2000 rate)").
+pub fn table_from_announcements_fp(records: &[&Announcement]) -> Table {
+    let mut t = table_from_announcements(records);
+    t.set_target(records.iter().map(|r| r.specfp_rate).collect());
+    t.validate();
+    t
+}
+
+/// Like [`table_from_announcements`] but targeting one *individual*
+/// application's normalized ratio instead of the overall rate — the
+/// per-application estimation the paper ran but omitted for space ("we
+/// have also tested individual SPEC applications and show that they can
+/// also be accurately estimated").
+pub fn table_from_announcements_app(records: &[&Announcement], app: usize) -> Table {
+    assert!(
+        records.iter().all(|r| app < r.app_ratios.len()),
+        "application index {app} out of range"
+    );
+    let mut t = table_from_announcements(records);
+    t.set_target(records.iter().map(|r| r.app_ratios[app]).collect());
+    t.validate();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpusim::{sweep_design_space, Benchmark, DesignSpace, SimOptions};
+    use specdata::{AnnouncementSet, ProcessorFamily};
+
+    #[test]
+    fn sweep_table_has_24_parameters() {
+        let space = DesignSpace::from_configs(
+            DesignSpace::table1_reduced().configs()[..12].to_vec(),
+        );
+        let res = sweep_design_space(&space, Benchmark::Applu, &SimOptions::quick());
+        let t = table_from_sweep(&res);
+        assert_eq!(t.n_cols(), 24, "Table 1 has 24 parameters");
+        assert_eq!(t.n_rows(), 12);
+        assert!(t.target().iter().all(|&c| c > 0.0));
+        assert!(t.column("bpred").is_some());
+        assert!(t.column("l2_size_kb").is_some());
+    }
+
+    #[test]
+    fn announcement_table_has_32_parameters() {
+        let set = AnnouncementSet::generate(ProcessorFamily::Opteron, 42);
+        let refs: Vec<&Announcement> = set.records.iter().collect();
+        let t = table_from_announcements(&refs);
+        assert_eq!(t.n_cols(), 32, "each record provides 32 parameters");
+        assert_eq!(t.n_rows(), set.len());
+        assert!(t.column("processor_speed_mhz").is_some());
+        assert!(t.column("company").is_some());
+    }
+
+    #[test]
+    fn fp_table_targets_the_fp_rate() {
+        let set = AnnouncementSet::generate(ProcessorFamily::Xeon, 42);
+        let refs: Vec<&Announcement> = set.records.iter().collect();
+        let t = table_from_announcements_fp(&refs);
+        for (y, rec) in t.target().iter().zip(&set.records) {
+            assert_eq!(*y, rec.specfp_rate);
+        }
+    }
+
+    #[test]
+    fn per_app_table_targets_the_ratio() {
+        let set = AnnouncementSet::generate(ProcessorFamily::Opteron, 42);
+        let refs: Vec<&Announcement> = set.records.iter().collect();
+        let t = table_from_announcements_app(&refs, 3);
+        for (y, rec) in t.target().iter().zip(&set.records) {
+            assert_eq!(*y, rec.app_ratios[3]);
+        }
+    }
+
+    #[test]
+    fn announcement_targets_are_rates() {
+        let set = AnnouncementSet::generate(ProcessorFamily::Xeon, 42);
+        let refs: Vec<&Announcement> = set.records.iter().collect();
+        let t = table_from_announcements(&refs);
+        for (row, rec) in t.target().iter().zip(&set.records) {
+            assert_eq!(*row, rec.specint_rate);
+        }
+    }
+}

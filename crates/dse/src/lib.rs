@@ -1,0 +1,29 @@
+//! `dse` — the paper's two design-space-exploration workflows (Figure 1).
+//!
+//! * [`sampled`] — **sampled design-space exploration** (§2, §4.2): sweep
+//!   the 4608-point microprocessor space with the [`cpusim`] simulator,
+//!   train each model on a random 1–5 % sample, estimate its error with the
+//!   §3.3 cross-validation protocol, and measure the *true* error against
+//!   the full space.
+//! * [`chrono`] — **chronological predictive modelling** (§2, §4.3): train
+//!   on one year of [`specdata`] announcements and predict the next.
+//! * [`selectbest`] — the *select* method (§4.4, Table 3): pick the model
+//!   with the best estimated error and use it for the predictions.
+//! * [`adaptive`] — query-by-committee active learning, an extension past
+//!   the paper's one-shot random sampling.
+//! * [`data`] — adapters turning simulator sweeps and SPEC announcements
+//!   into [`mlmodels::Table`]s.
+//! * [`report`] — plain-text table/series formatting shared by the
+//!   reproduction harnesses.
+
+pub mod adaptive;
+pub mod chrono;
+pub mod data;
+pub mod report;
+pub mod sampled;
+pub mod selectbest;
+
+pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveResult};
+pub use chrono::{run_chronological, ChronoConfig, ChronoResult};
+pub use sampled::{run_sampled_dse, SampledConfig, SampledPoint, SampledRun, SamplingStrategy};
+pub use selectbest::{select_method_error, SelectOutcome};

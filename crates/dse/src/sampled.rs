@@ -1,0 +1,286 @@
+//! Sampled design-space exploration (Figure 1a, §4.2).
+//!
+//! The flow: simulate the full design space once (the expensive part the
+//! models exist to avoid), then for each sampling rate draw a random
+//! training subset, fit each model, estimate its error with the §3.3
+//! cross-validation protocol, and score the *true* error of its
+//! predictions over the entire space — exactly how Figures 2–6 plot
+//! `NN-E / NN-S / LR-B` vs `NN-E-est / NN-S-est / LR-B-est`.
+
+use crate::data::table_from_sweep;
+use cpusim::runner::{sweep_design_space, SimOptions, SimResult};
+use cpusim::{Benchmark, DesignSpace};
+use linalg::dist::{child_seed, permutation, sample_indices, seeded_rng};
+use linalg::stats::mape;
+use mlmodels::crossval::{estimate_error, ErrorEstimate};
+use mlmodels::{train, ModelKind, Table};
+use serde::{Deserialize, Serialize};
+
+/// How training points are drawn from the design space.
+///
+/// The paper samples uniformly at random ("randomly sampling 1% to 5% of
+/// the data") and notes the resulting run-to-run wobble; the alternatives
+/// exist for the ablation study in `crates/bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Uniform random without replacement (the paper's choice).
+    Random,
+    /// Every k-th point of the lattice (deterministic, well spread).
+    Systematic,
+    /// Random within each branch-predictor stratum, proportionally
+    /// allocated — guarantees every predictor kind is represented even in
+    /// tiny samples.
+    StratifiedByPredictor,
+}
+
+/// Configuration of a sampled-DSE experiment.
+#[derive(Debug, Clone)]
+pub struct SampledConfig {
+    /// Sampling rates as fractions (the paper sweeps 0.01..=0.05).
+    pub sampling_rates: Vec<f64>,
+    /// How the training subset is drawn.
+    pub strategy: SamplingStrategy,
+    /// Models to evaluate (Figures 2–6 use NN-E, NN-S, LR-B).
+    pub models: Vec<ModelKind>,
+    /// Simulator options for the sweep.
+    pub sim: SimOptions,
+    /// Master seed (sampling, training, cross-validation).
+    pub seed: u64,
+    /// Whether to run the §3.3 estimated-error protocol (adds 5 extra
+    /// trainings per model and rate).
+    pub estimate_errors: bool,
+}
+
+impl Default for SampledConfig {
+    fn default() -> Self {
+        SampledConfig {
+            sampling_rates: vec![0.01, 0.02, 0.03, 0.04, 0.05],
+            strategy: SamplingStrategy::Random,
+            models: ModelKind::FIGURE2_ORDER.to_vec(),
+            sim: SimOptions::default(),
+            seed: 0xD5E,
+            estimate_errors: true,
+        }
+    }
+}
+
+/// One (model, sampling-rate) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampledPoint {
+    /// Model evaluated.
+    pub model: ModelKind,
+    /// Sampling rate (fraction of the space used for training).
+    pub rate: f64,
+    /// Rows in the training sample.
+    pub sample_size: usize,
+    /// True mean percentage error over the whole design space.
+    pub true_error: f64,
+    /// Std-dev of the percentage error over the whole space.
+    pub true_error_std: f64,
+    /// §3.3 estimated error (None when estimation was disabled).
+    pub estimated: Option<ErrorEstimate>,
+}
+
+/// Full result of one benchmark's sampled-DSE experiment.
+#[derive(Debug, Clone)]
+pub struct SampledRun {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Design-space size.
+    pub space_size: usize,
+    /// §4.1 framework stats of the sweep (range, variation).
+    pub range: f64,
+    /// Coefficient of variation of cycles.
+    pub variation: f64,
+    /// All (model, rate) measurements.
+    pub points: Vec<SampledPoint>,
+}
+
+impl SampledRun {
+    /// The measurement for a model at a rate (if present).
+    pub fn point(&self, model: ModelKind, rate: f64) -> Option<&SampledPoint> {
+        self.points
+            .iter()
+            .find(|p| p.model == model && (p.rate - rate).abs() < 1e-12)
+    }
+}
+
+/// Draw `k` training rows from `n` according to the strategy.
+fn draw_sample(
+    strategy: SamplingStrategy,
+    results: &[SimResult],
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut rng = seeded_rng(seed);
+    match strategy {
+        SamplingStrategy::Random => sample_indices(&mut rng, n, k),
+        SamplingStrategy::Systematic => {
+            // Evenly spaced with a random phase.
+            let stride = n as f64 / k as f64;
+            let phase: f64 = rand::Rng::random::<f64>(&mut rng) * stride;
+            (0..k).map(|i| ((phase + i as f64 * stride) as usize).min(n - 1)).collect()
+        }
+        SamplingStrategy::StratifiedByPredictor => {
+            // Group rows by predictor kind, then sample proportionally.
+            let mut strata: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (i, r) in results.iter().enumerate() {
+                strata.entry(r.config.bpred.code()).or_default().push(i);
+            }
+            let mut rows = Vec::with_capacity(k);
+            let n_strata = strata.len();
+            for (si, (_, members)) in strata.into_iter().enumerate() {
+                let quota = (k * (si + 1)) / n_strata - (k * si) / n_strata;
+                let quota = quota.min(members.len());
+                let perm = permutation(&mut rng, members.len());
+                rows.extend(perm[..quota].iter().map(|&j| members[j]));
+            }
+            // Top up (rounding) from anywhere.
+            while rows.len() < k {
+                let cand = rand::Rng::random_range(&mut rng, 0..n);
+                if !rows.contains(&cand) {
+                    rows.push(cand);
+                }
+            }
+            rows
+        }
+    }
+}
+
+/// Evaluate one trained model's true error over the full space table.
+fn true_error(model: &mlmodels::TrainedModel, full: &Table) -> (f64, f64) {
+    let preds = model.predict(full);
+    mape(&preds, full.target())
+}
+
+/// Run the sampled-DSE experiment for one benchmark over a design space.
+///
+/// `sweep` results may be precomputed (pass `Some`) to share the expensive
+/// simulation across experiments.
+pub fn run_sampled_dse(
+    benchmark: Benchmark,
+    space: &DesignSpace,
+    cfg: &SampledConfig,
+    precomputed: Option<Vec<SimResult>>,
+) -> SampledRun {
+    let results =
+        precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
+    assert_eq!(results.len(), space.len(), "sweep size mismatch");
+    let summary = cpusim::runner::summarize_sweep(&results);
+    let full = table_from_sweep(&results);
+    let n = full.n_rows();
+
+    let mut points = Vec::new();
+    for (ri, &rate) in cfg.sampling_rates.iter().enumerate() {
+        assert!(rate > 0.0 && rate < 1.0, "sampling rate out of range: {rate}");
+        let k = ((n as f64 * rate).round() as usize).max(8);
+        let rows = draw_sample(
+            cfg.strategy,
+            &results,
+            n,
+            k,
+            child_seed(cfg.seed, 0x5A + ri as u64),
+        );
+        let sample = full.select_rows(&rows);
+
+        for (mi, &kind) in cfg.models.iter().enumerate() {
+            let train_seed = child_seed(cfg.seed, (ri as u64) << 8 | mi as u64);
+            let model = train(kind, &sample, train_seed);
+            let (te, te_std) = true_error(&model, &full);
+            let estimated = if cfg.estimate_errors {
+                Some(estimate_error(kind, &sample, child_seed(train_seed, 0xE5)))
+            } else {
+                None
+            };
+            points.push(SampledPoint {
+                model: kind,
+                rate,
+                sample_size: k,
+                true_error: te,
+                true_error_std: te_std,
+                estimated,
+            });
+        }
+    }
+
+    SampledRun {
+        benchmark,
+        space_size: n,
+        range: summary.range,
+        variation: summary.variation,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SampledConfig {
+        SampledConfig {
+            sampling_rates: vec![0.05, 0.10],
+            strategy: SamplingStrategy::Random,
+            models: vec![ModelKind::LrB, ModelKind::NnS],
+            sim: SimOptions::quick(),
+            seed: 7,
+            estimate_errors: true,
+        }
+    }
+
+    fn small_space() -> DesignSpace {
+        DesignSpace::from_configs(
+            DesignSpace::table1_reduced().configs().iter().copied().step_by(2).collect(),
+        )
+    }
+
+    #[test]
+    fn produces_points_for_every_model_and_rate() {
+        let run = run_sampled_dse(Benchmark::Applu, &small_space(), &small_cfg(), None);
+        assert_eq!(run.points.len(), 4);
+        assert_eq!(run.space_size, 288);
+        for p in &run.points {
+            assert!(p.true_error.is_finite() && p.true_error >= 0.0);
+            assert!(p.sample_size >= 8);
+            let est = p.estimated.expect("estimation enabled");
+            assert!(est.max >= est.mean);
+        }
+    }
+
+    #[test]
+    fn models_beat_trivial_scaling() {
+        // Even small samples should predict far better than a constant
+        // predictor, whose MAPE equals the population spread.
+        let run = run_sampled_dse(Benchmark::Applu, &small_space(), &small_cfg(), None);
+        let worst = run
+            .points
+            .iter()
+            .map(|p| p.true_error)
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst < 100.0 * (run.variation),
+            "true error {worst}% should beat the naive spread {}%",
+            100.0 * run.variation
+        );
+    }
+
+    #[test]
+    fn precomputed_sweep_matches_internal() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let sweep = sweep_design_space(&space, Benchmark::Mesa, &cfg.sim);
+        let a = run_sampled_dse(Benchmark::Mesa, &space, &cfg, Some(sweep));
+        let b = run_sampled_dse(Benchmark::Mesa, &space, &cfg, None);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.true_error, y.true_error);
+        }
+    }
+
+    #[test]
+    fn point_lookup_works() {
+        let run = run_sampled_dse(Benchmark::Applu, &small_space(), &small_cfg(), None);
+        let p = run.point(ModelKind::LrB, 0.05).expect("point exists");
+        assert_eq!(p.model, ModelKind::LrB);
+        assert!(run.point(ModelKind::NnE, 0.05).is_none());
+    }
+}

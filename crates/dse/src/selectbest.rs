@@ -1,0 +1,112 @@
+//! The *select* method (§4.4, Table 3's last row).
+//!
+//! "The last row, select method, shows the error rates that would be
+//! achieved if the method that gives the best result on the estimation is
+//! used for predicting the whole data set." The estimation is the §3.3
+//! five-split maximum; the winner's *true* error is what gets reported —
+//! at 1 % sampling this beats even NN-E on average, because applu's best
+//! estimated model is LR-B.
+
+use crate::sampled::SampledRun;
+use mlmodels::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the select method at one sampling rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SelectOutcome {
+    /// Sampling rate.
+    pub rate: f64,
+    /// Model chosen by the estimated (max) error.
+    pub chosen: ModelKind,
+    /// True error of the chosen model over the full space.
+    pub true_error: f64,
+}
+
+/// Apply the select method to a finished sampled run at one rate.
+///
+/// Panics if the run was produced without error estimation.
+pub fn select_method_error(run: &SampledRun, rate: f64) -> SelectOutcome {
+    let candidates: Vec<_> = run
+        .points
+        .iter()
+        .filter(|p| (p.rate - rate).abs() < 1e-12)
+        .collect();
+    assert!(!candidates.is_empty(), "no points at rate {rate}");
+    let chosen = candidates
+        .iter()
+        .min_by(|a, b| {
+            let ea = a.estimated.expect("run must estimate errors").max;
+            let eb = b.estimated.expect("run must estimate errors").max;
+            ea.partial_cmp(&eb).expect("NaN estimate")
+        })
+        .expect("nonempty");
+    SelectOutcome { rate, chosen: chosen.model, true_error: chosen.true_error }
+}
+
+/// Select outcomes for every rate in a run.
+pub fn select_method_series(run: &SampledRun) -> Vec<SelectOutcome> {
+    let mut rates: Vec<f64> = run.points.iter().map(|p| p.rate).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("NaN rate"));
+    rates.dedup();
+    rates.into_iter().map(|r| select_method_error(run, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampled::SampledPoint;
+    use cpusim::Benchmark;
+    use mlmodels::crossval::ErrorEstimate;
+
+    fn fake_run() -> SampledRun {
+        let mk = |model, rate, true_error, est_max| SampledPoint {
+            model,
+            rate,
+            sample_size: 46,
+            true_error,
+            true_error_std: 0.5,
+            estimated: Some(ErrorEstimate { mean: est_max * 0.8, max: est_max }),
+        };
+        SampledRun {
+            benchmark: Benchmark::Applu,
+            space_size: 4608,
+            range: 1.6,
+            variation: 0.15,
+            points: vec![
+                // At 1%: LR-B estimates best (and is truly better) — the
+                // applu case from the paper.
+                mk(ModelKind::NnE, 0.01, 1.8, 2.5),
+                mk(ModelKind::LrB, 0.01, 1.2, 1.5),
+                // At 3%: NN-E wins.
+                mk(ModelKind::NnE, 0.03, 0.6, 0.8),
+                mk(ModelKind::LrB, 0.03, 1.1, 1.4),
+            ],
+        }
+    }
+
+    #[test]
+    fn picks_best_estimated_model() {
+        let run = fake_run();
+        let s1 = select_method_error(&run, 0.01);
+        assert_eq!(s1.chosen, ModelKind::LrB);
+        assert_eq!(s1.true_error, 1.2);
+        let s3 = select_method_error(&run, 0.03);
+        assert_eq!(s3.chosen, ModelKind::NnE);
+    }
+
+    #[test]
+    fn series_covers_all_rates() {
+        let run = fake_run();
+        let series = select_method_series(&run);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].rate, 0.01);
+        assert_eq!(series[1].rate, 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points at rate")]
+    fn missing_rate_panics() {
+        let run = fake_run();
+        let _ = select_method_error(&run, 0.02);
+    }
+}

@@ -1,0 +1,227 @@
+//! Seeded sampling utilities.
+//!
+//! Every stochastic component of the reproduction (synthetic traces, SPEC
+//! announcement generators, random design-space sampling, neural-network
+//! weight initialization) draws through these helpers from an explicitly
+//! seeded [`rand::rngs::StdRng`], so each experiment is replayable from a
+//! single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a deterministic RNG from a seed. Thin wrapper to keep the
+/// `SeedableRng` import out of every call site.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from a parent seed and a stream label.
+///
+/// SplitMix64-style mixing: benchmarks, model seeds, and per-config trace
+/// streams each get their own statistically independent stream without the
+/// caller having to track RNG state.
+pub fn child_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Standard normal sample (Box–Muller, the non-cached variant).
+pub fn sample_std_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0,1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn sample_normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "sample_normal: negative standard deviation");
+    mean + sd * sample_std_normal(rng)
+}
+
+/// Log-normal sample parameterized by the *underlying* normal's mean/sd.
+pub fn sample_log_normal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    sample_normal(rng, mu, sigma).exp()
+}
+
+/// Sample an index from unnormalized non-negative weights.
+pub fn sample_weighted(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "sample_weighted: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+        "sample_weighted: weights must be non-negative with positive sum"
+    );
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Zipf-distributed rank in `0..n` with exponent `s`.
+///
+/// Drives the memory-reference locality model: a small number of hot
+/// addresses absorb most references, the defining property of cache-friendly
+/// program behaviour.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, len = n.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for `n` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be positive");
+        assert!(s > 0.0, "Zipf: exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u = rng.random::<f64>();
+        // Binary search the CDF.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("Zipf: NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, returning the permutation.
+pub fn permutation(rng: &mut impl Rng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Sample `k` distinct indices from `0..n` (partial Fisher–Yates).
+pub fn sample_indices(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "sample_indices: k={k} > n={n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn child_seeds_differ_by_stream() {
+        let s = 1234;
+        let c1 = child_seed(s, 0);
+        let c2 = child_seed(s, 1);
+        assert_ne!(c1, c2);
+        assert_eq!(c1, child_seed(s, 0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 3.0, 2.0)).collect();
+        assert!((mean(&xs) - 3.0).abs() < 0.05);
+        assert!((std_dev(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = seeded_rng(8);
+        for _ in 0..1000 {
+            assert!(sample_log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = seeded_rng(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        let total = 30_000.0;
+        assert!((counts[0] as f64 / total - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / total - 0.2).abs() < 0.012);
+        assert!((counts[2] as f64 / total - 0.7).abs() < 0.015);
+    }
+
+    #[test]
+    fn zipf_rank0_is_hottest() {
+        let mut rng = seeded_rng(10);
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let mut rng = seeded_rng(11);
+        let p = permutation(&mut rng, 200);
+        let mut seen = vec![false; 200];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_sized() {
+        let mut rng = seeded_rng(12);
+        let s = sample_indices(&mut rng, 1000, 10);
+        assert_eq!(s.len(), 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(sorted.iter().all(|&i| i < 1000));
+    }
+}

@@ -1,0 +1,185 @@
+//! Error estimation by repeated 50 % cross-validation — the §3.3 protocol.
+//!
+//! "Clementine randomly divides the training data into two equal sets,
+//! using half of the data to train the model and the other half to
+//! simulate. … we have generated five random sets of 50 % of the training
+//! data, and calculated the error the model achieves on these data subsets
+//! using cross-validation. We have taken the average predictive error on
+//! these data sets, as well as the maximum of the error. … in general
+//! maximum gives a closer estimate."
+
+use crate::model::{train, ModelKind};
+use crate::table::Table;
+use linalg::dist::{child_seed, permutation, seeded_rng};
+use linalg::stats::mape;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Number of random splits (the paper uses five).
+pub const N_SPLITS: usize = 5;
+
+/// Estimated predictive error from the five-split protocol.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ErrorEstimate {
+    /// Mean of the five per-split mean-percentage errors.
+    pub mean: f64,
+    /// Maximum of the five — the estimate the paper reports and the
+    /// *select* method uses.
+    pub max: f64,
+}
+
+/// Run the §3.3 estimation for one model kind on a training table.
+///
+/// Each split trains on a random half and measures the mean percentage
+/// error on the complementary half. Splits run in parallel.
+pub fn estimate_error(kind: ModelKind, table: &Table, seed: u64) -> ErrorEstimate {
+    let n = table.n_rows();
+    assert!(n >= 8, "need at least 8 rows for 50% cross-validation");
+    let errors: Vec<f64> = (0..N_SPLITS)
+        .into_par_iter()
+        .map(|s| {
+            let split_seed = child_seed(seed, 0xCE + s as u64);
+            let mut rng = seeded_rng(split_seed);
+            let perm = permutation(&mut rng, n);
+            let half = n / 2;
+            let train_rows = &perm[..half];
+            let test_rows = &perm[half..];
+            let tr = table.select_rows(train_rows);
+            let te = table.select_rows(test_rows);
+            let model = train(kind, &tr, child_seed(split_seed, 1));
+            let preds = model.predict(&te);
+            let (m, _) = mape(&preds, te.target());
+            m
+        })
+        .collect();
+    let mean = linalg::stats::mean(&errors);
+    let max = errors.iter().cloned().fold(0.0f64, f64::max);
+    ErrorEstimate { mean, max }
+}
+
+/// Estimate every candidate's error and return `(kind, estimate)` pairs,
+/// candidates in parallel.
+pub fn estimate_all(
+    kinds: &[ModelKind],
+    table: &Table,
+    seed: u64,
+) -> Vec<(ModelKind, ErrorEstimate)> {
+    kinds
+        .par_iter()
+        .map(|&k| (k, estimate_error(k, table, child_seed(seed, k.abbrev().len() as u64 * 31 + k as u64))))
+        .collect()
+}
+
+/// The paper's *select* method: the candidate with the smallest maximum
+/// estimated error.
+pub fn select_best(estimates: &[(ModelKind, ErrorEstimate)]) -> ModelKind {
+    assert!(!estimates.is_empty(), "select_best: no candidates");
+    estimates
+        .iter()
+        .min_by(|a, b| a.1.max.partial_cmp(&b.1.max).expect("NaN error estimate"))
+        .expect("nonempty")
+        .0
+}
+
+/// Generalized k-fold cross-validation (an extension of the paper's fixed
+/// 2-fold×5-repeat protocol): partition the rows into `k` folds, train on
+/// k−1, test on the held-out fold, and average the mean percentage errors.
+pub fn kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> f64 {
+    let n = table.n_rows();
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(n >= 2 * k, "need at least 2 rows per fold");
+    let mut rng = seeded_rng(child_seed(seed, 0xF0_1D));
+    let perm = permutation(&mut rng, n);
+    let errors: Vec<f64> = (0..k)
+        .into_par_iter()
+        .map(|fold| {
+            let test_rows: Vec<usize> = perm
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k == fold)
+                .map(|(_, &r)| r)
+                .collect();
+            let train_rows: Vec<usize> = perm
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k != fold)
+                .map(|(_, &r)| r)
+                .collect();
+            let tr = table.select_rows(&train_rows);
+            let te = table.select_rows(&test_rows);
+            let model = train(kind, &tr, child_seed(seed, fold as u64));
+            let (m, _) = mape(&model.predict(&te), te.target());
+            m
+        })
+        .collect();
+    linalg::stats::mean(&errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> Table {
+        let xs: Vec<f64> = (0..n).map(|i| (i % 23) as f64).collect();
+        let zs: Vec<f64> = (0..n).map(|i| ((i * 7) % 19) as f64).collect();
+        let y: Vec<f64> = xs.iter().zip(&zs).map(|(x, z)| 50.0 + 3.0 * x - z).collect();
+        let mut t = Table::new();
+        t.add_numeric("x", xs).add_numeric("z", zs).set_target(y);
+        t
+    }
+
+    #[test]
+    fn linear_data_gives_tiny_estimated_error_for_lr() {
+        let t = table(100);
+        let est = estimate_error(ModelKind::LrE, &t, 1);
+        assert!(est.mean < 0.5, "mean {}", est.mean);
+        assert!(est.max < 1.0, "max {}", est.max);
+        assert!(est.max >= est.mean);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let t = table(80);
+        let a = estimate_error(ModelKind::LrB, &t, 9);
+        let b = estimate_error(ModelKind::LrB, &t, 9);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn select_best_picks_lowest_max() {
+        let ests = vec![
+            (ModelKind::LrE, ErrorEstimate { mean: 2.0, max: 4.0 }),
+            (ModelKind::NnE, ErrorEstimate { mean: 2.5, max: 3.0 }),
+            (ModelKind::NnS, ErrorEstimate { mean: 1.0, max: 5.0 }),
+        ];
+        assert_eq!(select_best(&ests), ModelKind::NnE);
+    }
+
+    #[test]
+    fn kfold_error_is_small_on_linear_data() {
+        let t = table(90);
+        let err = kfold_error(ModelKind::LrE, &t, 5, 7);
+        assert!(err < 0.5, "5-fold LR error on linear data: {err}");
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        let t = table(60);
+        assert_eq!(kfold_error(ModelKind::LrB, &t, 3, 1), kfold_error(ModelKind::LrB, &t, 3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn kfold_rejects_k1() {
+        let t = table(60);
+        let _ = kfold_error(ModelKind::LrE, &t, 1, 0);
+    }
+
+    #[test]
+    fn select_prefers_lr_on_linear_data() {
+        let t = table(100);
+        let ests = estimate_all(&[ModelKind::LrE, ModelKind::NnS], &t, 3);
+        assert_eq!(select_best(&ests), ModelKind::LrE);
+    }
+}

@@ -1,0 +1,249 @@
+//! Predictor-selection strategies for linear regression.
+//!
+//! Clementine's regression node offers four methods (§3.1): **Enter**
+//! (LR-E, all predictors), **Stepwise** (LR-S), **Forwards** (LR-F), and
+//! **Backwards** (LR-B). Forward adds the most significant candidate while
+//! its partial-F p-value clears the entry threshold; Backward starts full
+//! and removes the least significant predictor while its p-value exceeds
+//! the removal threshold; Stepwise alternates (after every addition it
+//! reconsiders removals). Thresholds follow the SPSS defaults:
+//! p-to-enter 0.05, p-to-remove 0.10.
+
+use crate::linreg::LinearFit;
+use linalg::special::f_sf;
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionMethod {
+    /// All predictors (LR-E).
+    Enter,
+    /// Forward addition (LR-F).
+    Forward,
+    /// Backward elimination (LR-B).
+    Backward,
+    /// Stepwise: forward with reconsideration (LR-S).
+    Stepwise,
+}
+
+/// Significance thresholds for the partial-F tests.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// p-value required to enter a predictor (SPSS default 0.05).
+    pub p_enter: f64,
+    /// p-value above which a predictor is removed (SPSS default 0.10).
+    pub p_remove: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { p_enter: 0.05, p_remove: 0.10 }
+    }
+}
+
+/// p-value for adding/removing exactly one predictor between nested fits.
+fn step_p_value(big: &LinearFit, small: &LinearFit) -> f64 {
+    let f = big.partial_f_vs(small);
+    f_sf(f, 1.0, big.df_residual())
+}
+
+/// Run the selection strategy; returns the final fit.
+pub fn select(
+    x: &Matrix,
+    y: &[f64],
+    method: SelectionMethod,
+    thresholds: Thresholds,
+) -> LinearFit {
+    let p = x.cols();
+    // Guard against under-determined fits: never use more predictors than
+    // observations allow.
+    let max_active = x.rows().saturating_sub(2).min(p);
+    let all: Vec<usize> = (0..p).collect();
+    match method {
+        SelectionMethod::Enter => {
+            let active: Vec<usize> = all.into_iter().take(max_active).collect();
+            LinearFit::fit(x, y, &active)
+        }
+        SelectionMethod::Forward => forward(x, y, thresholds, max_active, false),
+        SelectionMethod::Stepwise => forward(x, y, thresholds, max_active, true),
+        SelectionMethod::Backward => backward(x, y, thresholds, max_active),
+    }
+}
+
+/// Forward selection; with `reconsider` it becomes stepwise (after each
+/// addition, removals are re-evaluated).
+fn forward(
+    x: &Matrix,
+    y: &[f64],
+    th: Thresholds,
+    max_active: usize,
+    reconsider: bool,
+) -> LinearFit {
+    let p = x.cols();
+    let mut active: Vec<usize> = Vec::new();
+    let mut current = LinearFit::fit(x, y, &active);
+    loop {
+        if active.len() >= max_active {
+            break;
+        }
+        // Best candidate to add.
+        let mut best: Option<(usize, f64, LinearFit)> = None;
+        for cand in 0..p {
+            if active.contains(&cand) {
+                continue;
+            }
+            let mut trial_active = active.clone();
+            trial_active.push(cand);
+            let trial = LinearFit::fit(x, y, &trial_active);
+            let pv = step_p_value(&trial, &current);
+            if best.as_ref().is_none_or(|(_, bpv, _)| pv < *bpv) {
+                best = Some((cand, pv, trial));
+            }
+        }
+        match best {
+            Some((cand, pv, trial)) if pv < th.p_enter => {
+                active.push(cand);
+                current = trial;
+            }
+            _ => break,
+        }
+
+        if reconsider {
+            // Stepwise: drop any predictor whose removal p-value exceeds
+            // the removal threshold (most insignificant first).
+            loop {
+                if active.len() <= 1 {
+                    break;
+                }
+                let mut worst: Option<(usize, f64, LinearFit)> = None;
+                for (pos, _) in active.iter().enumerate() {
+                    let mut reduced = active.clone();
+                    reduced.remove(pos);
+                    let small = LinearFit::fit(x, y, &reduced);
+                    let pv = step_p_value(&current, &small);
+                    if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
+                        worst = Some((pos, pv, small));
+                    }
+                }
+                match worst {
+                    Some((pos, pv, small)) if pv > th.p_remove => {
+                        active.remove(pos);
+                        current = small;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    current
+}
+
+/// Backward elimination.
+fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> LinearFit {
+    let mut active: Vec<usize> = (0..x.cols()).take(max_active).collect();
+    let mut current = LinearFit::fit(x, y, &active);
+    while active.len() > 1 {
+        // Find the least significant predictor (largest removal p-value).
+        let mut worst: Option<(usize, f64, LinearFit)> = None;
+        for (pos, _) in active.iter().enumerate() {
+            let mut reduced = active.clone();
+            reduced.remove(pos);
+            let small = LinearFit::fit(x, y, &reduced);
+            let pv = step_p_value(&current, &small);
+            if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
+                worst = Some((pos, pv, small));
+            }
+        }
+        match worst {
+            Some((pos, pv, small)) if pv > th.p_remove => {
+                active.remove(pos);
+                current = small;
+            }
+            _ => break,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 real predictors + 4 noise predictors; y = 5 + 3 x0 - 2 x1 + ε.
+    fn data() -> (Matrix, Vec<f64>) {
+        let mut rng_state = 12345u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let rows: Vec<Vec<f64>> =
+            (0..80).map(|_| (0..6).map(|_| next()).collect()).collect();
+        let y = rows.iter().map(|r| 5.0 + 3.0 * r[0] - 2.0 * r[1] + 0.05 * next()).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn enter_uses_all_predictors() {
+        let (x, y) = data();
+        let fit = select(&x, &y, SelectionMethod::Enter, Thresholds::default());
+        assert_eq!(fit.active.len(), 6);
+    }
+
+    #[test]
+    fn forward_finds_the_true_predictors() {
+        let (x, y) = data();
+        let fit = select(&x, &y, SelectionMethod::Forward, Thresholds::default());
+        assert!(fit.active.contains(&0), "active: {:?}", fit.active);
+        assert!(fit.active.contains(&1), "active: {:?}", fit.active);
+        assert!(fit.active.len() <= 4, "should not admit much noise: {:?}", fit.active);
+    }
+
+    #[test]
+    fn backward_eliminates_noise() {
+        let (x, y) = data();
+        let fit = select(&x, &y, SelectionMethod::Backward, Thresholds::default());
+        assert!(fit.active.contains(&0));
+        assert!(fit.active.contains(&1));
+        assert!(fit.active.len() <= 4, "active: {:?}", fit.active);
+    }
+
+    #[test]
+    fn stepwise_matches_forward_on_clean_data() {
+        let (x, y) = data();
+        let f = select(&x, &y, SelectionMethod::Forward, Thresholds::default());
+        let s = select(&x, &y, SelectionMethod::Stepwise, Thresholds::default());
+        // Both must find the true support; stepwise may trim extras.
+        for want in [0usize, 1] {
+            assert!(f.active.contains(&want));
+            assert!(s.active.contains(&want));
+        }
+        assert!(s.active.len() <= f.active.len());
+    }
+
+    #[test]
+    fn selected_models_predict_well() {
+        let (x, y) = data();
+        for m in [
+            SelectionMethod::Enter,
+            SelectionMethod::Forward,
+            SelectionMethod::Backward,
+            SelectionMethod::Stepwise,
+        ] {
+            let fit = select(&x, &y, m, Thresholds::default());
+            assert!(fit.r2() > 0.99, "{m:?}: r2 {}", fit.r2());
+        }
+    }
+
+    #[test]
+    fn more_predictors_than_rows_is_guarded() {
+        // 4 rows, 6 predictors: Enter must cap the active set.
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..6).map(|j| ((i * 7 + j * 3) % 5) as f64).collect())
+            .collect();
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let x = Matrix::from_rows(&rows);
+        let fit = select(&x, &y, SelectionMethod::Enter, Thresholds::default());
+        assert!(fit.active.len() <= 2);
+    }
+}

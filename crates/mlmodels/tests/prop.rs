@@ -1,0 +1,150 @@
+//! Property-based tests for the modelling crate.
+
+use linalg::Matrix;
+use mlmodels::linreg::LinearFit;
+use mlmodels::nn::{Mlp, TrainConfig};
+use mlmodels::prep::{Encoding, Preprocessor};
+use mlmodels::select::{select, SelectionMethod, Thresholds};
+use mlmodels::table::Table;
+use proptest::prelude::*;
+
+/// A small random table with one numeric, one flag, one categorical
+/// predictor and a linear-ish target.
+fn arb_table() -> impl Strategy<Value = Table> {
+    (
+        prop::collection::vec(0.0f64..100.0, 12..40),
+        prop::collection::vec(any::<bool>(), 12..40),
+        0.1f64..5.0,
+    )
+        .prop_map(|(xs, flags, slope)| {
+            let n = xs.len().min(flags.len());
+            let xs = &xs[..n];
+            let flags = &flags[..n];
+            let codes: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+            let y: Vec<f64> = (0..n)
+                .map(|i| 10.0 + slope * xs[i] + if flags[i] { 3.0 } else { 0.0 })
+                .collect();
+            let mut t = Table::new();
+            t.add_numeric("x", xs.to_vec())
+                .add_flag("f", flags.to_vec())
+                .add_categorical(
+                    "c",
+                    codes,
+                    vec!["a".into(), "b".into(), "z".into()],
+                )
+                .set_target(y);
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The preprocessor maps every training row into [0,1] for every
+    /// encoding, and the target scaling round-trips.
+    #[test]
+    fn preprocessing_bounds_and_roundtrip(t in arb_table()) {
+        for enc in [Encoding::NumericCoded, Encoding::OneHot] {
+            let pp = Preprocessor::fit(&t, enc);
+            let m = pp.transform(&t);
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&m[(i, j)]));
+                }
+            }
+            for &y in t.target() {
+                prop_assert!((pp.unscale_target(pp.scale_target(y)) - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Row selection commutes with preprocessing: transforming a subset
+    /// equals the subset of the transform.
+    #[test]
+    fn transform_commutes_with_row_selection(t in arb_table()) {
+        let pp = Preprocessor::fit(&t, Encoding::OneHot);
+        let full = pp.transform(&t);
+        let rows: Vec<usize> = (0..t.n_rows()).step_by(2).collect();
+        let sub = pp.transform(&t.select_rows(&rows));
+        for (si, &fi) in rows.iter().enumerate() {
+            for j in 0..full.cols() {
+                prop_assert!((sub[(si, j)] - full[(fi, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Adding a predictor to a linear fit never increases the RSS.
+    #[test]
+    fn rss_monotone_in_predictors(
+        data in prop::collection::vec(-5.0f64..5.0, 20 * 3),
+        y in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let x = Matrix::from_vec(20, 3, data);
+        let f1 = LinearFit::fit(&x, &y, &[0]);
+        let f2 = LinearFit::fit(&x, &y, &[0, 1]);
+        let f3 = LinearFit::fit(&x, &y, &[0, 1, 2]);
+        prop_assert!(f2.rss <= f1.rss + 1e-6);
+        prop_assert!(f3.rss <= f2.rss + 1e-6);
+    }
+
+    /// Every selection method returns a usable fit whose RSS does not
+    /// exceed the intercept-only baseline.
+    #[test]
+    fn selection_never_beats_worse_than_mean(
+        data in prop::collection::vec(-5.0f64..5.0, 24 * 4),
+        y in prop::collection::vec(-10.0f64..10.0, 24),
+    ) {
+        let x = Matrix::from_vec(24, 4, data);
+        let base = LinearFit::fit(&x, &y, &[]);
+        for m in [
+            SelectionMethod::Enter,
+            SelectionMethod::Forward,
+            SelectionMethod::Backward,
+            SelectionMethod::Stepwise,
+        ] {
+            let fit = select(&x, &y, m, Thresholds::default());
+            prop_assert!(fit.rss <= base.rss + 1e-6, "{m:?}");
+            prop_assert!(fit.predict(&x).iter().all(|p| p.is_finite()));
+        }
+    }
+
+    /// Networks always produce finite predictions after training, whatever
+    /// the (bounded) data.
+    #[test]
+    fn network_training_stays_finite(
+        data in prop::collection::vec(0.0f64..1.0, 16 * 2),
+        y in prop::collection::vec(0.0f64..1.0, 16),
+        hidden in 1usize..10,
+        seed in 0u64..50,
+    ) {
+        let x = Matrix::from_vec(16, 2, data);
+        let mut net = Mlp::new(2, &[hidden], seed);
+        let rmse = net.train(&x, &y, &TrainConfig { epochs: 60, seed, ..Default::default() });
+        prop_assert!(rmse.is_finite());
+        for i in 0..x.rows() {
+            prop_assert!(net.forward(x.row(i)).is_finite());
+        }
+    }
+
+    /// Pruning inputs never un-prunes: dead inputs stay dead through
+    /// further training and more pruning.
+    #[test]
+    fn dead_inputs_stay_dead(
+        kill in prop::collection::vec(0usize..4, 1..4),
+        seed in 0u64..50,
+    ) {
+        let mut net = Mlp::new(4, &[6], seed);
+        let mut expected_dead = std::collections::HashSet::new();
+        for &k in &kill {
+            net.prune_input(k);
+            expected_dead.insert(k);
+        }
+        let x = Matrix::from_fn(20, 4, |i, j| ((i * 3 + j) % 7) as f64 / 7.0);
+        let y: Vec<f64> = (0..20).map(|i| (i % 5) as f64 / 5.0).collect();
+        net.train(&x, &y, &TrainConfig { epochs: 30, seed, ..Default::default() });
+        for i in 0..4 {
+            prop_assert_eq!(net.input_is_dead(i), expected_dead.contains(&i));
+        }
+        prop_assert_eq!(net.live_inputs(), 4 - expected_dead.len());
+    }
+}

@@ -1,0 +1,333 @@
+//! Processor families and their year-indexed component trends.
+//!
+//! §4.1 selects seven populations from the SPEC database: Xeon, Pentium 4,
+//! Pentium D, and AMD Opteron in 1-, 2-, 4-, and 8-socket SMP systems, and
+//! reports for each the record count, performance range (best/worst ratio)
+//! and variation. Those observed statistics are encoded here as generation
+//! targets; the tests in [`crate::generator`] check the synthetic data
+//! lands near them.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the seven analyzed processor-family populations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorFamily {
+    /// Intel Xeon single-socket servers.
+    Xeon,
+    /// Intel Pentium 4 desktops.
+    Pentium4,
+    /// Intel Pentium D dual-core desktops.
+    PentiumD,
+    /// AMD Opteron, 1 socket.
+    Opteron,
+    /// AMD Opteron, 2-socket SMP.
+    Opteron2,
+    /// AMD Opteron, 4-socket SMP.
+    Opteron4,
+    /// AMD Opteron, 8-socket SMP.
+    Opteron8,
+}
+
+/// §4.1's published population statistics for a family.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyStats {
+    /// Number of records in the database.
+    pub records: usize,
+    /// Best/worst performance ratio.
+    pub range: f64,
+    /// Variation (coefficient of variation) of the ratings.
+    pub variation: f64,
+}
+
+impl ProcessorFamily {
+    /// All seven families, in the paper's presentation order (Fig 7 then 8).
+    pub const ALL: [ProcessorFamily; 7] = [
+        ProcessorFamily::Xeon,
+        ProcessorFamily::Pentium4,
+        ProcessorFamily::PentiumD,
+        ProcessorFamily::Opteron,
+        ProcessorFamily::Opteron2,
+        ProcessorFamily::Opteron4,
+        ProcessorFamily::Opteron8,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessorFamily::Xeon => "Xeon",
+            ProcessorFamily::Pentium4 => "Pentium 4",
+            ProcessorFamily::PentiumD => "Pentium D",
+            ProcessorFamily::Opteron => "Opteron",
+            ProcessorFamily::Opteron2 => "Opteron 2",
+            ProcessorFamily::Opteron4 => "Opteron 4",
+            ProcessorFamily::Opteron8 => "Opteron 8",
+        }
+    }
+
+    /// Parse from the display name.
+    pub fn from_name(name: &str) -> Option<ProcessorFamily> {
+        ProcessorFamily::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Number of sockets in this population's systems.
+    pub fn chips(self) -> u32 {
+        match self {
+            ProcessorFamily::Opteron2 => 2,
+            ProcessorFamily::Opteron4 => 4,
+            ProcessorFamily::Opteron8 => 8,
+            _ => 1,
+        }
+    }
+
+    /// The §4.1 population statistics (records / range / variation).
+    pub fn paper_stats(self) -> FamilyStats {
+        match self {
+            ProcessorFamily::Xeon => FamilyStats { records: 216, range: 1.34, variation: 0.09 },
+            ProcessorFamily::Pentium4 => {
+                FamilyStats { records: 66, range: 3.72, variation: 0.34 }
+            }
+            ProcessorFamily::PentiumD => {
+                FamilyStats { records: 71, range: 1.45, variation: 0.10 }
+            }
+            ProcessorFamily::Opteron => FamilyStats { records: 138, range: 1.40, variation: 0.08 },
+            ProcessorFamily::Opteron2 => {
+                FamilyStats { records: 152, range: 1.58, variation: 0.11 }
+            }
+            ProcessorFamily::Opteron4 => {
+                FamilyStats { records: 158, range: 1.70, variation: 0.12 }
+            }
+            ProcessorFamily::Opteron8 => {
+                FamilyStats { records: 58, range: 1.68, variation: 0.13 }
+            }
+        }
+    }
+
+    /// Years the family appears in the database (inclusive). The overall
+    /// SPEC CPU2000 archive spans 1999–2006; each family covers the slice
+    /// it actually shipped in. Every family reaches 2006 so the
+    /// 2005 → 2006 chronological split exists for all of them.
+    pub fn year_span(self) -> (u32, u32) {
+        match self {
+            ProcessorFamily::Xeon => (2001, 2006),
+            ProcessorFamily::Pentium4 => (2000, 2006),
+            // "Pentium D results contain less than 2 years of data" (§4.3).
+            ProcessorFamily::PentiumD => (2005, 2006),
+            ProcessorFamily::Opteron
+            | ProcessorFamily::Opteron2
+            | ProcessorFamily::Opteron4 => (2003, 2006),
+            ProcessorFamily::Opteron8 => (2004, 2006),
+        }
+    }
+
+    /// Manufacturer string.
+    pub fn company_pool(self) -> &'static [&'static str] {
+        match self {
+            ProcessorFamily::Xeon => {
+                &["Dell", "HP", "IBM", "Fujitsu", "Supermicro", "Intel"]
+            }
+            ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD => {
+                &["Dell", "HP", "Gateway", "Fujitsu", "Intel"]
+            }
+            _ => &["AMD", "HP", "Sun", "IBM", "Supermicro", "Tyan"],
+        }
+    }
+
+    /// Clock range (MHz) available in a given year: (low, high). Trends
+    /// follow the real products: P4 1.3→3.8 GHz over 2000–2006 (hence its
+    /// huge 3.72× range), Opteron 1.4→2.8 GHz over 2003–2006, Xeon
+    /// 1.4→3.8 GHz but the population is dominated by recent mid-range
+    /// parts.
+    pub fn clock_range_mhz(self, year: u32) -> (f64, f64) {
+        let (y0, _) = self.year_span();
+        let age = (year.saturating_sub(y0)) as f64;
+        match self {
+            ProcessorFamily::Pentium4 => {
+                let lo = 1300.0 + 250.0 * age;
+                let hi = 1700.0 + 360.0 * age;
+                (lo, hi.min(3800.0))
+            }
+            ProcessorFamily::PentiumD => {
+                let lo = 2660.0 + 140.0 * age;
+                let hi = 3200.0 + 270.0 * age;
+                (lo, hi.min(3730.0))
+            }
+            ProcessorFamily::Xeon => {
+                // The SPEC Xeon population is dominated by late NetBurst
+                // parts in a narrow clock band (hence the small 1.34x range).
+                let lo = 3000.0 + 60.0 * age;
+                let hi = 3400.0 + 120.0 * age;
+                (lo.min(3400.0), hi.min(3800.0))
+            }
+            _ => {
+                // Opteron families: the published population sits in the
+                // 2.0-2.6 GHz band.
+                let lo = 2000.0 + 60.0 * age;
+                let hi = 2200.0 + 160.0 * age;
+                (lo.min(2400.0), hi.min(2600.0))
+            }
+        }
+    }
+
+    /// L2 capacity options (KB) in a given year.
+    pub fn l2_options_kb(self, year: u32) -> &'static [u32] {
+        match self {
+            ProcessorFamily::Pentium4 => {
+                if year < 2002 {
+                    &[256]
+                } else if year < 2004 {
+                    &[256, 512]
+                } else {
+                    &[512, 1024, 2048]
+                }
+            }
+            ProcessorFamily::PentiumD => &[1024, 2048],
+            ProcessorFamily::Xeon => {
+                if year < 2003 {
+                    &[512]
+                } else if year < 2005 {
+                    &[512, 1024]
+                } else {
+                    &[1024, 2048]
+                }
+            }
+            _ => &[1024], // Opteron shipped with 1 MB L2 throughout
+        }
+    }
+
+    /// Memory frequency options (MHz) in a given year.
+    pub fn mem_freq_options(self, year: u32) -> &'static [f64] {
+        if year < 2002 {
+            &[133.0, 200.0, 266.0]
+        } else if year < 2004 {
+            &[266.0, 333.0, 400.0]
+        } else if year < 2006 {
+            &[333.0, 400.0, 533.0]
+        } else {
+            &[400.0, 533.0, 667.0]
+        }
+    }
+
+    /// Front-side-bus options (MHz) in a given year.
+    pub fn bus_options(self, year: u32) -> &'static [f64] {
+        match self {
+            ProcessorFamily::Pentium4 => {
+                if year < 2003 {
+                    &[400.0, 533.0]
+                } else {
+                    &[533.0, 800.0]
+                }
+            }
+            ProcessorFamily::PentiumD => &[800.0, 1066.0],
+            ProcessorFamily::Xeon => {
+                if year < 2004 {
+                    &[400.0, 533.0]
+                } else {
+                    &[667.0, 800.0, 1066.0]
+                }
+            }
+            // HyperTransport speeds for Opteron.
+            _ => &[800.0, 1000.0],
+        }
+    }
+
+    /// Whether systems in this family may carry an L3 cache, and its size
+    /// options (KB).
+    pub fn l3_options_kb(self) -> &'static [u32] {
+        match self {
+            // L3 appears only rarely in this population; the generator's
+            // Xeon records carry none (Clementine would drop the constant
+            // columns, exactly as §3.4 describes).
+            ProcessorFamily::Xeon => &[0],
+            ProcessorFamily::Pentium4 => &[0, 0, 0, 0, 2048],
+            _ => &[0],
+        }
+    }
+
+    /// L1 cache sizes (I, D) in KB per core.
+    pub fn l1_kb(self) -> (u32, u32) {
+        match self {
+            // Trace cache on NetBurst ≈ 16 KB equivalent, 16 KB L1D.
+            ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD | ProcessorFamily::Xeon => {
+                (16, 16)
+            }
+            _ => (64, 64), // K8
+        }
+    }
+
+    /// Whether the family supports SMT (hyper-threading).
+    pub fn supports_smt(self) -> bool {
+        matches!(
+            self,
+            ProcessorFamily::Xeon | ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD
+        )
+    }
+
+    /// Cores per chip.
+    pub fn cores_per_chip(self) -> u32 {
+        match self {
+            ProcessorFamily::PentiumD => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for f in ProcessorFamily::ALL {
+            assert_eq!(ProcessorFamily::from_name(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn paper_record_counts() {
+        assert_eq!(ProcessorFamily::Xeon.paper_stats().records, 216);
+        assert_eq!(ProcessorFamily::Opteron.paper_stats().records, 138);
+        assert_eq!(ProcessorFamily::Opteron8.paper_stats().records, 58);
+    }
+
+    #[test]
+    fn all_families_reach_2006() {
+        for f in ProcessorFamily::ALL {
+            let (y0, y1) = f.year_span();
+            assert!(y0 >= 1999 && y1 == 2006, "{}: {:?}", f.name(), (y0, y1));
+            assert!(y0 < y1);
+        }
+    }
+
+    #[test]
+    fn pentium_d_has_short_history() {
+        let (y0, y1) = ProcessorFamily::PentiumD.year_span();
+        assert!(y1 - y0 <= 1, "Pentium D: less than 2 years of data");
+    }
+
+    #[test]
+    fn clock_trends_increase() {
+        for f in ProcessorFamily::ALL {
+            let (y0, y1) = f.year_span();
+            let (lo0, hi0) = f.clock_range_mhz(y0);
+            let (lo1, hi1) = f.clock_range_mhz(y1);
+            assert!(lo1 >= lo0 && hi1 >= hi0, "{} clocks should not regress", f.name());
+            assert!(lo0 < hi0);
+        }
+    }
+
+    #[test]
+    fn p4_spans_widest_clock_range() {
+        let (lo, _) = ProcessorFamily::Pentium4.clock_range_mhz(2000);
+        let (_, hi) = ProcessorFamily::Pentium4.clock_range_mhz(2006);
+        assert!(hi / lo > 2.5, "P4 clock span drives its 3.72x range");
+    }
+
+    #[test]
+    fn smp_chip_counts() {
+        assert_eq!(ProcessorFamily::Opteron.chips(), 1);
+        assert_eq!(ProcessorFamily::Opteron2.chips(), 2);
+        assert_eq!(ProcessorFamily::Opteron4.chips(), 4);
+        assert_eq!(ProcessorFamily::Opteron8.chips(), 8);
+        assert_eq!(ProcessorFamily::Xeon.chips(), 1);
+    }
+}

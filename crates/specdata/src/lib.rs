@@ -1,0 +1,32 @@
+//! `specdata` — synthetic SPEC CPU2000 announcement substrate.
+//!
+//! The paper's chronological study (§4.3) trains on the SPEC results
+//! database: published system announcements, each describing 32 system
+//! parameters plus SPECint2000/SPECfp2000 ratings. That database cannot be
+//! shipped, so this crate generates a statistically faithful synthetic
+//! counterpart:
+//!
+//! * [`schema`] — the 32-parameter announcement record.
+//! * [`family`] — the seven processor families the paper analyzes (Xeon,
+//!   Pentium 4, Pentium D, Opteron ×1/×2/×4/×8) with their year-indexed
+//!   component trends and the record-count/range/variation targets reported
+//!   in §4.1 (e.g. Opteron: 138 records, 1.40× range, 0.08 variation).
+//! * [`generator`] — samples announcements per family and year from the
+//!   trends, assigns each a latent "true performance" (dominant linear terms
+//!   in clock and memory, mild interactions, market noise), and emits
+//!   records.
+//! * [`rating`] — SPEC's arithmetic: per-application normalized ratios whose
+//!   geometric mean is the rating.
+//! * [`dataset`] — year splits and summary statistics used by the
+//!   chronological pipeline.
+
+pub mod dataset;
+pub mod family;
+pub mod generator;
+pub mod rating;
+pub mod schema;
+
+pub use dataset::AnnouncementSet;
+pub use family::ProcessorFamily;
+pub use generator::generate_family;
+pub use schema::{Announcement, DiskType};

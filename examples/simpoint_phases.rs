@@ -1,0 +1,72 @@
+//! SimPoint-style phase analysis — the §4.1 substrate on its own: split a
+//! benchmark's execution into intervals, cluster basic-block vectors, and
+//! show how few representative intervals reproduce full-run behaviour.
+//!
+//! Run with: `cargo run --release --example simpoint_phases [benchmark]`
+
+use perfpredict::cpusim::core::Core;
+use perfpredict::cpusim::simpoint::analyze;
+use perfpredict::cpusim::trace::TraceGenerator;
+use perfpredict::cpusim::{Benchmark, CpuConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".into());
+    let benchmark = Benchmark::from_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    let seed = 0xC0FFEE;
+    let n_intervals = 20;
+    let interval_len = 10_000u64;
+
+    println!(
+        "phase analysis of {}: {} intervals x {} instructions",
+        benchmark.name(),
+        n_intervals,
+        interval_len
+    );
+    let analysis = analyze(benchmark, seed, n_intervals, interval_len, 6);
+    println!("clusters found: k = {}", analysis.k);
+    println!("interval -> cluster: {:?}", analysis.assignments);
+    println!("\nselected simulation points:");
+    for p in &analysis.points {
+        println!("  interval {:>2}  weight {:.2}", p.interval, p.weight);
+    }
+
+    // Compare: cycles of the full run vs. the SimPoint-weighted estimate.
+    // Both sides exclude cold-start effects via warm-up (standard SimPoint
+    // practice): the reference warms on its first interval, each selected
+    // interval warms on the interval preceding it.
+    let cfg = CpuConfig::baseline();
+    let total = n_intervals as u64 * interval_len;
+    let mut gen = TraceGenerator::for_benchmark(benchmark, seed);
+    let mut core = Core::new(cfg);
+    let full = core.run_with_warmup(&mut gen, interval_len, total - interval_len);
+    let full_cpi = full.cycles as f64 / full.instructions as f64;
+
+    let mut weighted_cpi = 0.0;
+    for p in &analysis.points {
+        let mut gen = TraceGenerator::for_benchmark(benchmark, seed);
+        let skip = p.interval.saturating_sub(1) as u64 * interval_len;
+        for _ in 0..skip {
+            let _ = gen.next_inst();
+        }
+        let mut core = Core::new(cfg);
+        let stats = if p.interval == 0 {
+            // Warm interval 0 on a replay of itself.
+            let trace = gen.take_vec(interval_len as usize);
+            let mut src = perfpredict::cpusim::trace::ReplaySource::new(&trace, 1);
+            core.run_with_warmup(&mut src, interval_len, interval_len)
+        } else {
+            core.run_with_warmup(&mut gen, interval_len, interval_len)
+        };
+        weighted_cpi += p.weight * stats.cycles as f64 / stats.instructions as f64;
+    }
+
+    println!("\nfull-run CPI:            {full_cpi:.3}");
+    println!("SimPoint-weighted CPI:   {weighted_cpi:.3}");
+    println!(
+        "error from simulating only {} of {} intervals: {:.1}%",
+        analysis.points.len(),
+        n_intervals,
+        100.0 * (weighted_cpi - full_cpi).abs() / full_cpi
+    );
+}

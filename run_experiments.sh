@@ -1,0 +1,28 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full fidelity.
+# Outputs land in results/.
+set -u
+cd "$(dirname "$0")"
+SCALE="${1:-full}"
+run() {
+  name=$1; shift
+  echo "=== $name ($(date +%H:%M:%S)) ==="
+  cargo run --release -p bench --bin "$name" -- "$@" > "results/$name.txt" 2>&1
+  echo "--- done $name"
+}
+run repro_table1
+run repro_fig7  --scale "$SCALE"
+run repro_fig8  --scale "$SCALE"
+run repro_table2 --scale "$SCALE"
+run repro_importance --scale "$SCALE"
+run repro_fig2_6 --scale "$SCALE" --all
+run repro_table3 --scale "$SCALE"
+run repro_framework_stats --scale "$SCALE"
+run repro_per_app --scale "$SCALE"
+run repro_rolling_years --scale "$SCALE"
+run ablation_crossval --scale "$SCALE"
+run ablation_sampling --scale "$SCALE"
+run ablation_simpoint --scale "$SCALE"
+run ablation_prefetch --scale "$SCALE"
+run ablation_adaptive --scale "$SCALE"
+echo "ALL EXPERIMENTS DONE"

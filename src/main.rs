@@ -1,0 +1,212 @@
+//! `perfpredict` — command-line front end for the library.
+//!
+//! ```text
+//! perfpredict simulate  <benchmark>                 one configuration, full stats
+//! perfpredict sweep     <benchmark> [--step N]      design-space sweep summary
+//! perfpredict sampled   <benchmark> [--rate pct]    sampled-DSE experiment
+//! perfpredict chrono    <family>    [--year Y]      chronological prediction
+//! perfpredict families                              list SPEC populations
+//! perfpredict benchmarks                            list workloads
+//! ```
+
+use perfpredict::cpusim::{
+    simulate, sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
+};
+use perfpredict::dse::chrono::{run_chronological, ChronoConfig};
+use perfpredict::dse::report::{f, render_table};
+use perfpredict::dse::sampled::{run_sampled_dse, SampledConfig, SamplingStrategy};
+use perfpredict::mlmodels::ModelKind;
+use perfpredict::specdata::{AnnouncementSet, ProcessorFamily};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfpredict <command> [args]\n\
+         commands:\n\
+           simulate  <benchmark>              simulate one baseline configuration\n\
+           sweep     <benchmark> [--step N]   sweep the Table-1 space (default step 16)\n\
+           sampled   <benchmark> [--rate P]   sampled DSE at P%% (default 2)\n\
+           chrono    <family> [--year Y]      train year Y (default 2005), predict Y+1\n\
+           families                           list SPEC processor populations\n\
+           benchmarks                         list synthetic workloads"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn benchmark_arg(args: &[String]) -> Benchmark {
+    let name = args.first().unwrap_or_else(|| usage());
+    Benchmark::from_name(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}' — try `perfpredict benchmarks`");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let rest = &args[1..];
+
+    match cmd.as_str() {
+        "benchmarks" => {
+            for b in Benchmark::ALL12 {
+                let p = b.profile();
+                println!(
+                    "{:8} {} footprint {:>5} KB, {} blocks",
+                    b.name(),
+                    if p.is_fp { "fp " } else { "int" },
+                    p.data_footprint / 1024,
+                    p.code_blocks,
+                );
+            }
+        }
+        "families" => {
+            for fam in ProcessorFamily::ALL {
+                let s = fam.paper_stats();
+                let (y0, y1) = fam.year_span();
+                println!(
+                    "{:10} {:3} records, {}-{}, {} socket(s)",
+                    fam.name(),
+                    s.records,
+                    y0,
+                    y1,
+                    fam.chips()
+                );
+            }
+        }
+        "simulate" => {
+            let b = benchmark_arg(rest);
+            let r = simulate(b, CpuConfig::baseline(), &SimOptions::default());
+            let s = &r.stats;
+            println!("{} on the baseline configuration:", b.name());
+            println!("  cycles        {:>12.0}", r.cycles);
+            println!("  instructions  {:>12}", s.instructions);
+            println!("  IPC           {:>12.3}", s.ipc());
+            println!("  L1D miss rate {:>12.3}", s.l1d_misses as f64 / s.l1d_accesses.max(1) as f64);
+            println!("  L1I miss rate {:>12.3}", s.l1i_misses as f64 / s.l1i_accesses.max(1) as f64);
+            println!("  bpred miss    {:>12.3}", s.mispredict_rate());
+        }
+        "sweep" => {
+            let b = benchmark_arg(rest);
+            let step: usize =
+                parse_flag(rest, "--step").and_then(|v| v.parse().ok()).unwrap_or(16);
+            let space = DesignSpace::from_configs(
+                DesignSpace::table1().configs().iter().copied().step_by(step).collect(),
+            );
+            eprintln!("sweeping {} configurations…", space.len());
+            let results = sweep_design_space(&space, b, &SimOptions::default());
+            let summary = perfpredict::cpusim::runner::summarize_sweep(&results);
+            let mut by_cycles: Vec<_> = results.iter().collect();
+            by_cycles.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
+            println!(
+                "{}: range {:.2}x, variation {:.3}",
+                b.name(),
+                summary.range,
+                summary.variation
+            );
+            println!("fastest configurations:");
+            for r in by_cycles.iter().take(3) {
+                let c = &r.config;
+                println!(
+                    "  {:>10.0} cycles  L1I {:>2}K L1D {:>2}K L2 {:>4}K L3 {} {} w{}",
+                    r.cycles,
+                    c.l1i.size_kb,
+                    c.l1d.size_kb,
+                    c.l2.size_kb,
+                    if c.l3.is_some() { "8M" } else { " -" },
+                    c.bpred.name(),
+                    c.width,
+                );
+            }
+        }
+        "sampled" => {
+            let b = benchmark_arg(rest);
+            let rate: f64 =
+                parse_flag(rest, "--rate").and_then(|v| v.parse().ok()).unwrap_or(2.0);
+            let space = DesignSpace::from_configs(
+                DesignSpace::table1().configs().iter().copied().step_by(4).collect(),
+            );
+            let cfg = SampledConfig {
+                sampling_rates: vec![rate / 100.0],
+                strategy: SamplingStrategy::Random,
+                models: ModelKind::FIGURE2_ORDER.to_vec(),
+                sim: SimOptions::default(),
+                seed: 42,
+                estimate_errors: true,
+            };
+            eprintln!(
+                "sampled DSE on {} ({} configs at {rate}%)…",
+                b.name(),
+                space.len()
+            );
+            let run = run_sampled_dse(b, &space, &cfg, None);
+            let rows: Vec<Vec<String>> = run
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.model.abbrev().to_string(),
+                        f(p.true_error, 2),
+                        f(p.estimated.expect("estimated").max, 2),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                render_table(
+                    &["model".into(), "true err %".into(), "estimated %".into()],
+                    &rows,
+                )
+            );
+        }
+        "chrono" => {
+            let name = rest.first().unwrap_or_else(|| usage());
+            let fam = ProcessorFamily::from_name(name).unwrap_or_else(|| {
+                eprintln!("unknown family '{name}' — try `perfpredict families`");
+                std::process::exit(2);
+            });
+            let year: u32 =
+                parse_flag(rest, "--year").and_then(|v| v.parse().ok()).unwrap_or(2005);
+            // Guard: the split must exist.
+            let probe = AnnouncementSet::generate(fam, 42);
+            if probe.year(year).is_empty() || probe.year(year + 1).is_empty() {
+                eprintln!("family {} has no {}->{} split", fam.name(), year, year + 1);
+                std::process::exit(2);
+            }
+            let cfg = ChronoConfig {
+                train_year: year,
+                models: ModelKind::FIGURE7_ORDER.to_vec(),
+                data_seed: 42,
+                seed: 42,
+                estimate_errors: false,
+            };
+            let r = run_chronological(fam, &cfg);
+            println!(
+                "{}: train {} ({} records) -> predict {} ({} records)",
+                fam.name(),
+                year,
+                r.n_train,
+                year + 1,
+                r.n_test
+            );
+            let rows: Vec<Vec<String>> = r
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.model.abbrev().to_string(),
+                        f(p.error_mean, 2),
+                        f(p.error_std, 2),
+                    ]
+                })
+                .collect();
+            print!(
+                "{}",
+                render_table(&["model".into(), "err %".into(), "std".into()], &rows)
+            );
+        }
+        _ => usage(),
+    }
+}
