@@ -20,7 +20,12 @@ fn sample_table() -> Table {
     t.add_categorical(
         "bpred",
         (0..n).map(|i| (i % 4) as u32).collect(),
-        vec!["Perfect".into(), "Bimodal".into(), "2-level".into(), "Combination".into()],
+        vec![
+            "Perfect".into(),
+            "Bimodal".into(),
+            "2-level".into(),
+            "Combination".into(),
+        ],
     );
     let y: Vec<f64> = (0..n)
         .map(|i| {

@@ -3,10 +3,10 @@
 //! models amortize away (the paper: "each element in the design space can
 //! take hours to days to simulate" on real workloads).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use cpusim::core::Core;
 use cpusim::trace::TraceGenerator;
 use cpusim::{Benchmark, CpuConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 const INSTS: u64 = 20_000;

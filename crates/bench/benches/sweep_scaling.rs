@@ -3,13 +3,16 @@
 //! sampled DSE matters: full-space cost grows linearly in the number of
 //! configurations, while the surrogate needs only the sampled fraction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cpusim::{sweep_design_space, Benchmark, DesignSpace, SimOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_sweep(c: &mut Criterion) {
     let full = DesignSpace::table1();
-    let opts = SimOptions { instructions: 4_000, ..Default::default() };
+    let opts = SimOptions {
+        instructions: 4_000,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("sweep");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_secs(1));

@@ -10,7 +10,10 @@ use mlmodels::ModelKind;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("ablation: adaptive sampling (query-by-committee) vs random", scale);
+    let _run = banner(
+        "ablation: adaptive sampling (query-by-committee) vs random",
+        scale,
+    );
 
     let space = scale.space();
     let mut sim = scale.sim_options();

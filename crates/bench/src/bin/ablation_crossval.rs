@@ -18,7 +18,10 @@ use mlmodels::{train, ModelKind};
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("ablation: estimated-error statistic (mean vs max of 5 splits)", scale);
+    let _run = banner(
+        "ablation: estimated-error statistic (mean vs max of 5 splits)",
+        scale,
+    );
 
     let space = scale.space();
     let mut sim = scale.sim_options();

@@ -11,7 +11,7 @@ use dse::report::{f, render_table};
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("ablation: data prefetchers (library extension)", scale);
+    let _run = banner("ablation: data prefetchers (library extension)", scale);
 
     let insts = scale.sim_options().instructions;
     let cfg = CpuConfig::baseline();

@@ -15,7 +15,10 @@ use mlmodels::ModelKind;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("ablation: sampling strategy (random vs systematic vs stratified)", scale);
+    let _run = banner(
+        "ablation: sampling strategy (random vs systematic vs stratified)",
+        scale,
+    );
 
     let space = scale.space();
     let mut sim = scale.sim_options();

@@ -34,7 +34,10 @@ fn cpi_of_interval(b: Benchmark, seed: u64, idx: usize, len: u64, cfg: CpuConfig
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("ablation: SimPoint interval selection vs first-interval", scale);
+    let _run = banner(
+        "ablation: SimPoint interval selection vs first-interval",
+        scale,
+    );
 
     let n_intervals = 16;
     let interval_len = match scale {

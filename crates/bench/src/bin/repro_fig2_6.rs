@@ -27,8 +27,11 @@ fn run_one(b: Benchmark, space: &DesignSpace, cfg: &SampledConfig) {
         run.space_size,
         run.range
     );
-    let xs: Vec<String> =
-        cfg.sampling_rates.iter().map(|r| format!("{:.0}", r * 100.0)).collect();
+    let xs: Vec<String> = cfg
+        .sampling_rates
+        .iter()
+        .map(|r| format!("{:.0}", r * 100.0))
+        .collect();
     let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
     let names = ["NN-E", "NN-E-est", "NN-S", "NN-S-est", "LR-B", "LR-B-est"];
     let models = [ModelKind::NnE, ModelKind::NnS, ModelKind::LrB];
@@ -58,7 +61,7 @@ fn run_one(b: Benchmark, space: &DesignSpace, cfg: &SampledConfig) {
 
 fn main() {
     let (scale, seed, rest) = parse_common_args();
-    banner("Figures 2–6: sampled design-space exploration", scale);
+    let _run = banner("Figures 2–6: sampled design-space exploration", scale);
 
     let mut app: Option<String> = None;
     let mut all = false;
@@ -87,8 +90,7 @@ fn main() {
         Benchmark::PRESENTED.to_vec()
     } else {
         let name = app.unwrap_or_else(|| "applu".into());
-        vec![Benchmark::from_name(&name)
-            .unwrap_or_else(|| panic!("unknown benchmark '{name}'"))]
+        vec![Benchmark::from_name(&name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"))]
     };
     for b in benches {
         run_one(b, &space, &cfg);

@@ -10,7 +10,10 @@ use specdata::ProcessorFamily;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("Figure 7: chronological predictions (Intel families)", scale);
+    let _run = banner(
+        "Figure 7: chronological predictions (Intel families)",
+        scale,
+    );
 
     for (panel, fam) in [
         ("(a)", ProcessorFamily::Xeon),

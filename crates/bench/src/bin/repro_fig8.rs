@@ -9,7 +9,7 @@ use specdata::ProcessorFamily;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("Figure 8: chronological predictions (Opteron SMPs)", scale);
+    let _run = banner("Figure 8: chronological predictions (Opteron SMPs)", scale);
 
     for (panel, fam) in [
         ("(a)", ProcessorFamily::Opteron),

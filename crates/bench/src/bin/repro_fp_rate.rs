@@ -11,7 +11,7 @@ use specdata::{Announcement, AnnouncementSet, ProcessorFamily};
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("§4.3 extension: SPECfp2000 rate prediction", scale);
+    let _run = banner("§4.3 extension: SPECfp2000 rate prediction", scale);
 
     let mut rows = Vec::new();
     for fam in ProcessorFamily::ALL {
@@ -37,7 +37,11 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["family".into(), "LR-E int err %".into(), "LR-E fp err %".into()],
+            &[
+                "family".into(),
+                "LR-E int err %".into(),
+                "LR-E fp err %".into()
+            ],
             &rows,
         )
     );

@@ -14,7 +14,7 @@ use specdata::{AnnouncementSet, ProcessorFamily};
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("§4.1 framework statistics", scale);
+    let _run = banner("§4.1 framework statistics", scale);
     let space = scale.space();
     let mut sim = scale.sim_options();
     sim.seed = seed;
@@ -44,7 +44,10 @@ fn main() {
             f(pv, 2),
         ]);
     }
-    println!("Simulated design-space statistics ({} configs):", space.len());
+    println!(
+        "Simulated design-space statistics ({} configs):",
+        space.len()
+    );
     print!(
         "{}",
         render_table(

@@ -16,7 +16,7 @@ use specdata::ProcessorFamily;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("§4.4: predictor importance", scale);
+    let _run = banner("§4.4: predictor importance", scale);
 
     for fam in [ProcessorFamily::Opteron, ProcessorFamily::PentiumD] {
         let cfg = ChronoConfig {

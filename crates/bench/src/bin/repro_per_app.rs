@@ -17,7 +17,10 @@ use specdata::{Announcement, AnnouncementSet, ProcessorFamily};
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("§4.3 extension: per-application chronological prediction", scale);
+    let _run = banner(
+        "§4.3 extension: per-application chronological prediction",
+        scale,
+    );
 
     for fam in [ProcessorFamily::Xeon, ProcessorFamily::Opteron2] {
         let set = AnnouncementSet::generate(fam, seed);
@@ -44,7 +47,11 @@ fn main() {
         print!(
             "{}",
             render_table(
-                &["application".into(), "LR-E err %".into(), "NN-Q err %".into()],
+                &[
+                    "application".into(),
+                    "LR-E err %".into(),
+                    "NN-Q err %".into()
+                ],
                 &rows,
             )
         );

@@ -13,7 +13,10 @@ use specdata::ProcessorFamily;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("§4.3 extension: rolling-year chronological evaluation", scale);
+    let _run = banner(
+        "§4.3 extension: rolling-year chronological evaluation",
+        scale,
+    );
 
     for fam in [ProcessorFamily::Xeon, ProcessorFamily::Opteron2] {
         let (y0, y1) = fam.year_span();
@@ -28,7 +31,12 @@ fn main() {
             }
             let cfg = ChronoConfig {
                 train_year,
-                models: vec![ModelKind::LrE, ModelKind::LrS, ModelKind::NnQ, ModelKind::NnE],
+                models: vec![
+                    ModelKind::LrE,
+                    ModelKind::LrS,
+                    ModelKind::NnQ,
+                    ModelKind::NnE,
+                ],
                 data_seed: seed,
                 seed,
                 estimate_errors: false,

@@ -7,7 +7,11 @@ use cpusim::DesignSpace;
 use dse::report::render_table;
 
 fn main() {
-    println!("perfpredict reproduction — Table 1\n");
+    let (scale, _seed, _rest) = bench::parse_common_args();
+    let _run = bench::banner(
+        "Table 1: configurations used in microprocessor study",
+        scale,
+    );
     let rows: Vec<Vec<String>> = vec![
         vec!["L1 Data Cache Size".into(), "16, 32, 64 KB".into()],
         vec!["L1 Data Cache Line Size".into(), "32, 64 B".into()],

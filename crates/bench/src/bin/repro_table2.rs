@@ -13,7 +13,7 @@ use specdata::ProcessorFamily;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("Table 2: best chronological accuracy per family", scale);
+    let _run = banner("Table 2: best chronological accuracy per family", scale);
 
     let paper: &[(&str, f64, &str)] = &[
         ("Xeon", 2.1, "LR-E"),

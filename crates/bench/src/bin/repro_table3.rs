@@ -21,7 +21,7 @@ use mlmodels::ModelKind;
 
 fn main() {
     let (scale, seed, _) = parse_common_args();
-    banner("Table 3: average sampled-DSE accuracy", scale);
+    let _run = banner("Table 3: average sampled-DSE accuracy", scale);
 
     let rates = [0.01, 0.02, 0.03, 0.04, 0.05];
     let space = scale.space();

@@ -10,9 +10,16 @@
 //! * `--scale medium` — every 4th configuration (1152), 60 000 instructions.
 //! * `--scale quick`  — every 16th configuration (288), 30 000 instructions
 //!   (default for smoke runs).
+//!
+//! Every harness also understands the observability flags: `--trace` for
+//! verbose span logging on stderr and `--metrics-out <path>` for a
+//! JSON-lines run manifest. [`banner`] installs the telemetry run and
+//! returns a [`RunGuard`] that prints a one-line wall-time/counter summary
+//! when the harness finishes.
 
 use cpusim::runner::SimOptions;
 use cpusim::DesignSpace;
+use telemetry::{ConsoleLevel, TelemetryConfig};
 
 /// Experiment scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,12 +65,18 @@ impl Scale {
             Scale::Medium => 60_000,
             Scale::Quick => 30_000,
         };
-        SimOptions { instructions, ..Default::default() }
+        SimOptions {
+            instructions,
+            ..Default::default()
+        }
     }
 }
 
 /// Parse `--scale <value>` (and `--seed <n>`) from argv; defaults to
 /// `Quick` so casual runs stay fast. Returns (scale, seed, leftover args).
+/// The observability flags (`--trace`, `--metrics-out <path>`) are consumed
+/// here too so they never leak into the leftovers; [`banner`] re-reads them
+/// from argv when installing telemetry.
 pub fn parse_common_args() -> (Scale, u64, Vec<String>) {
     let mut scale = Scale::Quick;
     let mut seed = 42u64;
@@ -83,18 +96,64 @@ pub fn parse_common_args() -> (Scale, u64, Vec<String>) {
                     .parse()
                     .expect("--seed must be an integer");
             }
+            "--trace" => {}
+            "--metrics-out" => {
+                let _ = args.next().expect("--metrics-out needs a path");
+            }
             other => rest.push(other.to_string()),
         }
     }
     (scale, seed, rest)
 }
 
-/// Banner header for every harness.
-pub fn banner(title: &str, scale: Scale) {
+/// Ends a harness run: on drop, tears the telemetry run down and prints
+/// the one-line wall-time/counter summary.
+#[must_use = "bind the guard so the run summary prints when main ends"]
+pub struct RunGuard {
+    handle: Option<telemetry::RunHandle>,
+}
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            println!("\n{}", handle.finish().one_line());
+        }
+    }
+}
+
+/// Banner header for every harness. Also installs the telemetry run for
+/// the process — console verbosity from `PERFPREDICT_LOG` or `--trace`, a
+/// JSON-lines manifest when `--metrics-out <path>` is given — and returns
+/// the [`RunGuard`] that finishes it.
+pub fn banner(title: &str, scale: Scale) -> RunGuard {
     println!("perfpredict reproduction — {title}");
-    println!(
-        "scale: {scale:?} (use --scale full for the paper-fidelity run)\n"
-    );
+    println!("scale: {scale:?} (use --scale full for the paper-fidelity run)\n");
+
+    let label = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = TelemetryConfig::new(label)
+        .meta("title", title)
+        .meta("scale", format!("{scale:?}"))
+        .meta("args", args.join(" "));
+    if args.iter().any(|a| a == "--trace") {
+        cfg = cfg.console(ConsoleLevel::Debug);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
+        if let Some(path) = args.get(i + 1) {
+            cfg = cfg.jsonl(path);
+        }
+    }
+    let handle = match telemetry::install(cfg) {
+        Ok(h) => Some(h),
+        Err(e) => {
+            eprintln!("cannot open metrics file: {e}");
+            std::process::exit(2);
+        }
+    };
+    RunGuard { handle }
 }
 
 #[cfg(test)]

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* — as marker traits and
+//! as no-op derive macros — so the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations compile without registry access. Nothing
+//! in-tree drives serde's data model; machine-readable output goes
+//! through `telemetry::json` instead. Swap this crate for the real serde
+//! when a vendored copy becomes available — call sites won't change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public result
+//! types so downstream users *can* serialize them, but nothing in-tree
+//! goes through serde's data model (machine-readable output is produced
+//! by `telemetry`'s hand-rolled JSON layer instead — see
+//! `crates/telemetry`). These derives therefore expand to nothing: the
+//! attribute is accepted and type-checked away. If a future PR vendors a
+//! real serde, only this crate and `crates/compat/serde` need replacing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

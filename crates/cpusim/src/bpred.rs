@@ -272,7 +272,10 @@ mod tests {
     fn bimodal_fails_on_alternation() {
         let mut p = Bimodal::new(2048);
         let acc = accuracy(&mut p, &alternating_stream(4000));
-        assert!(acc < 0.65, "bimodal should struggle on T/N alternation: {acc}");
+        assert!(
+            acc < 0.65,
+            "bimodal should struggle on T/N alternation: {acc}"
+        );
     }
 
     #[test]

@@ -28,8 +28,14 @@ impl Cache {
     /// power-of-two sized).
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.num_sets();
-        assert!(sets.is_power_of_two(), "cache sets must be a power of two: {sets}");
-        assert!(geom.line_b.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "cache sets must be a power of two: {sets}"
+        );
+        assert!(
+            geom.line_b.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             sets: vec![Vec::with_capacity(geom.assoc as usize); sets],
             assoc: geom.assoc as usize,
@@ -124,7 +130,13 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        LatencyModel { l1: 1, l2: 12, l3: 40, memory: 200, tlb_miss: 30 }
+        LatencyModel {
+            l1: 1,
+            l2: 12,
+            l3: 40,
+            memory: 200,
+            tlb_miss: 30,
+        }
     }
 }
 
@@ -156,12 +168,7 @@ impl Hierarchy {
     /// Walk the hierarchy for `addr`, updating all levels it touches.
     /// `l2`/`l3` are shared across the I and D streams, so they are passed
     /// in by the core each access.
-    pub fn access(
-        &mut self,
-        addr: u64,
-        l2: &mut Cache,
-        l3: Option<&mut Cache>,
-    ) -> HierLevel {
+    pub fn access(&mut self, addr: u64, l2: &mut Cache, l3: Option<&mut Cache>) -> HierLevel {
         if self.l1.access(addr) {
             return HierLevel::L1;
         }
@@ -184,7 +191,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines = 256 B.
-        Cache::new(CacheGeometry { size_kb: 1, line_b: 64, assoc: 8 })
+        Cache::new(CacheGeometry {
+            size_kb: 1,
+            line_b: 64,
+            assoc: 8,
+        })
     }
 
     #[test]
@@ -201,7 +212,11 @@ mod tests {
     fn lru_evicts_oldest() {
         // 64B lines, 1KB, 2-way => 8 sets. Use addresses mapping to set 0:
         // line numbers multiples of 8.
-        let mut c = Cache::new(CacheGeometry { size_kb: 1, line_b: 64, assoc: 2 });
+        let mut c = Cache::new(CacheGeometry {
+            size_kb: 1,
+            line_b: 64,
+            assoc: 2,
+        });
         let a = |line: u64| line * 8 * 64; // distinct tags, same set
         assert!(!c.access(a(1)));
         assert!(!c.access(a(2)));
@@ -215,7 +230,11 @@ mod tests {
     fn capacity_miss_behaviour() {
         // Working set of 32 lines in a 16-line cache: every access misses
         // under LRU with a cyclic scan.
-        let mut c = Cache::new(CacheGeometry { size_kb: 1, line_b: 64, assoc: 16 });
+        let mut c = Cache::new(CacheGeometry {
+            size_kb: 1,
+            line_b: 64,
+            assoc: 16,
+        });
         for rep in 0..4 {
             for i in 0..32u64 {
                 let hit = c.access(i * 64);
@@ -242,9 +261,19 @@ mod tests {
     fn bigger_cache_never_misses_more() {
         // Inclusion-style sanity: on the same trace, a 4KB cache should miss
         // at most as often as a 1KB cache with equal lines/assoc.
-        let trace: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % (8 * 1024)).collect();
-        let mut small = Cache::new(CacheGeometry { size_kb: 1, line_b: 64, assoc: 4 });
-        let mut large = Cache::new(CacheGeometry { size_kb: 4, line_b: 64, assoc: 4 });
+        let trace: Vec<u64> = (0..5000u64)
+            .map(|i| (i * 2654435761) % (8 * 1024))
+            .collect();
+        let mut small = Cache::new(CacheGeometry {
+            size_kb: 1,
+            line_b: 64,
+            assoc: 4,
+        });
+        let mut large = Cache::new(CacheGeometry {
+            size_kb: 4,
+            line_b: 64,
+            assoc: 4,
+        });
         let mut small_miss = 0;
         let mut large_miss = 0;
         for &a in &trace {
@@ -270,12 +299,27 @@ mod tests {
 
     #[test]
     fn hierarchy_escalates_levels() {
-        let mut h = Hierarchy::new(CacheGeometry { size_kb: 1, line_b: 32, assoc: 2 });
+        let mut h = Hierarchy::new(CacheGeometry {
+            size_kb: 1,
+            line_b: 32,
+            assoc: 2,
+        });
         // Fully associative L2 (one 32-way set) so the thrash pattern below
         // evicts from L1 but stays resident in L2.
-        let mut l2 = Cache::new(CacheGeometry { size_kb: 4, line_b: 128, assoc: 32 });
-        let mut l3 = Cache::new(CacheGeometry { size_kb: 64, line_b: 256, assoc: 8 });
-        assert_eq!(h.access(0x123456, &mut l2, Some(&mut l3)), HierLevel::Memory);
+        let mut l2 = Cache::new(CacheGeometry {
+            size_kb: 4,
+            line_b: 128,
+            assoc: 32,
+        });
+        let mut l3 = Cache::new(CacheGeometry {
+            size_kb: 64,
+            line_b: 256,
+            assoc: 8,
+        });
+        assert_eq!(
+            h.access(0x123456, &mut l2, Some(&mut l3)),
+            HierLevel::Memory
+        );
         assert_eq!(h.access(0x123456, &mut l2, Some(&mut l3)), HierLevel::L1);
         // Evict from the 2-way L1 set by touching 8 conflicting lines
         // (stride = sets * line = 16 * 32 bytes).

@@ -92,11 +92,21 @@ pub struct FuConfig {
 
 impl FuConfig {
     /// The 4-wide FU mix from Table 1: 4/2/2/4/2.
-    pub const NARROW: FuConfig =
-        FuConfig { ialu: 4, imult: 2, memport: 2, fpalu: 4, fpmult: 2 };
+    pub const NARROW: FuConfig = FuConfig {
+        ialu: 4,
+        imult: 2,
+        memport: 2,
+        fpalu: 4,
+        fpmult: 2,
+    };
     /// The 8-wide FU mix from Table 1: 8/4/4/8/4.
-    pub const WIDE: FuConfig =
-        FuConfig { ialu: 8, imult: 4, memport: 4, fpalu: 8, fpmult: 4 };
+    pub const WIDE: FuConfig = FuConfig {
+        ialu: 8,
+        imult: 4,
+        memport: 4,
+        fpalu: 8,
+        fpmult: 4,
+    };
 }
 
 /// One point in the microprocessor design space — all 24 Table-1 parameters.
@@ -134,9 +144,21 @@ impl CpuConfig {
     /// predictor, 4-wide). Used by examples and as a test fixture.
     pub fn baseline() -> Self {
         CpuConfig {
-            l1d: CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 },
-            l1i: CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 },
-            l2: CacheGeometry { size_kb: 256, line_b: 128, assoc: 4 },
+            l1d: CacheGeometry {
+                size_kb: 32,
+                line_b: 64,
+                assoc: 4,
+            },
+            l1i: CacheGeometry {
+                size_kb: 32,
+                line_b: 64,
+                assoc: 4,
+            },
+            l2: CacheGeometry {
+                size_kb: 256,
+                line_b: 128,
+                assoc: 4,
+            },
             l3: None,
             bpred: BranchPredictorKind::Combination,
             width: 4,
@@ -243,8 +265,7 @@ impl DesignSpace {
                                 for &width in &[4u8, 8] {
                                     for &wrong in &[false, true] {
                                         for &(ruu, lsq) in &[(128u32, 64u32), (256, 128)] {
-                                            for &(itlb, dtlb) in &[(256u32, 512u32), (1024, 2048)]
-                                            {
+                                            for &(itlb, dtlb) in &[(256u32, 512u32), (1024, 2048)] {
                                                 configs.push(CpuConfig {
                                                     l1d: CacheGeometry {
                                                         size_kb: l1d_size,
@@ -299,9 +320,7 @@ impl DesignSpace {
         let configs = full
             .configs
             .into_iter()
-            .filter(|c| {
-                !c.issue_wrong_path && c.ruu_size == 128 && c.itlb_kb == 256
-            })
+            .filter(|c| !c.issue_wrong_path && c.ruu_size == 128 && c.itlb_kb == 256)
             .collect();
         DesignSpace { configs }
     }
@@ -365,7 +384,11 @@ mod tests {
             assert_eq!(c.lsq_size * 2, c.ruu_size);
             assert!([256, 1024].contains(&c.itlb_kb));
             assert!([512, 2048].contains(&c.dtlb_kb));
-            let expect_fu = if c.width == 4 { FuConfig::NARROW } else { FuConfig::WIDE };
+            let expect_fu = if c.width == 4 {
+                FuConfig::NARROW
+            } else {
+                FuConfig::WIDE
+            };
             assert_eq!(c.fu, expect_fu);
         }
     }
@@ -390,7 +413,11 @@ mod tests {
 
     #[test]
     fn cache_geometry_sets() {
-        let g = CacheGeometry { size_kb: 32, line_b: 64, assoc: 4 };
+        let g = CacheGeometry {
+            size_kb: 32,
+            line_b: 64,
+            assoc: 4,
+        };
         // 32KB / 64B = 512 lines / 4 ways = 128 sets.
         assert_eq!(g.num_sets(), 128);
     }

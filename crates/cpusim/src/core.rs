@@ -381,8 +381,7 @@ impl Core {
                 if !self.dtlb.access(e.addr) {
                     lat += self.latency.tlb_miss;
                 }
-                let level =
-                    self.dcache.access(e.addr, &mut self.l2, self.l3.as_mut());
+                let level = self.dcache.access(e.addr, &mut self.l2, self.l3.as_mut());
                 lat += self.latency.for_level(level);
                 // Prefetcher observes the demand stream (keyed by the
                 // issuing block, standing in for the load PC) and installs
@@ -434,7 +433,9 @@ impl Core {
         if !self.itlb.access(code_addr) {
             stall += self.latency.tlb_miss as u64;
         }
-        let level = self.icache.access(code_addr, &mut self.l2, self.l3.as_mut());
+        let level = self
+            .icache
+            .access(code_addr, &mut self.l2, self.l3.as_mut());
         if level != crate::cache::HierLevel::L1 {
             stall += self.latency.for_level(level) as u64;
         }
@@ -611,7 +612,11 @@ mod tests {
         let mut no_l3 = CpuConfig::baseline();
         no_l3.l3 = None;
         let mut with_l3 = CpuConfig::baseline();
-        with_l3.l3 = Some(crate::config::CacheGeometry { size_kb: 8192, line_b: 256, assoc: 8 });
+        with_l3.l3 = Some(crate::config::CacheGeometry {
+            size_kb: 8192,
+            line_b: 256,
+            assoc: 8,
+        });
         let s_no = run_config(Benchmark::Mcf, no_l3, 30_000, 5);
         let s_yes = run_config(Benchmark::Mcf, with_l3, 30_000, 5);
         assert!(
@@ -678,7 +683,10 @@ mod tests {
         let mut gen = TraceGenerator::for_benchmark(Benchmark::Applu, 31);
         let mut pref = Core::with_prefetcher(CpuConfig::baseline(), PrefetcherKind::Stride);
         let s_pref = pref.run(&mut gen, n);
-        assert!(pref.prefetches_issued() > 0, "prefetcher must fire on applu");
+        assert!(
+            pref.prefetches_issued() > 0,
+            "prefetcher must fire on applu"
+        );
         assert!(
             s_pref.cycles <= s_plain.cycles + s_plain.cycles / 50,
             "stride prefetch should not hurt a streaming workload: {} vs {}",

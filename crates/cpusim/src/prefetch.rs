@@ -31,8 +31,11 @@ pub enum PrefetcherKind {
 
 impl PrefetcherKind {
     /// All variants, for sweeps.
-    pub const ALL: [PrefetcherKind; 3] =
-        [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Stride];
+    pub const ALL: [PrefetcherKind; 3] = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Stride,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -65,7 +68,10 @@ impl NextLinePrefetcher {
     /// `line_b` must match the L1 line size.
     pub fn new(line_b: u32) -> Self {
         assert!(line_b.is_power_of_two());
-        NextLinePrefetcher { line_shift: line_b.trailing_zeros(), issued: 0 }
+        NextLinePrefetcher {
+            line_shift: line_b.trailing_zeros(),
+            issued: 0,
+        }
     }
 }
 
@@ -122,7 +128,12 @@ impl Prefetcher for StridePrefetcher {
     fn observe(&mut self, stream_id: u32, addr: u64, _miss: bool) -> Vec<u64> {
         let e = &mut self.table[(stream_id & self.mask) as usize];
         if e.tag != stream_id {
-            *e = RptEntry { tag: stream_id, last_addr: addr, stride: 0, confidence: 0 };
+            *e = RptEntry {
+                tag: stream_id,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
             return Vec::new();
         }
         let new_stride = addr as i64 - e.last_addr as i64;

@@ -48,7 +48,10 @@ impl Default for SimOptions {
 impl SimOptions {
     /// A fast preset for unit tests and examples.
     pub fn quick() -> Self {
-        SimOptions { instructions: 8_000, ..Default::default() }
+        SimOptions {
+            instructions: 8_000,
+            ..Default::default()
+        }
     }
 }
 
@@ -82,9 +85,18 @@ fn materialize(
     benchmark: Benchmark,
     opts: &SimOptions,
 ) -> (Vec<Vec<Inst>>, Vec<f64>, Option<SimPointAnalysis>) {
+    let _span = telemetry::span!(
+        "materialize",
+        benchmark = benchmark.name(),
+        simpoints = opts.use_simpoints,
+    );
     if !opts.use_simpoints {
         let mut gen = TraceGenerator::for_benchmark(benchmark, opts.seed);
-        return (vec![gen.take_vec(opts.instructions as usize)], vec![1.0], None);
+        return (
+            vec![gen.take_vec(opts.instructions as usize)],
+            vec![1.0],
+            None,
+        );
     }
     let analysis = analyze(
         benchmark,
@@ -134,11 +146,41 @@ fn run_windows(
         }
     }
     let stats = heaviest.expect("at least one window").1;
-    SimResult { config, benchmark, cycles: weighted_cycles, stats }
+    telemetry::counter_add("sim/windows", traces.len() as u64);
+    record_stats(&stats);
+    SimResult {
+        config,
+        benchmark,
+        cycles: weighted_cycles,
+        stats,
+    }
+}
+
+/// Roll per-run pipeline statistics into the telemetry counters, so the
+/// run manifest carries cache/branch-predictor totals for the whole sweep.
+fn record_stats(stats: &PipelineStats) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("sim/cycles", stats.cycles);
+    telemetry::counter_add("sim/instructions", stats.instructions);
+    telemetry::counter_add("cache/l1d_accesses", stats.l1d_accesses);
+    telemetry::counter_add("cache/l1d_misses", stats.l1d_misses);
+    telemetry::counter_add("cache/l1i_accesses", stats.l1i_accesses);
+    telemetry::counter_add("cache/l1i_misses", stats.l1i_misses);
+    telemetry::counter_add("cache/l2_accesses", stats.l2_accesses);
+    telemetry::counter_add("cache/l2_misses", stats.l2_misses);
+    telemetry::counter_add("cache/l3_accesses", stats.l3_accesses);
+    telemetry::counter_add("cache/l3_misses", stats.l3_misses);
+    telemetry::counter_add("tlb/dtlb_misses", stats.dtlb_misses);
+    telemetry::counter_add("tlb/itlb_misses", stats.itlb_misses);
+    telemetry::counter_add("bpred/branches", stats.branches);
+    telemetry::counter_add("bpred/mispredicts", stats.mispredicts);
 }
 
 /// Simulate a single `(benchmark, config)` pair.
 pub fn simulate(benchmark: Benchmark, config: CpuConfig, opts: &SimOptions) -> SimResult {
+    let _span = telemetry::span!("simulate", benchmark = benchmark.name());
     let (traces, weights, _) = materialize(benchmark, opts);
     run_windows(config, benchmark, &traces, &weights, opts.seed)
 }
@@ -153,11 +195,18 @@ pub fn sweep_design_space(
     benchmark: Benchmark,
     opts: &SimOptions,
 ) -> Vec<SimResult> {
+    let n_configs = space.configs().len();
+    let _span = telemetry::span!("sweep", benchmark = benchmark.name(), configs = n_configs,);
     let (traces, weights, _) = materialize(benchmark, opts);
+    let progress = telemetry::Progress::new("sweep", n_configs as u64);
     space
         .configs()
         .par_iter()
-        .map(|&config| run_windows(config, benchmark, &traces, &weights, opts.seed))
+        .map(|&config| {
+            let result = run_windows(config, benchmark, &traces, &weights, opts.seed);
+            progress.inc();
+            result
+        })
         .collect()
 }
 
@@ -196,21 +245,23 @@ mod tests {
 
     #[test]
     fn sweep_reduced_space_produces_spread() {
-        let space = DesignSpace::from_configs(
-            DesignSpace::table1_reduced().configs()[..24].to_vec(),
-        );
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..24].to_vec());
         let opts = SimOptions::quick();
         let results = sweep_design_space(&space, Benchmark::Mcf, &opts);
         assert_eq!(results.len(), 24);
         let s = summarize_sweep(&results);
-        assert!(s.range > 1.0, "configs should differ in cycles: range {}", s.range);
+        assert!(
+            s.range > 1.0,
+            "configs should differ in cycles: range {}",
+            s.range
+        );
     }
 
     #[test]
     fn sweep_order_matches_space_order() {
-        let space = DesignSpace::from_configs(
-            DesignSpace::table1_reduced().configs()[..8].to_vec(),
-        );
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..8].to_vec());
         let opts = SimOptions::quick();
         let results = sweep_design_space(&space, Benchmark::Mesa, &opts);
         for (r, c) in results.iter().zip(space.configs()) {
@@ -234,9 +285,8 @@ mod tests {
 
     #[test]
     fn summary_matches_manual_stats() {
-        let space = DesignSpace::from_configs(
-            DesignSpace::table1_reduced().configs()[..6].to_vec(),
-        );
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..6].to_vec());
         let results = sweep_design_space(&space, Benchmark::Applu, &SimOptions::quick());
         let s = summarize_sweep(&results);
         let cycles: Vec<f64> = results.iter().map(|r| r.cycles).collect();
@@ -259,7 +309,11 @@ mod tests {
 
     #[test]
     fn cpi_is_positive_and_finite() {
-        let r = simulate(Benchmark::Equake, CpuConfig::baseline(), &SimOptions::quick());
+        let r = simulate(
+            Benchmark::Equake,
+            CpuConfig::baseline(),
+            &SimOptions::quick(),
+        );
         let cpi = r.cpi();
         assert!(cpi.is_finite() && cpi > 0.0);
     }

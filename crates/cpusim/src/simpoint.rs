@@ -93,7 +93,11 @@ pub fn kmeans(
     iters: usize,
     seed: u64,
 ) -> (Vec<usize>, Vec<[f64; PROJECTED_DIMS]>, f64) {
-    assert!(k >= 1 && k <= points.len(), "kmeans: bad k={k} for {} points", points.len());
+    assert!(
+        k >= 1 && k <= points.len(),
+        "kmeans: bad k={k} for {} points",
+        points.len()
+    );
     let mut rng = seeded_rng(seed);
 
     // k-means++ initialization.
@@ -212,8 +216,7 @@ pub fn analyze(
     let mut points = Vec::with_capacity(k);
     #[allow(clippy::needless_range_loop)] // j is a cluster id, not an index walk
     for j in 0..k {
-        let members: Vec<usize> =
-            (0..n_intervals).filter(|&i| assignments[i] == j).collect();
+        let members: Vec<usize> = (0..n_intervals).filter(|&i| assignments[i] == j).collect();
         if members.is_empty() {
             continue;
         }
@@ -231,7 +234,12 @@ pub fn analyze(
         });
     }
     points.sort_by_key(|p| p.interval);
-    SimPointAnalysis { points, assignments, k, interval_len }
+    SimPointAnalysis {
+        points,
+        assignments,
+        k,
+        interval_len,
+    }
 }
 
 #[cfg(test)]

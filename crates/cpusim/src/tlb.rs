@@ -24,7 +24,10 @@ impl Tlb {
     /// fully associative when fewer than 4 entries).
     pub fn new(reach_kb: u32) -> Self {
         let entries = ((reach_kb as u64 * 1024) / PAGE_BYTES).max(1) as u32;
-        assert!(entries.is_power_of_two(), "TLB entries must be a power of two: {entries}");
+        assert!(
+            entries.is_power_of_two(),
+            "TLB entries must be a power of two: {entries}"
+        );
         let assoc = entries.min(4);
         // Reuse the cache structure: treat each page as a "line" of
         // PAGE_BYTES so the set index comes from the page number.
@@ -33,7 +36,9 @@ impl Tlb {
             line_b: PAGE_BYTES as u32,
             assoc,
         };
-        Tlb { inner: Cache::new(geom) }
+        Tlb {
+            inner: Cache::new(geom),
+        }
     }
 
     /// Translate a byte address; `true` = TLB hit.
@@ -99,7 +104,9 @@ mod tests {
 
     #[test]
     fn larger_reach_fewer_misses() {
-        let pages: Vec<u64> = (0..4000u64).map(|i| ((i * 37) % 300) * PAGE_BYTES).collect();
+        let pages: Vec<u64> = (0..4000u64)
+            .map(|i| ((i * 37) % 300) * PAGE_BYTES)
+            .collect();
         let mut small = Tlb::new(512);
         let mut large = Tlb::new(2048);
         let mut sm = 0;

@@ -107,7 +107,13 @@ impl<'a> ReplaySource<'a> {
     pub fn new(insts: &'a [Inst], wp_seed: u64) -> Self {
         let data_bound = insts.iter().map(|i| i.addr).max().unwrap_or(0).max(4096) + 64;
         let block_bound = insts.iter().map(|i| i.block).max().unwrap_or(0) + 1;
-        ReplaySource { insts, pos: 0, wp_state: wp_seed | 1, data_bound, block_bound }
+        ReplaySource {
+            insts,
+            pos: 0,
+            wp_state: wp_seed | 1,
+            data_bound,
+            block_bound,
+        }
     }
 
     /// Instructions remaining.
@@ -143,7 +149,11 @@ impl InstSource for ReplaySource<'_> {
             2 => OpClass::Load,
             _ => OpClass::Branch,
         };
-        let addr = if op == OpClass::Load { (r >> 8) % self.data_bound } else { 0 };
+        let addr = if op == OpClass::Load {
+            (r >> 8) % self.data_bound
+        } else {
+            0
+        };
         let block = ((r >> 32) as u32) % self.block_bound;
         Inst {
             op,
@@ -240,8 +250,7 @@ impl TraceGenerator {
             let zipf_n = data_lines.min(1 << 20) as usize;
             let data_zipf = Zipf::new(zipf_n, profile.data_zipf_s);
             let block_zipf = Zipf::new(profile.code_blocks as usize, profile.code_zipf_s);
-            let seg_len =
-                ((superperiod as f64) * ph.weight).round().max(1.0) as u64;
+            let seg_len = ((superperiod as f64) * ph.weight).round().max(1.0) as u64;
             acc += seg_len;
             seg_bounds.push(acc);
             phases.push(PhaseState {
@@ -255,7 +264,12 @@ impl TraceGenerator {
 
         // Static branch classes: one branch per basic block (+ the largest
         // phase offset), assigned by quota from the profile's BranchMix.
-        let max_offset = profile.phases.iter().map(|p| p.block_offset).max().unwrap_or(0);
+        let max_offset = profile
+            .phases
+            .iter()
+            .map(|p| p.block_offset)
+            .max()
+            .unwrap_or(0);
         let n_branches = (profile.code_blocks + max_offset) as usize;
         let bm = profile.branch_mix;
         let mut class_rng = seeded_rng(child_seed(seed, 0xb1a5));
@@ -263,7 +277,9 @@ impl TraceGenerator {
             .map(|_| {
                 let u: f64 = class_rng.random();
                 if u < bm.biased {
-                    BranchClass::Biased { taken_mostly: class_rng.random::<f64>() < 0.7 }
+                    BranchClass::Biased {
+                        taken_mostly: class_rng.random::<f64>() < 0.7,
+                    }
                 } else if u < bm.biased + bm.patterned {
                     BranchClass::Patterned {
                         period: 3 + (class_rng.random_range(0..4u8)),
@@ -361,8 +377,7 @@ impl TraceGenerator {
                 inst.addr = self.sample_data_addr(pi, op == OpClass::Load, &mut inst);
             }
             OpClass::Branch => {
-                let raw_id =
-                    (self.block % self.branch_class.len() as u32) as usize;
+                let raw_id = (self.block % self.branch_class.len() as u32) as usize;
                 let occ = self.branch_occ[raw_id];
                 self.branch_occ[raw_id] = occ.wrapping_add(1);
                 let taken = match self.branch_class[raw_id] {
@@ -378,9 +393,7 @@ impl TraceGenerator {
                         let body = (occ % period as u32) != (period as u32 - 1);
                         body != inverted
                     }
-                    BranchClass::Random { taken_p } => {
-                        self.rng.random::<f64>() < taken_p
-                    }
+                    BranchClass::Random { taken_p } => self.rng.random::<f64>() < taken_p,
                 };
                 inst.branch_id = raw_id as u32;
                 inst.taken = taken;
@@ -430,8 +443,7 @@ impl TraceGenerator {
     /// dependent on the previous load.
     fn sample_data_addr(&mut self, pi: usize, is_load: bool, inst: &mut Inst) -> u64 {
         let ph = &self.phases[pi];
-        let chasing =
-            is_load && self.rng.random::<f64>() < self.profile.dependent_load_frac;
+        let chasing = is_load && self.rng.random::<f64>() < self.profile.dependent_load_frac;
         if chasing {
             // Address comes from the previous load's value: serialize on it.
             inst.dep1 = self.since_last_load.clamp(1, 64);
@@ -586,7 +598,11 @@ mod tests {
         let prof = Benchmark::Swim.profile(); // mean_dep_distance = 9
         let mut g = TraceGenerator::new(prof, 11);
         let v = g.take_vec(30_000);
-        let d: Vec<f64> = v.iter().filter(|i| i.dep1 > 0).map(|i| i.dep1 as f64).collect();
+        let d: Vec<f64> = v
+            .iter()
+            .filter(|i| i.dep1 > 0)
+            .map(|i| i.dep1 as f64)
+            .collect();
         let m = mean(&d);
         assert!(m > 5.0 && m < 12.0, "mean dep distance {m}");
     }
@@ -600,7 +616,9 @@ mod tests {
         let _skip = g.take_vec(10_000);
         let second = g.take_vec(25_000);
         let set = |v: &[Inst]| {
-            v.iter().map(|i| i.block).collect::<std::collections::HashSet<_>>()
+            v.iter()
+                .map(|i| i.block)
+                .collect::<std::collections::HashSet<_>>()
         };
         let (s1, s2) = (set(&first), set(&second));
         let inter = s1.intersection(&s2).count();
@@ -631,8 +649,7 @@ mod tests {
         // gcc's code footprint is large, so most static branches execute
         // only a few times in this window; judge mixing only on branches
         // with enough dynamic executions to show both outcomes.
-        let hot: Vec<_> =
-            taken_counts.values().filter(|(t, n)| t + n >= 6).collect();
+        let hot: Vec<_> = taken_counts.values().filter(|(t, n)| t + n >= 6).collect();
         assert!(!hot.is_empty(), "expected some hot branches");
         let mixed = hot.iter().filter(|(t, n)| *t > 0 && *n > 0).count();
         assert!(

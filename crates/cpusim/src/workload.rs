@@ -142,10 +142,7 @@ impl OpMix {
     /// Panics unless the mix sums to 1 within tolerance.
     pub fn validate(&self) {
         let t = self.total();
-        assert!(
-            (t - 1.0).abs() < 1e-9,
-            "OpMix must sum to 1.0, got {t}"
-        );
+        assert!((t - 1.0).abs() < 1e-9, "OpMix must sum to 1.0, got {t}");
         for (name, v) in [
             ("ialu", self.ialu),
             ("imult", self.imult),
@@ -239,7 +236,12 @@ impl WorkloadProfile {
         const KB: u64 = 1024;
         let two_phase = |off: u32| {
             vec![
-                Phase { footprint_scale: 1.0, randomness_scale: 1.0, block_offset: 0, weight: 0.6 },
+                Phase {
+                    footprint_scale: 1.0,
+                    randomness_scale: 1.0,
+                    block_offset: 0,
+                    weight: 0.6,
+                },
                 Phase {
                     footprint_scale: 1.35,
                     randomness_scale: 1.2,
@@ -647,7 +649,10 @@ impl WorkloadProfile {
         assert!(self.mean_dep_distance >= 1.0);
         assert!(!self.phases.is_empty(), "profile needs at least one phase");
         let w: f64 = self.phases.iter().map(|p| p.weight).sum();
-        assert!((w - 1.0).abs() < 1e-9, "phase weights must sum to 1, got {w}");
+        assert!(
+            (w - 1.0).abs() < 1e-9,
+            "phase weights must sum to 1, got {w}"
+        );
         assert!(self.phase_len > 0);
     }
 }
@@ -711,7 +716,12 @@ mod tests {
 
     #[test]
     fn int_benchmarks_have_no_fp_ops() {
-        for b in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Gzip, Benchmark::Bzip2] {
+        for b in [
+            Benchmark::Gcc,
+            Benchmark::Mcf,
+            Benchmark::Gzip,
+            Benchmark::Bzip2,
+        ] {
             let p = b.profile();
             assert_eq!(p.op_mix.fpalu + p.op_mix.fpmult, 0.0, "{}", b.name());
         }

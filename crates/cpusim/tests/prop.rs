@@ -1,6 +1,6 @@
 //! Property-based tests for the simulator substrate.
 
-use cpusim::bpred::{self, BranchPredictor};
+use cpusim::bpred;
 use cpusim::cache::Cache;
 use cpusim::config::{BranchPredictorKind, CacheGeometry, CpuConfig, DesignSpace};
 use cpusim::core::Core;

@@ -15,16 +15,29 @@ fn main() {
         sampling_rates: vec![0.01, 0.03, 0.05],
         strategy: SamplingStrategy::Random,
         models: vec![ModelKind::NnE, ModelKind::NnS, ModelKind::LrB],
-        sim: SimOptions { instructions: insts, ..Default::default() },
+        sim: SimOptions {
+            instructions: insts,
+            ..Default::default()
+        },
         seed: 11,
         estimate_errors: true,
     };
     let run = run_sampled_dse(b, &space, &cfg, None);
-    println!("== {} range {:.2} var {:.3} ({} cfgs in {:.0?})", b.name(), run.range, run.variation, run.space_size, t0.elapsed());
+    println!(
+        "== {} range {:.2} var {:.3} ({} cfgs in {:.0?})",
+        b.name(),
+        run.range,
+        run.variation,
+        run.space_size,
+        t0.elapsed()
+    );
     for p in &run.points {
         println!(
             "  {} rate {:.0}% n={} true {:.2}% est(max) {:.2}%",
-            p.model.abbrev(), p.rate * 100.0, p.sample_size, p.true_error,
+            p.model.abbrev(),
+            p.rate * 100.0,
+            p.sample_size,
+            p.true_error,
             p.estimated.map(|e| e.max).unwrap_or(f64::NAN)
         );
     }

@@ -15,28 +15,54 @@ fn main() {
             sampling_rates: vec![0.02, 0.05],
             strategy: SamplingStrategy::Random,
             models: vec![ModelKind::NnE, ModelKind::NnS, ModelKind::LrB],
-            sim: SimOptions { instructions: 60_000, ..Default::default() },
+            sim: SimOptions {
+                instructions: 60_000,
+                ..Default::default()
+            },
             seed: 11,
             estimate_errors: true,
         };
         let run = run_sampled_dse(b, &sub, &cfg, None);
-        println!("== {} (range {:.2}) in {:.0?}", b.name(), run.range, t0.elapsed());
+        println!(
+            "== {} (range {:.2}) in {:.0?}",
+            b.name(),
+            run.range,
+            t0.elapsed()
+        );
         for p in &run.points {
             println!(
                 "  {} rate {:.0}% n={} true {:.2}% est(max) {:.2}%",
-                p.model.abbrev(), p.rate * 100.0, p.sample_size, p.true_error,
+                p.model.abbrev(),
+                p.rate * 100.0,
+                p.sample_size,
+                p.true_error,
                 p.estimated.map(|e| e.max).unwrap_or(f64::NAN)
             );
         }
     }
     // Chronological on three families.
-    for fam in [ProcessorFamily::Xeon, ProcessorFamily::Opteron2, ProcessorFamily::Opteron8] {
+    for fam in [
+        ProcessorFamily::Xeon,
+        ProcessorFamily::Opteron2,
+        ProcessorFamily::Opteron8,
+    ] {
         let cfg = ChronoConfig::default();
         let t0 = Instant::now();
         let r = run_chronological(fam, &cfg);
-        println!("== {} (train {} test {}) in {:.0?}", fam.name(), r.n_train, r.n_test, t0.elapsed());
+        println!(
+            "== {} (train {} test {}) in {:.0?}",
+            fam.name(),
+            r.n_train,
+            r.n_test,
+            t0.elapsed()
+        );
         for p in &r.points {
-            println!("  {} {:.2}% ± {:.2}", p.model.abbrev(), p.error_mean, p.error_std);
+            println!(
+                "  {} {:.2}% ± {:.2}",
+                p.model.abbrev(),
+                p.error_mean,
+                p.error_std
+            );
         }
     }
 }

@@ -77,12 +77,7 @@ pub struct AdaptiveResult {
 }
 
 /// Train the final model on `rows` and measure its error over the space.
-fn eval_rows(
-    full: &Table,
-    rows: &[usize],
-    model: ModelKind,
-    seed: u64,
-) -> f64 {
+fn eval_rows(full: &Table, rows: &[usize], model: ModelKind, seed: u64) -> f64 {
     let sample = full.select_rows(rows);
     let m = train(model, &sample, seed);
     let (err, _) = mape(&m.predict(full), full.target());
@@ -98,11 +93,13 @@ pub fn run_adaptive(
     cfg: &AdaptiveConfig,
     precomputed: Option<Vec<SimResult>>,
 ) -> AdaptiveResult {
-    let results =
-        precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
+    let results = precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
     let full = table_from_sweep(&results);
     let n = full.n_rows();
-    assert!(cfg.initial + cfg.batch * cfg.rounds < n, "budget exceeds the space");
+    assert!(
+        cfg.initial + cfg.batch * cfg.rounds < n,
+        "budget exceeds the space"
+    );
 
     let mut rng = seeded_rng(child_seed(cfg.seed, 1));
     let mut acquired: Vec<usize> = sample_indices(&mut rng, n, cfg.initial);
@@ -110,14 +107,26 @@ pub fn run_adaptive(
 
     for round in 0..=cfg.rounds {
         let budget = acquired.len();
-        let adaptive_error =
-            eval_rows(&full, &acquired, cfg.final_model, child_seed(cfg.seed, 50 + round as u64));
+        let adaptive_error = eval_rows(
+            &full,
+            &acquired,
+            cfg.final_model,
+            child_seed(cfg.seed, 50 + round as u64),
+        );
         // Equal-budget random baseline (fresh draw each round).
         let mut brng = seeded_rng(child_seed(cfg.seed, 90 + round as u64));
         let random_rows = sample_indices(&mut brng, n, budget);
-        let random_error =
-            eval_rows(&full, &random_rows, cfg.final_model, child_seed(cfg.seed, 70 + round as u64));
-        trajectory.push(TrajectoryPoint { budget, adaptive_error, random_error });
+        let random_error = eval_rows(
+            &full,
+            &random_rows,
+            cfg.final_model,
+            child_seed(cfg.seed, 70 + round as u64),
+        );
+        trajectory.push(TrajectoryPoint {
+            budget,
+            adaptive_error,
+            random_error,
+        });
 
         if round == cfg.rounds {
             break;
@@ -135,8 +144,7 @@ pub fn run_adaptive(
                 )
             })
             .collect();
-        let predictions: Vec<Vec<f64>> =
-            committee.par_iter().map(|m| m.predict(&full)).collect();
+        let predictions: Vec<Vec<f64>> = committee.par_iter().map(|m| m.predict(&full)).collect();
 
         let mut disagreement: Vec<(usize, f64)> = (0..n)
             .filter(|i| !acquired.contains(i))
@@ -149,7 +157,10 @@ pub fn run_adaptive(
         acquired.extend(disagreement.iter().take(cfg.batch).map(|&(i, _)| i));
     }
 
-    AdaptiveResult { benchmark, trajectory }
+    AdaptiveResult {
+        benchmark,
+        trajectory,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +170,12 @@ mod tests {
 
     fn tiny_space() -> DesignSpace {
         DesignSpace::from_configs(
-            DesignSpace::table1().configs().iter().copied().step_by(24).collect(),
+            DesignSpace::table1()
+                .configs()
+                .iter()
+                .copied()
+                .step_by(24)
+                .collect(),
         )
     }
 

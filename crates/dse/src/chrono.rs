@@ -97,27 +97,47 @@ impl ChronoResult {
 
 /// Run the chronological experiment for one family.
 pub fn run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> ChronoResult {
+    let _span = telemetry::span!(
+        "chronological",
+        family = family.name(),
+        train_year = cfg.train_year,
+        models = cfg.models.len(),
+    );
     let set = AnnouncementSet::generate(family, cfg.data_seed);
     let (train_recs, test_recs) = set.chronological_split(cfg.train_year);
     let train_table = table_from_announcements(&train_recs);
     let test_table = table_from_announcements(&test_recs);
 
+    let progress = telemetry::Progress::new("chronological", cfg.models.len() as u64);
     let points: Vec<ChronoPoint> = cfg
         .models
         .par_iter()
         .enumerate()
         .map(|(mi, &kind)| {
+            let _model_span =
+                telemetry::span!("model", model = kind.abbrev(), family = family.name());
             let seed = child_seed(cfg.seed, mi as u64);
-            let model = train(kind, &train_table, seed);
+            let model = {
+                let _fit_span = telemetry::span!("fit", model = kind.abbrev());
+                train(kind, &train_table, seed)
+            };
             let preds = model.predict(&test_table);
             let (error_mean, error_std) = mape(&preds, test_table.target());
             let estimated = if cfg.estimate_errors {
+                let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
                 Some(estimate_error(kind, &train_table, child_seed(seed, 0xE5)))
             } else {
                 None
             };
+            progress.inc();
             let imp = importance(&model, &train_table);
-            ChronoPoint { model: kind, error_mean, error_std, estimated, importance: imp }
+            ChronoPoint {
+                model: kind,
+                error_mean,
+                error_std,
+                estimated,
+                importance: imp,
+            }
         })
         .collect();
 
@@ -177,7 +197,8 @@ mod tests {
         // (paper: standardized beta 0.915).
         let lre = r.points.iter().find(|p| p.model == ModelKind::LrE).unwrap();
         assert_eq!(
-            lre.importance[0].name, "processor_speed_mhz",
+            lre.importance[0].name,
+            "processor_speed_mhz",
             "importances: {:?}",
             &lre.importance[..3.min(lre.importance.len())]
         );

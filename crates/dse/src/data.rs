@@ -37,8 +37,14 @@ pub fn table_from_sweep(results: &[SimResult]) -> Table {
     );
     t.add_categorical(
         "bpred",
-        results.iter().map(|r| r.config.bpred.code() as u32).collect(),
-        cpusim::BranchPredictorKind::ALL.iter().map(|b| b.name().to_string()).collect(),
+        results
+            .iter()
+            .map(|r| r.config.bpred.code() as u32)
+            .collect(),
+        cpusim::BranchPredictorKind::ALL
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect(),
     );
     t.set_target(results.iter().map(|r| r.cycles).collect());
     t.validate();
@@ -57,8 +63,10 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
         ("system_name", 1),
         ("processor_model", 2),
     ] {
-        let values: Vec<String> =
-            records.iter().map(|r| r.categorical_features()[get].to_string()).collect();
+        let values: Vec<String> = records
+            .iter()
+            .map(|r| r.categorical_features()[get].to_string())
+            .collect();
         let mut levels: Vec<String> = values.clone();
         levels.sort();
         levels.dedup();
@@ -72,7 +80,8 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
     // Numeric/flag parameters. Flags keep their flag type; disk type is a
     // proper categorical.
     let num = |f: fn(&Announcement) -> f64| -> Vec<f64> { records.iter().map(|r| f(r)).collect() };
-    let flag = |f: fn(&Announcement) -> bool| -> Vec<bool> { records.iter().map(|r| f(r)).collect() };
+    let flag =
+        |f: fn(&Announcement) -> bool| -> Vec<bool> { records.iter().map(|r| f(r)).collect() };
 
     t.add_numeric("bus_frequency_mhz", num(|r| r.bus_frequency_mhz));
     t.add_numeric("processor_speed_mhz", num(|r| r.processor_speed_mhz));
@@ -147,9 +156,8 @@ mod tests {
 
     #[test]
     fn sweep_table_has_24_parameters() {
-        let space = DesignSpace::from_configs(
-            DesignSpace::table1_reduced().configs()[..12].to_vec(),
-        );
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..12].to_vec());
         let res = sweep_design_space(&space, Benchmark::Applu, &SimOptions::quick());
         let t = table_from_sweep(&res);
         assert_eq!(t.n_cols(), 24, "Table 1 has 24 parameters");

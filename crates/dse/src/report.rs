@@ -48,11 +48,7 @@ pub fn pct(v: f64) -> String {
 }
 
 /// Format a figure data series: x label column plus named curves.
-pub fn render_series(
-    x_label: &str,
-    xs: &[String],
-    curves: &[(&str, Vec<f64>)],
-) -> String {
+pub fn render_series(x_label: &str, xs: &[String], curves: &[(&str, Vec<f64>)]) -> String {
     let header: Vec<String> = std::iter::once(x_label.to_string())
         .chain(curves.iter().map(|(n, _)| n.to_string()))
         .collect();
@@ -86,9 +82,21 @@ pub fn write_csv(
         }
     };
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(out, "{}", header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        out,
+        "{}",
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
-        writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
     }
     Ok(())
 }

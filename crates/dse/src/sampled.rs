@@ -120,7 +120,9 @@ fn draw_sample(
             // Evenly spaced with a random phase.
             let stride = n as f64 / k as f64;
             let phase: f64 = rand::Rng::random::<f64>(&mut rng) * stride;
-            (0..k).map(|i| ((phase + i as f64 * stride) as usize).min(n - 1)).collect()
+            (0..k)
+                .map(|i| ((phase + i as f64 * stride) as usize).min(n - 1))
+                .collect()
         }
         SamplingStrategy::StratifiedByPredictor => {
             // Group rows by predictor kind, then sample proportionally.
@@ -164,16 +166,29 @@ pub fn run_sampled_dse(
     cfg: &SampledConfig,
     precomputed: Option<Vec<SimResult>>,
 ) -> SampledRun {
-    let results =
-        precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
+    let _span = telemetry::span!(
+        "sampled_dse",
+        benchmark = benchmark.name(),
+        rates = cfg.sampling_rates.len(),
+        models = cfg.models.len(),
+    );
+    let results = precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
     assert_eq!(results.len(), space.len(), "sweep size mismatch");
     let summary = cpusim::runner::summarize_sweep(&results);
     let full = table_from_sweep(&results);
     let n = full.n_rows();
 
     let mut points = Vec::new();
+    let progress = telemetry::Progress::new(
+        "sampled_dse",
+        (cfg.sampling_rates.len() * cfg.models.len()) as u64,
+    );
     for (ri, &rate) in cfg.sampling_rates.iter().enumerate() {
-        assert!(rate > 0.0 && rate < 1.0, "sampling rate out of range: {rate}");
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "sampling rate out of range: {rate}"
+        );
+        let _rate_span = telemetry::span!("rate", rate = rate);
         let k = ((n as f64 * rate).round() as usize).max(8);
         let rows = draw_sample(
             cfg.strategy,
@@ -185,14 +200,20 @@ pub fn run_sampled_dse(
         let sample = full.select_rows(&rows);
 
         for (mi, &kind) in cfg.models.iter().enumerate() {
+            let _model_span = telemetry::span!("model", model = kind.abbrev(), rate = rate);
             let train_seed = child_seed(cfg.seed, (ri as u64) << 8 | mi as u64);
-            let model = train(kind, &sample, train_seed);
+            let model = {
+                let _train_span = telemetry::span!("fit", model = kind.abbrev(), sample_size = k);
+                train(kind, &sample, train_seed)
+            };
             let (te, te_std) = true_error(&model, &full);
             let estimated = if cfg.estimate_errors {
+                let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
                 Some(estimate_error(kind, &sample, child_seed(train_seed, 0xE5)))
             } else {
                 None
             };
+            progress.inc();
             points.push(SampledPoint {
                 model: kind,
                 rate,
@@ -230,7 +251,12 @@ mod tests {
 
     fn small_space() -> DesignSpace {
         DesignSpace::from_configs(
-            DesignSpace::table1_reduced().configs().iter().copied().step_by(2).collect(),
+            DesignSpace::table1_reduced()
+                .configs()
+                .iter()
+                .copied()
+                .step_by(2)
+                .collect(),
         )
     }
 

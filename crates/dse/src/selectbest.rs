@@ -40,7 +40,11 @@ pub fn select_method_error(run: &SampledRun, rate: f64) -> SelectOutcome {
             ea.partial_cmp(&eb).expect("NaN estimate")
         })
         .expect("nonempty");
-    SelectOutcome { rate, chosen: chosen.model, true_error: chosen.true_error }
+    SelectOutcome {
+        rate,
+        chosen: chosen.model,
+        true_error: chosen.true_error,
+    }
 }
 
 /// Select outcomes for every rate in a run.
@@ -48,7 +52,10 @@ pub fn select_method_series(run: &SampledRun) -> Vec<SelectOutcome> {
     let mut rates: Vec<f64> = run.points.iter().map(|p| p.rate).collect();
     rates.sort_by(|a, b| a.partial_cmp(b).expect("NaN rate"));
     rates.dedup();
-    rates.into_iter().map(|r| select_method_error(run, r)).collect()
+    rates
+        .into_iter()
+        .map(|r| select_method_error(run, r))
+        .collect()
 }
 
 #[cfg(test)]
@@ -65,7 +72,10 @@ mod tests {
             sample_size: 46,
             true_error,
             true_error_std: 0.5,
-            estimated: Some(ErrorEstimate { mean: est_max * 0.8, max: est_max }),
+            estimated: Some(ErrorEstimate {
+                mean: est_max * 0.8,
+                max: est_max,
+            }),
         };
         SampledRun {
             benchmark: Benchmark::Applu,

@@ -21,8 +21,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// streams each get their own statistically independent stream without the
 /// caller having to track RNG state.
 pub fn child_seed(parent: u64, stream: u64) -> u64 {
-    let mut z = parent
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = parent.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -98,7 +97,10 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u = rng.random::<f64>();
         // Binary search the CDF.
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("Zipf: NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("Zipf: NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -163,7 +165,9 @@ mod tests {
     #[test]
     fn normal_moments() {
         let mut rng = seeded_rng(7);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng, 3.0, 2.0)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 3.0, 2.0))
+            .collect();
         assert!((mean(&xs) - 3.0).abs() < 0.05);
         assert!((std_dev(&xs) - 2.0).abs() < 0.05);
     }
@@ -205,7 +209,7 @@ mod tests {
     fn permutation_is_bijection() {
         let mut rng = seeded_rng(11);
         let p = permutation(&mut rng, 200);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

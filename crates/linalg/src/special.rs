@@ -40,7 +40,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Regularized incomplete beta function `I_x(a, b)` via the continued
 /// fraction of Lentz's algorithm with the standard symmetry split.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta: shape parameters must be positive");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta: shape parameters must be positive"
+    );
     if x <= 0.0 {
         return 0.0;
     }
@@ -154,9 +157,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

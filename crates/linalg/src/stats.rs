@@ -132,7 +132,9 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
     assert!(!xs.is_empty(), "min_max: empty input");
     xs.iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)))
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 #[cfg(test)]

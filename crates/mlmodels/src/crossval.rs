@@ -33,11 +33,13 @@ pub struct ErrorEstimate {
 /// Each split trains on a random half and measures the mean percentage
 /// error on the complementary half. Splits run in parallel.
 pub fn estimate_error(kind: ModelKind, table: &Table, seed: u64) -> ErrorEstimate {
+    let _span = telemetry::span!("estimate", model = kind.abbrev());
     let n = table.n_rows();
     assert!(n >= 8, "need at least 8 rows for 50% cross-validation");
     let errors: Vec<f64> = (0..N_SPLITS)
         .into_par_iter()
         .map(|s| {
+            let _span = telemetry::span!("fold", model = kind.abbrev(), split = s);
             let split_seed = child_seed(seed, 0xCE + s as u64);
             let mut rng = seeded_rng(split_seed);
             let perm = permutation(&mut rng, n);
@@ -66,7 +68,16 @@ pub fn estimate_all(
 ) -> Vec<(ModelKind, ErrorEstimate)> {
     kinds
         .par_iter()
-        .map(|&k| (k, estimate_error(k, table, child_seed(seed, k.abbrev().len() as u64 * 31 + k as u64))))
+        .map(|&k| {
+            (
+                k,
+                estimate_error(
+                    k,
+                    table,
+                    child_seed(seed, k.abbrev().len() as u64 * 31 + k as u64),
+                ),
+            )
+        })
         .collect()
 }
 
@@ -93,6 +104,7 @@ pub fn kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> f64 {
     let errors: Vec<f64> = (0..k)
         .into_par_iter()
         .map(|fold| {
+            let _span = telemetry::span!("fold", model = kind.abbrev(), fold = fold, k = k);
             let test_rows: Vec<usize> = perm
                 .iter()
                 .enumerate()
@@ -122,7 +134,11 @@ mod tests {
     fn table(n: usize) -> Table {
         let xs: Vec<f64> = (0..n).map(|i| (i % 23) as f64).collect();
         let zs: Vec<f64> = (0..n).map(|i| ((i * 7) % 19) as f64).collect();
-        let y: Vec<f64> = xs.iter().zip(&zs).map(|(x, z)| 50.0 + 3.0 * x - z).collect();
+        let y: Vec<f64> = xs
+            .iter()
+            .zip(&zs)
+            .map(|(x, z)| 50.0 + 3.0 * x - z)
+            .collect();
         let mut t = Table::new();
         t.add_numeric("x", xs).add_numeric("z", zs).set_target(y);
         t
@@ -149,9 +165,27 @@ mod tests {
     #[test]
     fn select_best_picks_lowest_max() {
         let ests = vec![
-            (ModelKind::LrE, ErrorEstimate { mean: 2.0, max: 4.0 }),
-            (ModelKind::NnE, ErrorEstimate { mean: 2.5, max: 3.0 }),
-            (ModelKind::NnS, ErrorEstimate { mean: 1.0, max: 5.0 }),
+            (
+                ModelKind::LrE,
+                ErrorEstimate {
+                    mean: 2.0,
+                    max: 4.0,
+                },
+            ),
+            (
+                ModelKind::NnE,
+                ErrorEstimate {
+                    mean: 2.5,
+                    max: 3.0,
+                },
+            ),
+            (
+                ModelKind::NnS,
+                ErrorEstimate {
+                    mean: 1.0,
+                    max: 5.0,
+                },
+            ),
         ];
         assert_eq!(select_best(&ests), ModelKind::NnE);
     }
@@ -166,7 +200,10 @@ mod tests {
     #[test]
     fn kfold_is_deterministic() {
         let t = table(60);
-        assert_eq!(kfold_error(ModelKind::LrB, &t, 3, 1), kfold_error(ModelKind::LrB, &t, 3, 1));
+        assert_eq!(
+            kfold_error(ModelKind::LrB, &t, 3, 1),
+            kfold_error(ModelKind::LrB, &t, 3, 1)
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ pub fn importance(model: &TrainedModel, table: &Table) -> Vec<Importance> {
     let names = table.names();
     let mut out: Vec<Importance> = by_source
         .into_iter()
-        .map(|(src, score)| Importance { name: names[src].clone(), score })
+        .map(|(src, score)| Importance {
+            name: names[src].clone(),
+            score,
+        })
         .collect();
     out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN importance"));
     out
@@ -108,8 +111,9 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
         let b: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64).collect();
         let c: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64).collect();
-        let y: Vec<f64> =
-            (0..n).map(|i| 100.0 + 10.0 * a[i] + 1.0 * b[i] + 0.0 * c[i]).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| 100.0 + 10.0 * a[i] + 1.0 * b[i] + 0.0 * c[i])
+            .collect();
         let mut t = Table::new();
         t.add_numeric("dominant", a)
             .add_numeric("minor", b)
@@ -133,7 +137,10 @@ mod tests {
         let m = train(ModelKind::NnQ, &t, 2);
         let imp = importance(&m, &t);
         assert_eq!(imp[0].name, "dominant");
-        assert!((imp[0].score - 1.0).abs() < 1e-12, "top score normalized to 1");
+        assert!(
+            (imp[0].score - 1.0).abs() < 1e-12,
+            "top score normalized to 1"
+        );
         let irr = imp.iter().find(|i| i.name == "irrelevant").unwrap();
         assert!(irr.score < 0.5, "irrelevant score {}", irr.score);
     }

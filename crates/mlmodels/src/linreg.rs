@@ -41,7 +41,11 @@ impl LinearFit {
     pub fn fit(x: &Matrix, y: &[f64], active: &[usize]) -> LinearFit {
         let n = x.rows();
         assert_eq!(n, y.len(), "design/target length mismatch");
-        assert!(n > active.len() + 1, "not enough observations for {} predictors", active.len());
+        assert!(
+            n > active.len() + 1,
+            "not enough observations for {} predictors",
+            active.len()
+        );
 
         let sub = x.select_cols(active);
         // Design with leading intercept column.
@@ -133,7 +137,10 @@ impl LinearFit {
     /// Partial-F statistic for adding this (larger) model over a smaller
     /// nested one: `F = ((RSS_small - RSS_big)/q) / (RSS_big/(n-p-1))`.
     pub fn partial_f_vs(&self, smaller: &LinearFit) -> f64 {
-        assert!(self.active.len() > smaller.active.len(), "models must be nested");
+        assert!(
+            self.active.len() > smaller.active.len(),
+            "models must be nested"
+        );
         let q = (self.active.len() - smaller.active.len()) as f64;
         let df = (self.n - self.active.len() - 1).max(1) as f64;
         let denom = (self.rss / df).max(1e-30);
@@ -183,8 +190,16 @@ mod tests {
             *v += if i % 2 == 0 { 0.01 } else { -0.01 };
         }
         let fit = LinearFit::fit(&x, &y, &[0, 1, 2]);
-        assert!(fit.p_values[0] < 0.001, "x0 significant: {}", fit.p_values[0]);
-        assert!(fit.p_values[1] < 0.001, "x1 significant: {}", fit.p_values[1]);
+        assert!(
+            fit.p_values[0] < 0.001,
+            "x0 significant: {}",
+            fit.p_values[0]
+        );
+        assert!(
+            fit.p_values[1] < 0.001,
+            "x1 significant: {}",
+            fit.p_values[1]
+        );
         assert!(fit.p_values[2] > 0.05, "x2 irrelevant: {}", fit.p_values[2]);
     }
 

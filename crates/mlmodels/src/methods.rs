@@ -94,8 +94,11 @@ fn fit_candidate(
 fn finalize(proto: &Mlp, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Mlp {
     (0..3u64)
         .map(|r| {
-            let mut net =
-                Mlp::new(x.cols(), &proto.hidden_sizes(), child_seed(cfg.seed, 0xF1 + r));
+            let mut net = Mlp::new(
+                x.cols(),
+                &proto.hidden_sizes(),
+                child_seed(cfg.seed, 0xF1 + r),
+            );
             for i in 0..x.cols() {
                 if proto.input_is_dead(i) {
                     net.prune_input(i);
@@ -114,6 +117,7 @@ fn finalize(proto: &Mlp, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Mlp {
 /// Train a network on `(x, y01)` — the design matrix and 0–1 scaled
 /// targets — with the chosen method. Deterministic per seed.
 pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
+    let _span = telemetry::span!("train_nn", method = method.abbrev());
     let n = x.rows();
     let p = x.cols();
     assert!(n >= 4, "need at least 4 rows to train a network");
@@ -141,14 +145,22 @@ pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
         }
         NnMethod::Quick => {
             let hidden = p.div_ceil(2).clamp(3, 20);
-            let cfg = TrainConfig { epochs: 400, seed, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 400,
+                seed,
+                ..Default::default()
+            };
             let mut net = Mlp::new(p, &[hidden], seed);
             net.train(x, y01, &cfg);
             net
         }
         NnMethod::Dynamic => {
             // Grow the hidden layer while validation improves.
-            let cfg = TrainConfig { epochs: 300, seed, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 300,
+                seed,
+                ..Default::default()
+            };
             let cap = (2 * p).clamp(4, 24);
             let mut best: Option<(Mlp, f64)> = None;
             let mut h = 2;
@@ -157,6 +169,12 @@ pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 c.seed = child_seed(seed, h as u64);
                 let (net, val) = fit_candidate(&[h], &xt, &yt, &xv, &yv, &c);
                 let improved = best.as_ref().is_none_or(|(_, bv)| val < bv * 0.98);
+                telemetry::point!(
+                    "grow/hidden",
+                    hidden = h,
+                    val_rmse = val,
+                    improved = improved
+                );
                 let done = !improved;
                 if best.as_ref().is_none_or(|(_, bv)| val < *bv) {
                     best = Some((net, val));
@@ -167,7 +185,16 @@ pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 h += 2;
             }
             let (proto, _) = best.expect("at least one candidate");
-            finalize(&proto, x, y01, &TrainConfig { epochs: 400, seed, ..Default::default() })
+            finalize(
+                &proto,
+                x,
+                y01,
+                &TrainConfig {
+                    epochs: 400,
+                    seed,
+                    ..Default::default()
+                },
+            )
         }
         NnMethod::Multiple => {
             // Parallel multi-start across topologies.
@@ -175,7 +202,11 @@ pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 vec![vec![2], vec![4], vec![8], vec![12], vec![16]];
             topologies.push(vec![p.clamp(2, 24)]);
             topologies.push(vec![8, 4]);
-            let cfg = TrainConfig { epochs: 350, seed, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 350,
+                seed,
+                ..Default::default()
+            };
             let best = topologies
                 .par_iter()
                 .enumerate()
@@ -187,7 +218,16 @@ pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one topology");
-            finalize(&best.0, x, y01, &TrainConfig { epochs: 400, seed, ..Default::default() })
+            finalize(
+                &best.0,
+                x,
+                y01,
+                &TrainConfig {
+                    epochs: 400,
+                    seed,
+                    ..Default::default()
+                },
+            )
         }
         NnMethod::Prune => prune_driver(x, y01, &xt, &yt, &xv, &yv, seed, false),
         NnMethod::ExhaustivePrune => prune_driver(x, y01, &xt, &yt, &xv, &yv, seed, true),
@@ -217,7 +257,11 @@ fn prune_driver(
         .into_par_iter()
         .map(|r| {
             let rseed = restart_seed(seed, r as u64);
-            let cfg = TrainConfig { epochs, seed: rseed, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs,
+                seed: rseed,
+                ..Default::default()
+            };
             // Exhaustive mode earns its name: several dense starting
             // topologies compete before pruning begins.
             let starts: Vec<usize> = if exhaustive {
@@ -234,8 +278,11 @@ fn prune_driver(
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one start");
-            let retrain_cfg =
-                TrainConfig { epochs: retrain_epochs, seed: child_seed(rseed, 1), ..Default::default() };
+            let retrain_cfg = TrainConfig {
+                epochs: retrain_epochs,
+                seed: child_seed(rseed, 1),
+                ..Default::default()
+            };
 
             // Greedy structural pruning: hidden units first, then inputs.
             loop {
@@ -243,8 +290,9 @@ fn prune_driver(
                 // Candidate hidden units, weakest first.
                 if net.hidden_sizes()[0] > 2 {
                     let h = net.hidden_sizes()[0];
-                    let mut units: Vec<(usize, f64)> =
-                        (0..h).map(|u| (u, net.hidden_unit_magnitude(0, u))).collect();
+                    let mut units: Vec<(usize, f64)> = (0..h)
+                        .map(|u| (u, net.hidden_unit_magnitude(0, u)))
+                        .collect();
                     units.sort_by(|a, b| a.1.total_cmp(&b.1));
                     let lookahead = if exhaustive { 3.min(units.len()) } else { 1 };
                     let mut best_trial: Option<(Mlp, f64)> = None;
@@ -259,9 +307,14 @@ fn prune_driver(
                     }
                     if let Some((trial, val)) = best_trial {
                         if val <= best_val * tolerance {
+                            telemetry::point!("prune/hidden", decision = "accept", val_rmse = val,);
+                            telemetry::counter_add("prune/accepted", 1);
                             net = trial;
                             best_val = best_val.min(val);
                             accepted = true;
+                        } else {
+                            telemetry::point!("prune/hidden", decision = "reject", val_rmse = val,);
+                            telemetry::counter_add("prune/rejected", 1);
                         }
                     }
                 }
@@ -269,18 +322,31 @@ fn prune_driver(
                 if net.live_inputs() > 2 {
                     let weakest = (0..p)
                         .filter(|&i| !net.input_is_dead(i))
-                        .min_by(|&a, &b| {
-                            net.input_magnitude(a).total_cmp(&net.input_magnitude(b))
-                        })
+                        .min_by(|&a, &b| net.input_magnitude(a).total_cmp(&net.input_magnitude(b)))
                         .expect("live inputs remain");
                     let mut trial = net.clone();
                     trial.prune_input(weakest);
                     trial.train(xt, yt, &retrain_cfg);
                     let val = trial.rmse(xv, yv);
                     if val <= best_val * tolerance {
+                        telemetry::point!(
+                            "prune/input",
+                            decision = "accept",
+                            input = weakest,
+                            val_rmse = val,
+                        );
+                        telemetry::counter_add("prune/accepted", 1);
                         net = trial;
                         best_val = best_val.min(val);
                         accepted = true;
+                    } else {
+                        telemetry::point!(
+                            "prune/input",
+                            decision = "reject",
+                            input = weakest,
+                            val_rmse = val,
+                        );
+                        telemetry::counter_add("prune/rejected", 1);
                     }
                 }
                 if !accepted {
@@ -298,7 +364,16 @@ fn prune_driver(
         .min_by(|a, b| a.rmse(xv, yv).total_cmp(&b.rmse(xv, yv)))
         .expect("at least one restart");
     let final_epochs = if exhaustive { 600 } else { 400 };
-    finalize(&proto, x, y01, &TrainConfig { epochs: final_epochs, seed, ..Default::default() })
+    finalize(
+        &proto,
+        x,
+        y01,
+        &TrainConfig {
+            epochs: final_epochs,
+            seed,
+            ..Default::default()
+        },
+    )
 }
 
 #[cfg(test)]

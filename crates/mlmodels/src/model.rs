@@ -93,7 +93,10 @@ impl ModelKind {
 
     /// Whether this is a linear-regression model.
     pub fn is_linear(self) -> bool {
-        matches!(self, ModelKind::LrE | ModelKind::LrS | ModelKind::LrB | ModelKind::LrF)
+        matches!(
+            self,
+            ModelKind::LrE | ModelKind::LrS | ModelKind::LrB | ModelKind::LrF
+        )
     }
 
     fn selection(self) -> Option<SelectionMethod> {
@@ -142,12 +145,15 @@ pub struct TrainedModel {
 impl TrainedModel {
     /// Predict the target for every row of a raw table.
     pub fn predict(&self, table: &Table) -> Vec<f64> {
+        let _span = telemetry::span!("predict", model = self.kind.abbrev(), rows = table.n_rows());
         let x = self.prep.transform(table);
         match &self.estimator {
             Estimator::Linear(fit) => fit.predict(&x),
-            Estimator::Network(net) => {
-                net.predict(&x).into_iter().map(|p| self.prep.unscale_target(p)).collect()
-            }
+            Estimator::Network(net) => net
+                .predict(&x)
+                .into_iter()
+                .map(|p| self.prep.unscale_target(p))
+                .collect(),
         }
     }
 
@@ -170,19 +176,29 @@ impl TrainedModel {
 
 /// Train `kind` on a table. Deterministic per `(kind, table, seed)`.
 pub fn train(kind: ModelKind, table: &Table, seed: u64) -> TrainedModel {
+    let _span = telemetry::span!("train", model = kind.abbrev(), rows = table.n_rows());
+    telemetry::counter_add("train/fits", 1);
     table.validate();
     if let Some(selection) = kind.selection() {
         let prep = Preprocessor::fit(table, Encoding::NumericCoded);
         let x = prep.transform(table);
         let fit = select(&x, table.target(), selection, Thresholds::default());
-        TrainedModel { kind, prep, estimator: Estimator::Linear(fit) }
+        TrainedModel {
+            kind,
+            prep,
+            estimator: Estimator::Linear(fit),
+        }
     } else {
         let method = kind.nn_method().expect("model is LR or NN");
         let prep = Preprocessor::fit(table, Encoding::OneHot);
         let x = prep.transform(table);
         let y01 = prep.scaled_targets(table);
         let net = train_nn(method, &x, &y01, seed);
-        TrainedModel { kind, prep, estimator: Estimator::Network(net) }
+        TrainedModel {
+            kind,
+            prep,
+            estimator: Estimator::Network(net),
+        }
     }
 }
 
@@ -193,7 +209,9 @@ mod tests {
     /// Mildly nonlinear synthetic system table.
     fn table(n: usize) -> Table {
         let speeds: Vec<f64> = (0..n).map(|i| 1000.0 + (i % 20) as f64 * 100.0).collect();
-        let mems: Vec<f64> = (0..n).map(|i| [266.0, 333.0, 400.0, 533.0][i % 4]).collect();
+        let mems: Vec<f64> = (0..n)
+            .map(|i| [266.0, 333.0, 400.0, 533.0][i % 4])
+            .collect();
         let smt: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
         let y: Vec<f64> = (0..n)
             .map(|i| {

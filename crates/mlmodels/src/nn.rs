@@ -106,7 +106,10 @@ impl Mlp {
     /// Build a network: `inputs -> hidden[0] -> … -> hidden[k] -> 1`.
     pub fn new(inputs: usize, hidden: &[usize], seed: u64) -> Self {
         assert!(inputs > 0, "Mlp needs at least one input");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden layers must be non-empty");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden layers must be non-empty"
+        );
         let mut rng = seeded_rng(seed);
         let mut sizes = vec![inputs];
         sizes.extend_from_slice(hidden);
@@ -115,7 +118,10 @@ impl Mlp {
             .windows(2)
             .map(|w| Layer::new(w[0], w[1], &mut rng))
             .collect();
-        Mlp { layers, dead_inputs: vec![false; inputs] }
+        Mlp {
+            layers,
+            dead_inputs: vec![false; inputs],
+        }
     }
 
     /// Number of inputs.
@@ -125,12 +131,18 @@ impl Mlp {
 
     /// Hidden-layer sizes.
     pub fn hidden_sizes(&self) -> Vec<usize> {
-        self.layers[..self.layers.len() - 1].iter().map(|l| l.outputs()).collect()
+        self.layers[..self.layers.len() - 1]
+            .iter()
+            .map(|l| l.outputs())
+            .collect()
     }
 
     /// Total trainable weights (for complexity reporting).
     pub fn n_weights(&self) -> usize {
-        self.layers.iter().map(|l| l.outputs() * (l.inputs() + 1)).sum()
+        self.layers
+            .iter()
+            .map(|l| l.outputs() * (l.inputs() + 1))
+            .sum()
     }
 
     /// Whether an input has been pruned.
@@ -244,8 +256,8 @@ impl Mlp {
                         if li == 0 && self.dead_inputs[j] {
                             continue;
                         }
-                        let g = (d * prev_act[j] + cfg.weight_decay * layer.w[o][j])
-                            .clamp(-8.0, 8.0);
+                        let g =
+                            (d * prev_act[j] + cfg.weight_decay * layer.w[o][j]).clamp(-8.0, 8.0);
                         layer.vw[o][j] = cfg.momentum * layer.vw[o][j] - lr * g;
                         layer.w[o][j] += layer.vw[o][j];
                     }
@@ -263,7 +275,12 @@ impl Mlp {
         let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = self
             .layers
             .iter()
-            .map(|l| (vec![vec![0.0; l.inputs()]; l.outputs()], vec![0.0; l.outputs()]))
+            .map(|l| {
+                (
+                    vec![vec![0.0; l.inputs()]; l.outputs()],
+                    vec![0.0; l.outputs()],
+                )
+            })
             .collect();
         let n = x.rows() as f64;
         #[allow(clippy::needless_range_loop)] // row indexes both x and y
@@ -326,14 +343,32 @@ impl Mlp {
         let mut steps: Vec<(Vec<Vec<f64>>, Vec<f64>)> = self
             .layers
             .iter()
-            .map(|l| (vec![vec![init; l.inputs()]; l.outputs()], vec![init; l.outputs()]))
+            .map(|l| {
+                (
+                    vec![vec![init; l.inputs()]; l.outputs()],
+                    vec![init; l.outputs()],
+                )
+            })
             .collect();
         let mut prev: Vec<(Vec<Vec<f64>>, Vec<f64>)> = self
             .layers
             .iter()
-            .map(|l| (vec![vec![0.0; l.inputs()]; l.outputs()], vec![0.0; l.outputs()]))
+            .map(|l| {
+                (
+                    vec![vec![0.0; l.inputs()]; l.outputs()],
+                    vec![0.0; l.outputs()],
+                )
+            })
             .collect();
-        for _ in 0..cfg.epochs {
+        let trace = telemetry::enabled();
+        for e in 0..cfg.epochs {
+            if trace {
+                telemetry::counter_add("train/epochs", 1);
+                if e % 100 == 99 {
+                    let loss = self.rmse(x, y);
+                    telemetry::point!("train/epoch_loss", epoch = e + 1, loss = loss);
+                }
+            }
             let mut grads = self.batch_gradient(x, y);
             // Weight decay folds into the gradient.
             if cfg.weight_decay > 0.0 {
@@ -396,22 +431,37 @@ impl Mlp {
             return self.rmse(x, y);
         }
         let hidden = self.hidden_sizes();
-        let dead: Vec<usize> =
-            (0..self.inputs()).filter(|&i| self.dead_inputs[i]).collect();
+        let dead: Vec<usize> = (0..self.inputs())
+            .filter(|&i| self.dead_inputs[i])
+            .collect();
         let mut lr0 = cfg.learning_rate;
+        let trace = telemetry::enabled();
         for attempt in 0..4 {
             let mut rng = seeded_rng(linalg::dist::child_seed(cfg.seed, attempt));
             let mut lr = lr0;
-            for _ in 0..cfg.epochs {
+            for e in 0..cfg.epochs {
                 self.epoch(x, y, lr, cfg, &mut rng);
                 lr *= cfg.lr_decay;
+                if trace {
+                    telemetry::counter_add("train/epochs", 1);
+                    // Loss curve sampled every 100 epochs — each RMSE is a
+                    // full forward pass, too costly to log per epoch.
+                    if e % 100 == 99 {
+                        let loss = self.rmse(x, y);
+                        telemetry::point!("train/epoch_loss", epoch = e + 1, loss = loss);
+                    }
+                }
             }
             let rmse = self.rmse(x, y);
             if rmse.is_finite() {
                 return rmse;
             }
             // Diverged: rebuild and slow down.
-            *self = Mlp::new(x.cols(), &hidden, linalg::dist::child_seed(cfg.seed, 100 + attempt));
+            *self = Mlp::new(
+                x.cols(),
+                &hidden,
+                linalg::dist::child_seed(cfg.seed, 100 + attempt),
+            );
             for &d in &dead {
                 self.prune_input(d);
             }
@@ -423,12 +473,19 @@ impl Mlp {
     /// Magnitude of a hidden unit: sum of |outgoing weights| (pruning
     /// heuristic — a unit nothing listens to contributes nothing).
     pub fn hidden_unit_magnitude(&self, layer: usize, unit: usize) -> f64 {
-        self.layers[layer + 1].w.iter().map(|row| row[unit].abs()).sum()
+        self.layers[layer + 1]
+            .w
+            .iter()
+            .map(|row| row[unit].abs())
+            .sum()
     }
 
     /// Remove one hidden unit (its row in `layer`, its column downstream).
     pub fn prune_hidden_unit(&mut self, layer: usize, unit: usize) {
-        assert!(layer < self.layers.len() - 1, "cannot prune the output layer");
+        assert!(
+            layer < self.layers.len() - 1,
+            "cannot prune the output layer"
+        );
         assert!(self.layers[layer].outputs() > 1, "layer would become empty");
         let l = &mut self.layers[layer];
         l.w.remove(unit);
@@ -497,12 +554,20 @@ mod tests {
 
     #[test]
     fn learns_linear_function() {
-        let rows: Vec<Vec<f64>> =
-            (0..60).map(|i| vec![(i % 10) as f64 / 10.0, (i % 7) as f64 / 7.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 10) as f64 / 10.0, (i % 7) as f64 / 7.0])
+            .collect();
         let y: Vec<f64> = rows.iter().map(|r| 0.2 + 0.5 * r[0] - 0.3 * r[1]).collect();
         let x = Matrix::from_rows(&rows);
         let mut net = Mlp::new(2, &[4], 7);
-        let rmse = net.train(&x, &y, &TrainConfig { epochs: 300, ..Default::default() });
+        let rmse = net.train(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
         assert!(rmse < 0.02, "rmse {rmse}");
     }
 
@@ -511,7 +576,10 @@ mod tests {
         let (x, y) = nonlinear_data(120);
         let mut small = Mlp::new(2, &[1], 3);
         let mut big = Mlp::new(2, &[12], 3);
-        let cfg = TrainConfig { epochs: 400, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 400,
+            ..Default::default()
+        };
         let rmse_small = small.train(&x, &y, &cfg);
         let rmse_big = big.train(&x, &y, &cfg);
         assert!(
@@ -524,7 +592,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let (x, y) = nonlinear_data(60);
-        let cfg = TrainConfig { epochs: 50, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 50,
+            ..Default::default()
+        };
         let mut a = Mlp::new(2, &[6], 9);
         let mut b = Mlp::new(2, &[6], 9);
         let ra = a.train(&x, &y, &cfg);
@@ -547,7 +618,14 @@ mod tests {
     fn pruned_input_is_ignored() {
         let (x, y) = nonlinear_data(60);
         let mut net = Mlp::new(2, &[6], 13);
-        net.train(&x, &y, &TrainConfig { epochs: 100, ..Default::default() });
+        net.train(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
         net.prune_input(1);
         let p1 = net.forward(&[0.4, 0.0]);
         let p2 = net.forward(&[0.4, 0.9]);
@@ -561,7 +639,14 @@ mod tests {
         let (x, y) = nonlinear_data(60);
         let mut net = Mlp::new(2, &[6], 17);
         net.prune_input(0);
-        net.train(&x, &y, &TrainConfig { epochs: 50, ..Default::default() });
+        net.train(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         let p1 = net.forward(&[0.0, 0.5]);
         let p2 = net.forward(&[1.0, 0.5]);
         assert_eq!(p1, p2);
@@ -578,7 +663,14 @@ mod tests {
     fn two_hidden_layers_work() {
         let (x, y) = nonlinear_data(100);
         let mut net = Mlp::new(2, &[8, 4], 5);
-        let rmse = net.train(&x, &y, &TrainConfig { epochs: 300, ..Default::default() });
+        let rmse = net.train(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
         assert!(rmse < 0.08, "deep rmse {rmse}");
         assert_eq!(net.hidden_sizes(), vec![8, 4]);
     }

@@ -260,7 +260,11 @@ impl Preprocessor {
 
     /// Scaled target vector for a table.
     pub fn scaled_targets(&self, table: &Table) -> Vec<f64> {
-        table.target().iter().map(|&y| self.scale_target(y)).collect()
+        table
+            .target()
+            .iter()
+            .map(|&y| self.scale_target(y))
+            .collect()
     }
 }
 
@@ -302,7 +306,13 @@ mod tests {
         let names: Vec<_> = pp.features().iter().map(|f| f.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["speed", "smt", "bpred=perfect", "bpred=bimodal", "bpred=gshare"]
+            vec![
+                "speed",
+                "smt",
+                "bpred=perfect",
+                "bpred=bimodal",
+                "bpred=gshare"
+            ]
         );
         let m = pp.transform(&sample());
         // Row 0 has bpred=perfect.

@@ -38,7 +38,10 @@ pub struct Thresholds {
 
 impl Default for Thresholds {
     fn default() -> Self {
-        Thresholds { p_enter: 0.05, p_remove: 0.10 }
+        Thresholds {
+            p_enter: 0.05,
+            p_remove: 0.10,
+        }
     }
 }
 
@@ -49,12 +52,7 @@ fn step_p_value(big: &LinearFit, small: &LinearFit) -> f64 {
 }
 
 /// Run the selection strategy; returns the final fit.
-pub fn select(
-    x: &Matrix,
-    y: &[f64],
-    method: SelectionMethod,
-    thresholds: Thresholds,
-) -> LinearFit {
+pub fn select(x: &Matrix, y: &[f64], method: SelectionMethod, thresholds: Thresholds) -> LinearFit {
     let p = x.cols();
     // Guard against under-determined fits: never use more predictors than
     // observations allow.
@@ -174,12 +172,16 @@ mod tests {
     fn data() -> (Matrix, Vec<f64>) {
         let mut rng_state = 12345u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
-        let rows: Vec<Vec<f64>> =
-            (0..80).map(|_| (0..6).map(|_| next()).collect()).collect();
-        let y = rows.iter().map(|r| 5.0 + 3.0 * r[0] - 2.0 * r[1] + 0.05 * next()).collect();
+        let rows: Vec<Vec<f64>> = (0..80).map(|_| (0..6).map(|_| next()).collect()).collect();
+        let y = rows
+            .iter()
+            .map(|r| 5.0 + 3.0 * r[0] - 2.0 * r[1] + 0.05 * next())
+            .collect();
         (Matrix::from_rows(&rows), y)
     }
 
@@ -196,7 +198,11 @@ mod tests {
         let fit = select(&x, &y, SelectionMethod::Forward, Thresholds::default());
         assert!(fit.active.contains(&0), "active: {:?}", fit.active);
         assert!(fit.active.contains(&1), "active: {:?}", fit.active);
-        assert!(fit.active.len() <= 4, "should not admit much noise: {:?}", fit.active);
+        assert!(
+            fit.active.len() <= 4,
+            "should not admit much noise: {:?}",
+            fit.active
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub struct Table {
 impl Table {
     /// Empty table.
     pub fn new() -> Self {
-        Table { names: Vec::new(), columns: Vec::new(), target: Vec::new() }
+        Table {
+            names: Vec::new(),
+            columns: Vec::new(),
+            target: Vec::new(),
+        }
     }
 
     /// Add a numeric predictor column.
@@ -157,7 +161,10 @@ impl Table {
 
     /// Column by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.names.iter().position(|n| n == name).map(|i| &self.columns[i])
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.columns[i])
     }
 
     /// Target values.
@@ -239,8 +246,11 @@ mod tests {
         assert!(Column::Numeric(vec![2.0, 2.0, 2.0]).is_constant());
         assert!(!Column::Numeric(vec![2.0, 2.1]).is_constant());
         assert!(Column::Flag(vec![true, true]).is_constant());
-        assert!(Column::Categorical { codes: vec![1, 1], levels: vec!["a".into(), "b".into()] }
-            .is_constant());
+        assert!(Column::Categorical {
+            codes: vec![1, 1],
+            levels: vec!["a".into(), "b".into()]
+        }
+        .is_constant());
     }
 
     #[test]

@@ -27,11 +27,7 @@ fn arb_table() -> impl Strategy<Value = Table> {
             let mut t = Table::new();
             t.add_numeric("x", xs.to_vec())
                 .add_flag("f", flags.to_vec())
-                .add_categorical(
-                    "c",
-                    codes,
-                    vec!["a".into(), "b".into(), "z".into()],
-                )
+                .add_categorical("c", codes, vec!["a".into(), "b".into(), "z".into()])
                 .set_target(y);
             t
         })

@@ -4,7 +4,14 @@ fn main() {
         let set = AnnouncementSet::generate(f, 42);
         let (n, r, v) = set.summary();
         let p = f.paper_stats();
-        println!("{:10} n {:3} range {:.2} (paper {:.2}) variation {:.3} (paper {:.2})",
-                 f.name(), n, r, p.range, v, p.variation);
+        println!(
+            "{:10} n {:3} range {:.2} (paper {:.2}) variation {:.3} (paper {:.2})",
+            f.name(),
+            n,
+            r,
+            p.range,
+            v,
+            p.variation
+        );
     }
 }

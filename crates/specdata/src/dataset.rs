@@ -18,7 +18,10 @@ pub struct AnnouncementSet {
 impl AnnouncementSet {
     /// Generate the family's full synthetic history.
     pub fn generate(family: ProcessorFamily, seed: u64) -> Self {
-        AnnouncementSet { family, records: generate_family(family, seed) }
+        AnnouncementSet {
+            family,
+            records: generate_family(family, seed),
+        }
     }
 
     /// Number of records.

@@ -66,7 +66,10 @@ impl ProcessorFamily {
 
     /// Parse from the display name.
     pub fn from_name(name: &str) -> Option<ProcessorFamily> {
-        ProcessorFamily::ALL.iter().copied().find(|f| f.name() == name)
+        ProcessorFamily::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == name)
     }
 
     /// Number of sockets in this population's systems.
@@ -82,23 +85,41 @@ impl ProcessorFamily {
     /// The §4.1 population statistics (records / range / variation).
     pub fn paper_stats(self) -> FamilyStats {
         match self {
-            ProcessorFamily::Xeon => FamilyStats { records: 216, range: 1.34, variation: 0.09 },
-            ProcessorFamily::Pentium4 => {
-                FamilyStats { records: 66, range: 3.72, variation: 0.34 }
-            }
-            ProcessorFamily::PentiumD => {
-                FamilyStats { records: 71, range: 1.45, variation: 0.10 }
-            }
-            ProcessorFamily::Opteron => FamilyStats { records: 138, range: 1.40, variation: 0.08 },
-            ProcessorFamily::Opteron2 => {
-                FamilyStats { records: 152, range: 1.58, variation: 0.11 }
-            }
-            ProcessorFamily::Opteron4 => {
-                FamilyStats { records: 158, range: 1.70, variation: 0.12 }
-            }
-            ProcessorFamily::Opteron8 => {
-                FamilyStats { records: 58, range: 1.68, variation: 0.13 }
-            }
+            ProcessorFamily::Xeon => FamilyStats {
+                records: 216,
+                range: 1.34,
+                variation: 0.09,
+            },
+            ProcessorFamily::Pentium4 => FamilyStats {
+                records: 66,
+                range: 3.72,
+                variation: 0.34,
+            },
+            ProcessorFamily::PentiumD => FamilyStats {
+                records: 71,
+                range: 1.45,
+                variation: 0.10,
+            },
+            ProcessorFamily::Opteron => FamilyStats {
+                records: 138,
+                range: 1.40,
+                variation: 0.08,
+            },
+            ProcessorFamily::Opteron2 => FamilyStats {
+                records: 152,
+                range: 1.58,
+                variation: 0.11,
+            },
+            ProcessorFamily::Opteron4 => FamilyStats {
+                records: 158,
+                range: 1.70,
+                variation: 0.12,
+            },
+            ProcessorFamily::Opteron8 => FamilyStats {
+                records: 58,
+                range: 1.68,
+                variation: 0.13,
+            },
         }
     }
 
@@ -112,9 +133,9 @@ impl ProcessorFamily {
             ProcessorFamily::Pentium4 => (2000, 2006),
             // "Pentium D results contain less than 2 years of data" (§4.3).
             ProcessorFamily::PentiumD => (2005, 2006),
-            ProcessorFamily::Opteron
-            | ProcessorFamily::Opteron2
-            | ProcessorFamily::Opteron4 => (2003, 2006),
+            ProcessorFamily::Opteron | ProcessorFamily::Opteron2 | ProcessorFamily::Opteron4 => {
+                (2003, 2006)
+            }
             ProcessorFamily::Opteron8 => (2004, 2006),
         }
     }
@@ -122,9 +143,7 @@ impl ProcessorFamily {
     /// Manufacturer string.
     pub fn company_pool(self) -> &'static [&'static str] {
         match self {
-            ProcessorFamily::Xeon => {
-                &["Dell", "HP", "IBM", "Fujitsu", "Supermicro", "Intel"]
-            }
+            ProcessorFamily::Xeon => &["Dell", "HP", "IBM", "Fujitsu", "Supermicro", "Intel"],
             ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD => {
                 &["Dell", "HP", "Gateway", "Fujitsu", "Intel"]
             }
@@ -310,7 +329,11 @@ mod tests {
             let (y0, y1) = f.year_span();
             let (lo0, hi0) = f.clock_range_mhz(y0);
             let (lo1, hi1) = f.clock_range_mhz(y1);
-            assert!(lo1 >= lo0 && hi1 >= hi0, "{} clocks should not regress", f.name());
+            assert!(
+                lo1 >= lo0 && hi1 >= hi0,
+                "{} clocks should not regress",
+                f.name()
+            );
             assert!(lo0 < hi0);
         }
     }

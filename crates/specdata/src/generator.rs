@@ -51,7 +51,8 @@ fn latent_rate(a: &Announcement, family: ProcessorFamily) -> f64 {
     // scaling exponent improves with memory/interconnect speed, so big
     // SMPs spread more — *predictably* — than single-socket systems
     // (paper §4.1: range grows 1.40 -> 1.58 -> 1.70 with socket count).
-    let scale_exp = 0.82 + 0.06 * (a.memory_freq_mhz / 400.0).ln() + 0.02 * (a.bus_frequency_mhz / 800.0).ln();
+    let scale_exp =
+        0.82 + 0.06 * (a.memory_freq_mhz / 400.0).ln() + 0.02 * (a.bus_frequency_mhz / 800.0).ln();
     let chips_f = (a.total_chips as f64).powf(scale_exp.clamp(0.6, 1.0));
     base * clock * mem_f * l2_f * l3_f * mem_sz * bus_f * smt_f * chips_f
 }
@@ -131,7 +132,11 @@ fn generate_record(
 
     let disk_gb = *pick(
         rng,
-        if year < 2003 { &[18.0, 36.0, 73.0] } else { &[73.0, 146.0, 300.0] as &[f64] },
+        if year < 2003 {
+            &[18.0, 36.0, 73.0]
+        } else {
+            &[73.0, 146.0, 300.0] as &[f64]
+        },
     );
     let disk_rpm = *pick(rng, &[7200.0, 10000.0, 15000.0]);
     let disk_type = *pick(
@@ -147,7 +152,7 @@ fn generate_record(
     let model_step = (processor_speed_mhz / 100.0).round() as u32;
     // Real SPEC model fields carry stepping/revision suffixes, making them
     // high-cardinality name fields that Clementine omits for regression.
-    let stepping = ["A", "B", "C", "E", "F"][rng.random_range(0..5)];
+    let stepping = ["A", "B", "C", "E", "F"][rng.random_range(0..5usize)];
     let processor_model = match family {
         ProcessorFamily::Xeon => format!("Xeon {model_step}00 {stepping}-step"),
         ProcessorFamily::Pentium4 => format!("Pentium 4 {model_step}00 {stepping}-step"),
@@ -160,7 +165,7 @@ fn generate_record(
     let system_name = format!(
         "{} {}{}",
         company,
-        ["ProServ", "PowerStation", "Workline", "Summit"][rng.random_range(0..4)],
+        ["ProServ", "PowerStation", "Workline", "Summit"][rng.random_range(0..4usize)],
         rng.random_range(100..999)
     );
 
@@ -209,17 +214,16 @@ fn generate_record(
     let jitter = scaling_jitter(a.total_chips, rng);
     let rate = latent_rate(&a, family) * noise * jitter * year_adjust;
     a.specint_rate = (rate * 10.0).round() / 10.0; // SPEC publishes one decimal
-    // Per-application ratios respond to the system's traits (normalized
-    // component deviations), so individual applications are predictable
-    // from the 32 parameters — the paper's omitted per-app result.
+                                                   // Per-application ratios respond to the system's traits (normalized
+                                                   // component deviations), so individual applications are predictable
+                                                   // from the 32 parameters — the paper's omitted per-app result.
     let traits = [
         (a.processor_speed_mhz - 2500.0) / 1000.0,
         (a.memory_freq_mhz - 400.0) / 200.0,
         ((a.l2_kb as f64 / 1024.0).ln() / std::f64::consts::LN_2).clamp(-2.0, 2.0),
         (a.total_chips as f64).ln(),
     ];
-    a.app_ratios =
-        synthesize_structured_ratios(a.specint_rate.max(0.1), 12, &traits, 0.025, rng);
+    a.app_ratios = synthesize_structured_ratios(a.specint_rate.max(0.1), 12, &traits, 0.025, rng);
     // SPECfp leans harder on memory bandwidth and lighter on clock: scale
     // the int rate by a memory-tilted factor plus its own noise.
     let fp_tilt = (1.0 + 0.08 * (a.memory_freq_mhz / 400.0).ln())
@@ -230,8 +234,7 @@ fn generate_record(
         };
     let fp_noise = sample_normal(rng, 0.0, noise_sigma(family)).exp();
     a.specfp_rate = ((a.specint_rate * fp_tilt * fp_noise) * 10.0).round() / 10.0;
-    a.fp_app_ratios =
-        synthesize_structured_ratios(a.specfp_rate.max(0.1), 14, &traits, 0.030, rng);
+    a.fp_app_ratios = synthesize_structured_ratios(a.specfp_rate.max(0.1), 14, &traits, 0.030, rng);
     a
 }
 
@@ -244,7 +247,10 @@ pub fn generate_family(family: ProcessorFamily, seed: u64) -> Vec<Announcement> 
     let stats = family.paper_stats();
     let (y0, y1) = family.year_span();
     let weights = year_weights(y0, y1);
-    let mut rng = seeded_rng(child_seed(seed, family.chips() as u64 * 131 + family.name().len() as u64));
+    let mut rng = seeded_rng(child_seed(
+        seed,
+        family.chips() as u64 * 131 + family.name().len() as u64,
+    ));
 
     // Integer record counts per year that sum exactly to the target, with
     // every active year represented at least once.
@@ -337,8 +343,10 @@ mod tests {
     #[test]
     fn p4_range_is_widest_among_singles() {
         let range = |f: ProcessorFamily| {
-            let rates: Vec<f64> =
-                generate_family(f, 42).iter().map(|r| r.specint_rate).collect();
+            let rates: Vec<f64> = generate_family(f, 42)
+                .iter()
+                .map(|r| r.specint_rate)
+                .collect();
             range_ratio(&rates)
         };
         let p4 = range(ProcessorFamily::Pentium4);
@@ -384,8 +392,14 @@ mod tests {
         let r1 = mean_rate(ProcessorFamily::Opteron);
         let r2 = mean_rate(ProcessorFamily::Opteron2);
         let r8 = mean_rate(ProcessorFamily::Opteron8);
-        assert!(r2 > r1 * 1.5, "2-socket rate should approach 2x: {r1} -> {r2}");
-        assert!(r8 > r2 * 2.5, "8-socket rate should be much larger: {r2} -> {r8}");
+        assert!(
+            r2 > r1 * 1.5,
+            "2-socket rate should approach 2x: {r1} -> {r2}"
+        );
+        assert!(
+            r8 > r2 * 2.5,
+            "8-socket rate should be much larger: {r2} -> {r8}"
+        );
     }
 
     #[test]
@@ -414,8 +428,10 @@ mod tests {
         // than the NetBurst families.
         let mean_ratio = |f: ProcessorFamily| {
             let recs = generate_family(f, 42);
-            let v: Vec<f64> =
-                recs.iter().map(|r| r.specfp_rate / r.specint_rate).collect();
+            let v: Vec<f64> = recs
+                .iter()
+                .map(|r| r.specfp_rate / r.specint_rate)
+                .collect();
             linalg::stats::mean(&v)
         };
         assert!(mean_ratio(ProcessorFamily::Opteron) > mean_ratio(ProcessorFamily::Xeon));

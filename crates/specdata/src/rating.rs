@@ -32,8 +32,9 @@ pub fn rating_from_ratios(ratios: &[f64]) -> f64 {
 pub fn synthesize_ratios(rate: f64, n_apps: usize, spread: f64, rng: &mut impl Rng) -> Vec<f64> {
     assert!(rate > 0.0, "rate must be positive");
     assert!(n_apps > 0);
-    let mut logs: Vec<f64> =
-        (0..n_apps).map(|_| linalg::dist::sample_normal(rng, 0.0, spread)).collect();
+    let mut logs: Vec<f64> = (0..n_apps)
+        .map(|_| linalg::dist::sample_normal(rng, 0.0, spread))
+        .collect();
     let mean_log: f64 = logs.iter().sum::<f64>() / n_apps as f64;
     for l in &mut logs {
         *l -= mean_log;
@@ -74,8 +75,11 @@ pub fn synthesize_structured_ratios(
     };
     let mut logs: Vec<f64> = (0..n_apps)
         .map(|a| {
-            let structured: f64 =
-                traits.iter().enumerate().map(|(t, &x)| coef(a, t) * x).sum();
+            let structured: f64 = traits
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| coef(a, t) * x)
+                .sum();
             structured + linalg::dist::sample_normal(rng, 0.0, noise)
         })
         .collect();

@@ -289,7 +289,10 @@ mod tests {
     #[test]
     fn numeric_features_align_with_names() {
         let a = sample();
-        assert_eq!(a.numeric_features().len(), Announcement::numeric_feature_names().len());
+        assert_eq!(
+            a.numeric_features().len(),
+            Announcement::numeric_feature_names().len()
+        );
     }
 
     #[test]
@@ -314,8 +317,10 @@ mod tests {
 
     #[test]
     fn disk_type_codes_distinct() {
-        let codes: std::collections::HashSet<_> =
-            [DiskType::Scsi, DiskType::Sata, DiskType::Ide].iter().map(|d| d.code()).collect();
+        let codes: std::collections::HashSet<_> = [DiskType::Scsi, DiskType::Sata, DiskType::Ide]
+            .iter()
+            .map(|d| d.code())
+            .collect();
         assert_eq!(codes.len(), 3);
     }
 }

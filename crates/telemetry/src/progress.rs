@@ -1,0 +1,88 @@
+//! Coarse progress reporting for long-running stages.
+//!
+//! [`Progress`] counts completed work units with an atomic and emits a
+//! `progress` event only when the run crosses a new decile (or every
+//! tick when the total is tiny), so a 10k-config sweep produces ~10
+//! events instead of 10k. Safe to tick from parallel workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sink::Event;
+
+/// A thread-safe work-unit counter with throttled reporting.
+#[derive(Debug)]
+pub struct Progress {
+    name: String,
+    total: u64,
+    done: AtomicU64,
+    last_bucket: AtomicU64,
+}
+
+impl Progress {
+    /// A progress tracker for `total` units of the stage `name`.
+    pub fn new(name: impl Into<String>, total: u64) -> Self {
+        Progress {
+            name: name.into(),
+            total,
+            done: AtomicU64::new(0),
+            last_bucket: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed unit.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Record `n` completed units.
+    pub fn add(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if !crate::enabled() {
+            return;
+        }
+        // Report at most once per decile; for totals under 10 every tick
+        // is its own decile so nothing is lost.
+        let bucket = done
+            .saturating_mul(10)
+            .checked_div(self.total)
+            .unwrap_or(done);
+        if self.last_bucket.fetch_max(bucket, Ordering::Relaxed) < bucket {
+            crate::emit(&Event::Progress {
+                name: &self.name,
+                done: done.min(self.total.max(done)),
+                total: self.total,
+            });
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total units expected (0 when unknown).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ticks_across_threads() {
+        let p = Progress::new("stage", 4_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        p.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 4_000);
+        assert_eq!(p.total(), 4_000);
+    }
+}

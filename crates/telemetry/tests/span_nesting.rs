@@ -1,0 +1,103 @@
+//! Span hierarchy and timing invariants, checked through the JSONL sink.
+//!
+//! Own integration-test binary: installs the process-global run.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use telemetry::json::{parse, Value};
+
+fn manifest_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "telemetry_span_nesting_{}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn spans_nest_and_timings_are_monotonic() {
+    let path = manifest_path();
+    let run = telemetry::install(
+        telemetry::TelemetryConfig::new("span_nesting")
+            .jsonl(&path)
+            .meta("purpose", "test"),
+    )
+    .expect("install");
+
+    {
+        let outer = telemetry::span!("outer", stage = "demo");
+        std::thread::sleep(Duration::from_millis(5));
+        {
+            let _inner = telemetry::span!("inner", step = 1);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _inner = telemetry::span!("inner", step = 2);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(outer.elapsed() >= Duration::from_millis(10));
+    }
+    let summary = run.finish();
+    assert!(summary.wall >= Duration::from_millis(11));
+
+    let text = std::fs::read_to_string(&path).expect("manifest written");
+    let spans: Vec<Value> = text
+        .lines()
+        .map(|l| parse(l).expect("every line parses"))
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("span"))
+        .collect();
+
+    // Children close before the parent, so they appear first, with the
+    // parent path as a prefix and depth 2 under the root's depth 1.
+    let paths: Vec<&str> = spans
+        .iter()
+        .map(|s| s.get("path").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(paths, ["outer/inner", "outer/inner", "outer"]);
+    for s in &spans {
+        let depth = s.get("depth").unwrap().as_u64().unwrap();
+        let slashes = s
+            .get("path")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .matches('/')
+            .count() as u64;
+        assert_eq!(depth, slashes + 1, "depth matches path components");
+    }
+
+    // Timing: each inner span is at least its sleep; the outer span covers
+    // both inners; event timestamps never run backwards.
+    let wall = |i: usize| spans[i].get("wall_ms").unwrap().as_f64().unwrap();
+    assert!(wall(0) >= 5.0, "first inner slept 5ms: {}", wall(0));
+    assert!(wall(1) >= 1.0, "second inner slept 1ms: {}", wall(1));
+    assert!(
+        wall(2) >= wall(0) + wall(1),
+        "outer ({}) must cover both inners ({} + {})",
+        wall(2),
+        wall(0),
+        wall(1)
+    );
+    let t: Vec<f64> = spans
+        .iter()
+        .map(|s| s.get("t_ms").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(t.windows(2).all(|w| w[0] <= w[1]), "t_ms monotonic: {t:?}");
+
+    // Attributes round-trip, numeric values as numbers.
+    assert_eq!(
+        spans[0].get("attrs").unwrap().get("step").unwrap().as_u64(),
+        Some(1)
+    );
+    assert_eq!(
+        spans[2]
+            .get("attrs")
+            .unwrap()
+            .get("stage")
+            .unwrap()
+            .as_str(),
+        Some("demo")
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -12,9 +12,11 @@ use perfpredict::mlmodels::ModelKind;
 use perfpredict::specdata::ProcessorFamily;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "Opteron 2".into());
-    let family = ProcessorFamily::from_name(&name)
-        .unwrap_or_else(|| panic!("unknown family '{name}'"));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Opteron 2".into());
+    let family =
+        ProcessorFamily::from_name(&name).unwrap_or_else(|| panic!("unknown family '{name}'"));
 
     let cfg = ChronoConfig {
         train_year: 2005,
@@ -23,9 +25,15 @@ fn main() {
         seed: 7,
         estimate_errors: true,
     };
-    println!("chronological prediction for {} (2005 -> 2006)…\n", family.name());
+    println!(
+        "chronological prediction for {} (2005 -> 2006)…\n",
+        family.name()
+    );
     let r = run_chronological(family, &cfg);
-    println!("training records (2005): {}   test records (2006): {}\n", r.n_train, r.n_test);
+    println!(
+        "training records (2005): {}   test records (2006): {}\n",
+        r.n_train, r.n_test
+    );
 
     let rows: Vec<Vec<String>> = r
         .points
@@ -53,7 +61,10 @@ fn main() {
     );
 
     let (best, err) = r.best();
-    println!("\nbest model: {} at {err:.2}% mean error", best.model.abbrev());
+    println!(
+        "\nbest model: {} at {err:.2}% mean error",
+        best.model.abbrev()
+    );
     println!("\nwhat the best model looks at (§4.4-style importance):");
     for imp in best.importance.iter().take(5) {
         println!("  {:<22} {:.3}", imp.name, imp.score);

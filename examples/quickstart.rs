@@ -12,14 +12,15 @@ fn main() {
     // 1. A design space: every 8th point of the paper's 4608-point lattice
     //    keeps this example fast (576 configurations).
     let full = DesignSpace::table1();
-    let space =
-        DesignSpace::from_configs(full.configs().iter().copied().step_by(8).collect());
+    let space = DesignSpace::from_configs(full.configs().iter().copied().step_by(8).collect());
     println!("design space: {} configurations", space.len());
 
     // 2. Simulate a 5% sample — the only simulator time we spend.
-    let sim = SimOptions { instructions: 30_000, ..Default::default() };
-    let sample_configs: Vec<_> =
-        space.configs().iter().copied().step_by(20).collect(); // 5% systematic sample
+    let sim = SimOptions {
+        instructions: 30_000,
+        ..Default::default()
+    };
+    let sample_configs: Vec<_> = space.configs().iter().copied().step_by(20).collect(); // 5% systematic sample
     let sample_space = DesignSpace::from_configs(sample_configs);
     println!("simulating {} sampled configurations…", sample_space.len());
     let sample_results = sweep_design_space(&sample_space, Benchmark::Gcc, &sim);
@@ -34,8 +35,7 @@ fn main() {
     let full_table = table_from_sweep(&all_results);
     let predictions = model.predict(&full_table);
 
-    let mut ranked: Vec<(usize, f64)> =
-        predictions.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = predictions.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     println!("\npredicted fastest configurations for gcc:");

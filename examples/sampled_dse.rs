@@ -18,14 +18,16 @@ fn main() {
     // Every 4th configuration keeps the example minutes-fast while
     // preserving the lattice structure.
     let full = DesignSpace::table1();
-    let space =
-        DesignSpace::from_configs(full.configs().iter().copied().step_by(4).collect());
+    let space = DesignSpace::from_configs(full.configs().iter().copied().step_by(4).collect());
 
     let cfg = SampledConfig {
         sampling_rates: vec![0.02, 0.05],
         strategy: SamplingStrategy::Random,
         models: ModelKind::ALL.to_vec(),
-        sim: SimOptions { instructions: 40_000, ..Default::default() },
+        sim: SimOptions {
+            instructions: 40_000,
+            ..Default::default()
+        },
         seed: 7,
         estimate_errors: true,
     };
@@ -53,12 +55,18 @@ fn main() {
             ]);
         }
         rows.sort_by(|a, b| {
-            a[1].parse::<f64>().unwrap().total_cmp(&b[1].parse::<f64>().unwrap())
+            a[1].parse::<f64>()
+                .unwrap()
+                .total_cmp(&b[1].parse::<f64>().unwrap())
         });
         print!(
             "{}",
             render_table(
-                &["model".into(), "true err %".into(), "estimated (max) %".into()],
+                &[
+                    "model".into(),
+                    "true err %".into(),
+                    "estimated (max) %".into()
+                ],
                 &rows,
             )
         );

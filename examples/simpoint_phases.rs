@@ -11,8 +11,8 @@ use perfpredict::cpusim::{Benchmark, CpuConfig};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".into());
-    let benchmark = Benchmark::from_name(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
+    let benchmark =
+        Benchmark::from_name(&name).unwrap_or_else(|| panic!("unknown benchmark '{name}'"));
     let seed = 0xC0FFEE;
     let n_intervals = 20;
     let interval_len = 10_000u64;

@@ -20,6 +20,7 @@
 //! | [`specdata`] | synthetic SPEC CPU2000 announcement database (32 parameters, seven processor families, 1999-2006 trends) |
 //! | [`mlmodels`] | the nine Clementine models + NN-S: OLS with Enter/Forward/Backward/Stepwise selection, MLP networks with six training methods, 5×50 % cross-validation |
 //! | [`dse`] | the two workflows: sampled design-space exploration and chronological prediction, plus the *select* method |
+//! | [`telemetry`] | observability: hierarchical timed spans, rayon-safe counters, progress, console + JSON-lines run manifests |
 //!
 //! ## Quickstart
 //!
@@ -52,3 +53,4 @@ pub use dse;
 pub use linalg;
 pub use mlmodels;
 pub use specdata;
+pub use telemetry;

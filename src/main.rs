@@ -8,6 +8,16 @@
 //! perfpredict families                              list SPEC populations
 //! perfpredict benchmarks                            list workloads
 //! ```
+//!
+//! Observability flags (any command):
+//!
+//! * `--trace` — verbose span/point logging to stderr (same as
+//!   `PERFPREDICT_LOG=debug`).
+//! * `--metrics-out <path>` — write a JSON-lines run manifest with per-stage
+//!   wall times, per-model train/predict timings, and cache/bpred counter
+//!   rollups.
+//! * `--json` — machine-readable result on stdout (simulate / sampled /
+//!   chrono).
 
 use perfpredict::cpusim::{
     simulate, sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
@@ -17,6 +27,7 @@ use perfpredict::dse::report::{f, render_table};
 use perfpredict::dse::sampled::{run_sampled_dse, SampledConfig, SamplingStrategy};
 use perfpredict::mlmodels::ModelKind;
 use perfpredict::specdata::{AnnouncementSet, ProcessorFamily};
+use perfpredict::telemetry::{self, json::JsonObject, ConsoleLevel, TelemetryConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -27,13 +38,38 @@ fn usage() -> ! {
            sampled   <benchmark> [--rate P]   sampled DSE at P%% (default 2)\n\
            chrono    <family> [--year Y]      train year Y (default 2005), predict Y+1\n\
            families                           list SPEC processor populations\n\
-           benchmarks                         list synthetic workloads"
+           benchmarks                         list synthetic workloads\n\
+         options (any command):\n\
+           --trace                            verbose telemetry on stderr\n\
+           --metrics-out <path>               write a JSON-lines run manifest\n\
+           --json                             machine-readable result on stdout"
     );
     std::process::exit(2);
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Remove a boolean flag from `args`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Remove a `--flag value` pair from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
 }
 
 fn benchmark_arg(args: &[String]) -> Benchmark {
@@ -45,9 +81,37 @@ fn benchmark_arg(args: &[String]) -> Benchmark {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage() };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = take_switch(&mut args, "--trace");
+    let json_out = take_switch(&mut args, "--json");
+    let metrics_out = take_value(&mut args, "--metrics-out");
+    let Some(cmd) = args.first().cloned() else {
+        usage()
+    };
     let rest = &args[1..];
+
+    // Install telemetry only when some sink will consume it, so plain CLI
+    // runs keep the disabled fast path.
+    let mut tcfg = TelemetryConfig::new(cmd.as_str())
+        .meta("command", args.join(" "))
+        .meta("seed", 42);
+    if trace {
+        tcfg = tcfg.console(ConsoleLevel::Debug);
+    }
+    if let Some(path) = &metrics_out {
+        tcfg = tcfg.jsonl(path);
+    }
+    let run_handle = if tcfg.console > ConsoleLevel::Off || tcfg.jsonl_path.is_some() {
+        match telemetry::install(tcfg) {
+            Ok(h) => Some(h),
+            Err(e) => {
+                eprintln!("cannot open metrics file: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
 
     match cmd.as_str() {
         "benchmarks" => {
@@ -80,20 +144,53 @@ fn main() {
             let b = benchmark_arg(rest);
             let r = simulate(b, CpuConfig::baseline(), &SimOptions::default());
             let s = &r.stats;
-            println!("{} on the baseline configuration:", b.name());
-            println!("  cycles        {:>12.0}", r.cycles);
-            println!("  instructions  {:>12}", s.instructions);
-            println!("  IPC           {:>12.3}", s.ipc());
-            println!("  L1D miss rate {:>12.3}", s.l1d_misses as f64 / s.l1d_accesses.max(1) as f64);
-            println!("  L1I miss rate {:>12.3}", s.l1i_misses as f64 / s.l1i_accesses.max(1) as f64);
-            println!("  bpred miss    {:>12.3}", s.mispredict_rate());
+            if json_out {
+                println!(
+                    "{}",
+                    JsonObject::new()
+                        .str("benchmark", b.name())
+                        .num("cycles", r.cycles)
+                        .uint("instructions", s.instructions)
+                        .num("ipc", s.ipc())
+                        .num(
+                            "l1d_miss_rate",
+                            s.l1d_misses as f64 / s.l1d_accesses.max(1) as f64
+                        )
+                        .num(
+                            "l1i_miss_rate",
+                            s.l1i_misses as f64 / s.l1i_accesses.max(1) as f64
+                        )
+                        .num("bpred_miss_rate", s.mispredict_rate())
+                        .finish()
+                );
+            } else {
+                println!("{} on the baseline configuration:", b.name());
+                println!("  cycles        {:>12.0}", r.cycles);
+                println!("  instructions  {:>12}", s.instructions);
+                println!("  IPC           {:>12.3}", s.ipc());
+                println!(
+                    "  L1D miss rate {:>12.3}",
+                    s.l1d_misses as f64 / s.l1d_accesses.max(1) as f64
+                );
+                println!(
+                    "  L1I miss rate {:>12.3}",
+                    s.l1i_misses as f64 / s.l1i_accesses.max(1) as f64
+                );
+                println!("  bpred miss    {:>12.3}", s.mispredict_rate());
+            }
         }
         "sweep" => {
             let b = benchmark_arg(rest);
-            let step: usize =
-                parse_flag(rest, "--step").and_then(|v| v.parse().ok()).unwrap_or(16);
+            let step: usize = parse_flag(rest, "--step")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16);
             let space = DesignSpace::from_configs(
-                DesignSpace::table1().configs().iter().copied().step_by(step).collect(),
+                DesignSpace::table1()
+                    .configs()
+                    .iter()
+                    .copied()
+                    .step_by(step)
+                    .collect(),
             );
             eprintln!("sweeping {} configurations…", space.len());
             let results = sweep_design_space(&space, b, &SimOptions::default());
@@ -123,10 +220,16 @@ fn main() {
         }
         "sampled" => {
             let b = benchmark_arg(rest);
-            let rate: f64 =
-                parse_flag(rest, "--rate").and_then(|v| v.parse().ok()).unwrap_or(2.0);
+            let rate: f64 = parse_flag(rest, "--rate")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2.0);
             let space = DesignSpace::from_configs(
-                DesignSpace::table1().configs().iter().copied().step_by(4).collect(),
+                DesignSpace::table1()
+                    .configs()
+                    .iter()
+                    .copied()
+                    .step_by(4)
+                    .collect(),
             );
             let cfg = SampledConfig {
                 sampling_rates: vec![rate / 100.0],
@@ -142,24 +245,55 @@ fn main() {
                 space.len()
             );
             let run = run_sampled_dse(b, &space, &cfg, None);
-            let rows: Vec<Vec<String>> = run
-                .points
-                .iter()
-                .map(|p| {
-                    vec![
-                        p.model.abbrev().to_string(),
-                        f(p.true_error, 2),
-                        f(p.estimated.expect("estimated").max, 2),
-                    ]
-                })
-                .collect();
-            print!(
-                "{}",
-                render_table(
-                    &["model".into(), "true err %".into(), "estimated %".into()],
-                    &rows,
-                )
-            );
+            if json_out {
+                let points: Vec<String> = run
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let mut obj = JsonObject::new()
+                            .str("model", p.model.abbrev())
+                            .num("rate", p.rate)
+                            .uint("sample_size", p.sample_size as u64)
+                            .num("true_error", p.true_error)
+                            .num("true_error_std", p.true_error_std);
+                        if let Some(est) = &p.estimated {
+                            obj = obj
+                                .num("estimated_mean", est.mean)
+                                .num("estimated_max", est.max);
+                        }
+                        obj.finish()
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    JsonObject::new()
+                        .str("benchmark", b.name())
+                        .uint("space_size", run.space_size as u64)
+                        .num("range", run.range)
+                        .num("variation", run.variation)
+                        .raw("points", &format!("[{}]", points.join(",")))
+                        .finish()
+                );
+            } else {
+                let rows: Vec<Vec<String>> = run
+                    .points
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            p.model.abbrev().to_string(),
+                            f(p.true_error, 2),
+                            f(p.estimated.expect("estimated").max, 2),
+                        ]
+                    })
+                    .collect();
+                print!(
+                    "{}",
+                    render_table(
+                        &["model".into(), "true err %".into(), "estimated %".into()],
+                        &rows,
+                    )
+                );
+            }
         }
         "chrono" => {
             let name = rest.first().unwrap_or_else(|| usage());
@@ -167,8 +301,9 @@ fn main() {
                 eprintln!("unknown family '{name}' — try `perfpredict families`");
                 std::process::exit(2);
             });
-            let year: u32 =
-                parse_flag(rest, "--year").and_then(|v| v.parse().ok()).unwrap_or(2005);
+            let year: u32 = parse_flag(rest, "--year")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2005);
             // Guard: the split must exist.
             let probe = AnnouncementSet::generate(fam, 42);
             if probe.year(year).is_empty() || probe.year(year + 1).is_empty() {
@@ -183,30 +318,61 @@ fn main() {
                 estimate_errors: false,
             };
             let r = run_chronological(fam, &cfg);
-            println!(
-                "{}: train {} ({} records) -> predict {} ({} records)",
-                fam.name(),
-                year,
-                r.n_train,
-                year + 1,
-                r.n_test
-            );
-            let rows: Vec<Vec<String>> = r
-                .points
-                .iter()
-                .map(|p| {
-                    vec![
-                        p.model.abbrev().to_string(),
-                        f(p.error_mean, 2),
-                        f(p.error_std, 2),
-                    ]
-                })
-                .collect();
-            print!(
-                "{}",
-                render_table(&["model".into(), "err %".into(), "std".into()], &rows)
-            );
+            if json_out {
+                let points: Vec<String> = r
+                    .points
+                    .iter()
+                    .map(|p| {
+                        JsonObject::new()
+                            .str("model", p.model.abbrev())
+                            .num("error_mean", p.error_mean)
+                            .num("error_std", p.error_std)
+                            .finish()
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    JsonObject::new()
+                        .str("family", fam.name())
+                        .uint("train_year", year as u64)
+                        .uint("n_train", r.n_train as u64)
+                        .uint("n_test", r.n_test as u64)
+                        .raw("points", &format!("[{}]", points.join(",")))
+                        .finish()
+                );
+            } else {
+                println!(
+                    "{}: train {} ({} records) -> predict {} ({} records)",
+                    fam.name(),
+                    year,
+                    r.n_train,
+                    year + 1,
+                    r.n_test
+                );
+                let rows: Vec<Vec<String>> = r
+                    .points
+                    .iter()
+                    .map(|p| {
+                        vec![
+                            p.model.abbrev().to_string(),
+                            f(p.error_mean, 2),
+                            f(p.error_std, 2),
+                        ]
+                    })
+                    .collect();
+                print!(
+                    "{}",
+                    render_table(&["model".into(), "err %".into(), "std".into()], &rows)
+                );
+            }
         }
         _ => usage(),
+    }
+
+    if let Some(handle) = run_handle {
+        let summary = handle.finish();
+        if let Some(path) = &metrics_out {
+            eprintln!("{} (manifest: {path})", summary.one_line());
+        }
     }
 }

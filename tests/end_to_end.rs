@@ -13,7 +13,12 @@ use perfpredict::specdata::{AnnouncementSet, ProcessorFamily};
 
 fn small_space(step: usize) -> DesignSpace {
     DesignSpace::from_configs(
-        DesignSpace::table1().configs().iter().copied().step_by(step).collect(),
+        DesignSpace::table1()
+            .configs()
+            .iter()
+            .copied()
+            .step_by(step)
+            .collect(),
     )
 }
 
@@ -24,7 +29,10 @@ fn sampled_dse_pipeline_end_to_end() {
         sampling_rates: vec![0.08],
         strategy: SamplingStrategy::Random,
         models: vec![ModelKind::LrB, ModelKind::NnS],
-        sim: SimOptions { instructions: 8_000, ..Default::default() },
+        sim: SimOptions {
+            instructions: 8_000,
+            ..Default::default()
+        },
         seed: 3,
         estimate_errors: true,
     };
@@ -33,7 +41,12 @@ fn sampled_dse_pipeline_end_to_end() {
     assert_eq!(run.points.len(), 2);
     for p in &run.points {
         assert!(p.true_error.is_finite());
-        assert!(p.true_error < 100.0, "{}: {}", p.model.abbrev(), p.true_error);
+        assert!(
+            p.true_error < 100.0,
+            "{}: {}",
+            p.model.abbrev(),
+            p.true_error
+        );
     }
     let select = select_method_series(&run);
     assert_eq!(select.len(), 1);
@@ -100,7 +113,10 @@ fn simulator_to_model_roundtrip() {
     // Simulate a handful of configs, train on all of them, and verify the
     // model reproduces the training cycles closely (interpolation sanity).
     let space = small_space(96); // 48 configs
-    let sim = SimOptions { instructions: 8_000, ..Default::default() };
+    let sim = SimOptions {
+        instructions: 8_000,
+        ..Default::default()
+    };
     let results = sweep_design_space(&space, Benchmark::Applu, &sim);
     let table = table_from_sweep(&results);
     let model = train(ModelKind::NnM, &table, 11);
@@ -123,7 +139,10 @@ fn announcements_to_model_roundtrip() {
 #[test]
 fn single_simulation_is_deterministic_across_apis() {
     let cfg = CpuConfig::baseline();
-    let opts = SimOptions { instructions: 6_000, ..Default::default() };
+    let opts = SimOptions {
+        instructions: 6_000,
+        ..Default::default()
+    };
     let a = simulate(Benchmark::Equake, cfg, &opts);
     let b = simulate(Benchmark::Equake, cfg, &opts);
     assert_eq!(a.cycles, b.cycles);
@@ -136,7 +155,10 @@ fn single_simulation_is_deterministic_across_apis() {
 fn perfect_predictor_dominates_in_space() {
     // For every benchmark, the best config with a perfect predictor should
     // be at least as fast as the same config with a bimodal predictor.
-    let sim = SimOptions { instructions: 6_000, ..Default::default() };
+    let sim = SimOptions {
+        instructions: 6_000,
+        ..Default::default()
+    };
     for b in [Benchmark::Gcc, Benchmark::Mcf] {
         let mut perfect = CpuConfig::baseline();
         perfect.bpred = perfpredict::cpusim::BranchPredictorKind::Perfect;
