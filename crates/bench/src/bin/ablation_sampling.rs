@@ -41,12 +41,17 @@ fn main() {
             estimate_errors: false,
         };
         let run = run_sampled_dse(Benchmark::Gcc, &space, &cfg, Some(sweep.clone()));
+        // A fit that failed is dropped from the run, not fatal: render "-".
+        let cell = |kind, rate| {
+            run.point(kind, rate)
+                .map_or_else(|| "-".to_string(), |p| f(p.true_error, 2))
+        };
         rows.push(vec![
             name.to_string(),
-            f(run.point(ModelKind::NnS, 0.01).unwrap().true_error, 2),
-            f(run.point(ModelKind::NnS, 0.03).unwrap().true_error, 2),
-            f(run.point(ModelKind::LrB, 0.01).unwrap().true_error, 2),
-            f(run.point(ModelKind::LrB, 0.03).unwrap().true_error, 2),
+            cell(ModelKind::NnS, 0.01),
+            cell(ModelKind::NnS, 0.03),
+            cell(ModelKind::LrB, 0.01),
+            cell(ModelKind::LrB, 0.03),
         ]);
     }
     print!(

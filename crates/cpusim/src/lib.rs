@@ -44,5 +44,7 @@ pub mod trace;
 pub mod workload;
 
 pub use config::{BranchPredictorKind, CpuConfig, DesignSpace};
-pub use runner::{simulate, sweep_design_space, SimOptions, SimResult};
+pub use runner::{
+    simulate, sweep_design_space, try_sweep_design_space, SimOptions, SimResult, SweepOutcome,
+};
 pub use workload::{Benchmark, WorkloadProfile};

@@ -11,8 +11,11 @@ use crate::core::{Core, PipelineStats};
 use crate::simpoint::{analyze, SimPointAnalysis};
 use crate::trace::{Inst, ReplaySource, TraceGenerator};
 use crate::workload::Benchmark;
+use fault::checkpoint::{self, CheckpointWriter};
+use fault::{Error, Result};
 use linalg::dist::child_seed;
 use rayon::prelude::*;
+use telemetry::json::JsonObject;
 
 /// Options controlling a simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -145,7 +148,9 @@ fn run_windows(
             heaviest = Some((w, stats));
         }
     }
-    let stats = heaviest.expect("at least one window").1;
+    // `materialize` always yields at least one window, so `heaviest` is
+    // always set; an empty trace list would be an internal logic error.
+    let stats = heaviest.map(|(_, s)| s).unwrap_or_default();
     telemetry::counter_add("sim/windows", traces.len() as u64);
     record_stats(&stats);
     SimResult {
@@ -190,24 +195,179 @@ pub fn simulate(benchmark: Benchmark, config: CpuConfig, opts: &SimOptions) -> S
 /// The trace is materialized once and replayed per configuration, so the
 /// whole sweep is embarrassingly parallel and deterministic. Results are
 /// returned in design-space order.
+///
+/// Wrapper over [`try_sweep_design_space`] without a checkpoint; that
+/// path has no failure modes, so the unwrap is unreachable.
 pub fn sweep_design_space(
     space: &DesignSpace,
     benchmark: Benchmark,
     opts: &SimOptions,
 ) -> Vec<SimResult> {
+    match try_sweep_design_space(space, benchmark, opts, None) {
+        Ok(outcome) => outcome.results,
+        Err(e) => panic!("sweep_design_space without checkpoint cannot fail: {e}"),
+    }
+}
+
+/// Outcome of a checkpointed sweep: the full result set plus how much of
+/// it was restored versus freshly simulated.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Per-configuration results, in design-space order.
+    pub results: Vec<SimResult>,
+    /// Configurations restored from the checkpoint.
+    pub restored: usize,
+    /// Configurations simulated in this process.
+    pub simulated: usize,
+}
+
+/// Checkpoint line identifying the run a sweep checkpoint belongs to.
+///
+/// Public so pipeline layers (e.g. sampled DSE) can create a compatible
+/// header when they own the checkpoint file but skip the sweep itself.
+pub fn sweep_header(benchmark: Benchmark, n_configs: usize, opts: &SimOptions) -> String {
+    JsonObject::new()
+        .str("type", "header")
+        .str("benchmark", benchmark.name())
+        .uint("space", n_configs as u64)
+        .uint("instructions", opts.instructions)
+        .uint("seed", opts.seed)
+        .uint("simpoints", opts.use_simpoints as u64)
+        .finish()
+}
+
+/// The fields of [`sweep_header`] that must match on resume.
+pub fn sweep_header_expectations(
+    benchmark: Benchmark,
+    n_configs: usize,
+    opts: &SimOptions,
+) -> Vec<(&'static str, String)> {
+    vec![
+        ("benchmark", benchmark.name().to_string()),
+        ("space", n_configs.to_string()),
+        ("instructions", opts.instructions.to_string()),
+        ("seed", opts.seed.to_string()),
+        ("simpoints", (opts.use_simpoints as u64).to_string()),
+    ]
+}
+
+/// Checkpointed design-space sweep with resume.
+///
+/// With `checkpoint: Some(path)`, every completed configuration is
+/// appended to `path` as a JSON line and flushed, so a killed sweep loses
+/// at most the configuration in flight. On restart with the same path,
+/// completed configurations are restored from the file (their pipeline
+/// stat details beyond cycles/instructions are not persisted) and only
+/// the remaining ones are simulated. A checkpoint written by a different
+/// run — other benchmark, space size, instruction budget, or seed — is
+/// rejected with [`Error::Checkpoint`]; a truncated final line (killed
+/// mid-write) is tolerated. Other record types in the file (e.g. the
+/// model-fit records a sampled-DSE run appends) are ignored, so one file
+/// can checkpoint a whole pipeline.
+pub fn try_sweep_design_space(
+    space: &DesignSpace,
+    benchmark: Benchmark,
+    opts: &SimOptions,
+    checkpoint: Option<&str>,
+) -> Result<SweepOutcome> {
     let n_configs = space.configs().len();
     let _span = telemetry::span!("sweep", benchmark = benchmark.name(), configs = n_configs,);
+
+    let mut done: Vec<Option<SimResult>> = vec![None; n_configs];
+    let mut writer: Option<CheckpointWriter> = None;
+    let mut restored = 0usize;
+    if let Some(path) = checkpoint {
+        let records = checkpoint::load_records(path)?;
+        if let Some(header) = records.first() {
+            checkpoint::check_header(
+                path,
+                header,
+                &sweep_header_expectations(benchmark, n_configs, opts),
+            )?;
+            for rec in &records[1..] {
+                if checkpoint::str_field(path, rec, "type")? != "sim" {
+                    continue;
+                }
+                let idx = checkpoint::u64_field(path, rec, "idx")? as usize;
+                if idx >= n_configs {
+                    return Err(Error::checkpoint(
+                        path,
+                        format!("sim record idx {idx} outside design space of {n_configs}"),
+                    ));
+                }
+                let cycles = checkpoint::f64_field(path, rec, "cycles")?;
+                let stats = PipelineStats {
+                    cycles: checkpoint::u64_field(path, rec, "stat_cycles")?,
+                    instructions: checkpoint::u64_field(path, rec, "stat_instructions")?,
+                    ..Default::default()
+                };
+                if done[idx].is_none() {
+                    restored += 1;
+                }
+                done[idx] = Some(SimResult {
+                    config: space.configs()[idx],
+                    benchmark,
+                    cycles,
+                    stats,
+                });
+            }
+            telemetry::point!("sweep/resume", restored = restored, total = n_configs);
+        }
+        let w = CheckpointWriter::append(path)?;
+        if records.is_empty() {
+            w.append_record(&sweep_header(benchmark, n_configs, opts))?;
+        }
+        writer = Some(w);
+    }
+
+    if restored == n_configs {
+        let results = done.into_iter().flatten().collect();
+        return Ok(SweepOutcome {
+            results,
+            restored,
+            simulated: 0,
+        });
+    }
+
     let (traces, weights, _) = materialize(benchmark, opts);
-    let progress = telemetry::Progress::new("sweep", n_configs as u64);
-    space
+    let progress = telemetry::Progress::new("sweep", (n_configs - restored) as u64);
+    let writer = &writer;
+    let done = &done;
+    let results: Vec<Result<SimResult>> = space
         .configs()
         .par_iter()
-        .map(|&config| {
+        .enumerate()
+        .map(|(idx, &config)| {
+            if let Some(prior) = &done[idx] {
+                return Ok(prior.clone());
+            }
             let result = run_windows(config, benchmark, &traces, &weights, opts.seed);
+            if let Some(w) = writer {
+                if result.cycles.is_finite() {
+                    let line = JsonObject::new()
+                        .str("type", "sim")
+                        .uint("idx", idx as u64)
+                        .num("cycles", result.cycles)
+                        .uint("stat_cycles", result.stats.cycles)
+                        .uint("stat_instructions", result.stats.instructions)
+                        .finish();
+                    w.append_record(&line)?;
+                } else {
+                    // Non-finite cycles round-trip as JSON null, which
+                    // would corrupt resume; re-simulate instead.
+                    telemetry::point!("sweep/skip_checkpoint", idx);
+                }
+            }
             progress.inc();
-            result
+            Ok(result)
         })
-        .collect()
+        .collect();
+    let results = results.into_iter().collect::<Result<Vec<SimResult>>>()?;
+    Ok(SweepOutcome {
+        simulated: n_configs - restored,
+        restored,
+        results,
+    })
 }
 
 /// Per-benchmark summary line of a sweep, matching §4.1's
@@ -267,6 +427,79 @@ mod tests {
         for (r, c) in results.iter().zip(space.configs()) {
             assert_eq!(r.config, *c);
         }
+    }
+
+    fn tmp_checkpoint(name: &str) -> String {
+        let dir = std::env::temp_dir().join("perfpredict-runner-tests");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_only_remaining_work() {
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..10].to_vec());
+        let opts = SimOptions::quick();
+        let path = tmp_checkpoint("resume.jsonl");
+
+        // Full run to produce the reference results and the checkpoint.
+        let full =
+            try_sweep_design_space(&space, Benchmark::Mcf, &opts, Some(&path)).expect("first run");
+        assert_eq!(full.restored, 0);
+        assert_eq!(full.simulated, 10);
+
+        // Simulate a kill: keep the header and the first 4 sim records,
+        // truncating the 5th mid-line.
+        let text = std::fs::read_to_string(&path).expect("read checkpoint");
+        let lines: Vec<&str> = text.lines().collect();
+        let mut partial = lines[..5].join("\n");
+        partial.push('\n');
+        partial.push_str(&lines[5][..lines[5].len() / 2]);
+        std::fs::write(&path, &partial).expect("write partial");
+
+        let resumed =
+            try_sweep_design_space(&space, Benchmark::Mcf, &opts, Some(&path)).expect("resume");
+        assert_eq!(resumed.restored, 4, "header + 4 complete sim records");
+        assert_eq!(resumed.simulated, 6);
+        for (a, b) in full.results.iter().zip(&resumed.results) {
+            assert_eq!(a.cycles, b.cycles, "resumed sweep must match fresh run");
+            assert_eq!(a.config, b.config);
+        }
+
+        // A second resume restores everything without simulating.
+        let again = try_sweep_design_space(&space, Benchmark::Mcf, &opts, Some(&path))
+            .expect("second resume");
+        assert_eq!(again.restored, 10);
+        assert_eq!(again.simulated, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_different_run_is_rejected() {
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..4].to_vec());
+        let opts = SimOptions::quick();
+        let path = tmp_checkpoint("mismatch.jsonl");
+        try_sweep_design_space(&space, Benchmark::Mcf, &opts, Some(&path)).expect("first run");
+        // Different benchmark -> typed checkpoint error, not a panic.
+        match try_sweep_design_space(&space, Benchmark::Gcc, &opts, Some(&path)) {
+            Err(fault::Error::Checkpoint { detail, .. }) => {
+                assert!(detail.contains("benchmark"), "{detail}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        // Different instruction budget is also rejected.
+        let other_opts = SimOptions {
+            instructions: opts.instructions + 1,
+            ..opts
+        };
+        assert!(matches!(
+            try_sweep_design_space(&space, Benchmark::Mcf, &other_opts, Some(&path)),
+            Err(fault::Error::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

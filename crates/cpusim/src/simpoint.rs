@@ -138,12 +138,15 @@ pub fn kmeans(
         let mut changed = false;
         let mut new_wss = 0.0;
         for (i, p) in points.iter().enumerate() {
+            // Invariant: callers pass k >= 1, so `centroids` is never
+            // empty; total_cmp keeps the assignment well-defined even if
+            // a distance degenerates to NaN.
             let (best, bd) = centroids
                 .iter()
                 .enumerate()
                 .map(|(j, c)| (j, dist2(p, c)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("kmeans: NaN distance"))
-                .expect("kmeans: no centroids");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("kmeans: k >= 1 invariant");
             if assignments[i] != best {
                 assignments[i] = best;
                 changed = true;
@@ -209,7 +212,8 @@ pub fn analyze(
             best = Some((score, k, assign, centroids));
         }
     }
-    let (_, k, assignments, centroids) = best.expect("at least one clustering");
+    // Invariant: `max_k >= 1`, so the loop above ran at least once.
+    let (_, k, assignments, centroids) = best.expect("max_k >= 1 invariant");
 
     // Representative per cluster: the member closest to the centroid,
     // weighted by cluster population.
@@ -220,14 +224,11 @@ pub fn analyze(
         if members.is_empty() {
             continue;
         }
-        let rep = *members
-            .iter()
-            .min_by(|&&a, &&b| {
-                dist2(&bbvs[a], &centroids[j])
-                    .partial_cmp(&dist2(&bbvs[b], &centroids[j]))
-                    .expect("NaN distance")
-            })
-            .expect("nonempty cluster");
+        let Some(&rep) = members.iter().min_by(|&&a, &&b| {
+            dist2(&bbvs[a], &centroids[j]).total_cmp(&dist2(&bbvs[b], &centroids[j]))
+        }) else {
+            continue;
+        };
         points.push(SimPoint {
             interval: rep,
             weight: members.len() as f64 / n_intervals as f64,

@@ -8,11 +8,12 @@
 //! history.
 
 use crate::data::table_from_announcements;
+use fault::{Error, Result};
 use linalg::dist::child_seed;
 use linalg::stats::mape;
-use mlmodels::crossval::{estimate_error, ErrorEstimate};
+use mlmodels::crossval::{try_estimate_error, Dropped, ErrorEstimate};
 use mlmodels::importance::{importance, Importance};
-use mlmodels::{train, ModelKind};
+use mlmodels::{try_train, ModelKind};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use specdata::{AnnouncementSet, ProcessorFamily};
@@ -68,19 +69,53 @@ pub struct ChronoResult {
     pub n_train: usize,
     /// Test rows (train year + 1).
     pub n_test: usize,
-    /// Per-model results, in `cfg.models` order.
+    /// Per-model results, in `cfg.models` order (failed models omitted).
     pub points: Vec<ChronoPoint>,
+    /// Models whose fit failed, with their recorded reasons.
+    pub dropped: Vec<Dropped>,
 }
 
 impl ChronoResult {
     /// The best (lowest mean error) model and its error — Table 2's cells.
+    ///
+    /// Panicking wrapper over [`ChronoResult::try_best`].
     pub fn best(&self) -> (&ChronoPoint, f64) {
+        match self.try_best() {
+            Ok(b) => b,
+            Err(e) => panic!("best model: {e}"),
+        }
+    }
+
+    /// The best model among those with a finite mean error, or
+    /// [`Error::NoViableModel`] when every candidate failed or scored
+    /// non-finite.
+    pub fn try_best(&self) -> Result<(&ChronoPoint, f64)> {
         let p = self
             .points
             .iter()
-            .min_by(|a, b| a.error_mean.partial_cmp(&b.error_mean).expect("NaN error"))
-            .expect("at least one model");
-        (p, p.error_mean)
+            .filter(|p| p.error_mean.is_finite())
+            .min_by(|a, b| a.error_mean.total_cmp(&b.error_mean));
+        match p {
+            Some(p) => Ok((p, p.error_mean)),
+            None => {
+                let mut reasons: Vec<(String, String)> = self
+                    .points
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.model.abbrev().to_string(),
+                            format!("non-finite mean error ({})", p.error_mean),
+                        )
+                    })
+                    .collect();
+                reasons.extend(
+                    self.dropped
+                        .iter()
+                        .map(|d| (d.kind.abbrev().to_string(), d.detail.clone())),
+                );
+                Err(Error::NoViableModel { reasons })
+            }
+        }
     }
 
     /// All models within `slack` (relative) of the best — the paper lists
@@ -96,7 +131,24 @@ impl ChronoResult {
 }
 
 /// Run the chronological experiment for one family.
+///
+/// Infallible-signature wrapper over [`try_run_chronological`]; panics on
+/// its error paths (empty train/test years). Pipeline code uses the
+/// `try_` variant.
 pub fn run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> ChronoResult {
+    match try_run_chronological(family, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("chronological {}: {e}", family.name()),
+    }
+}
+
+/// Fallible chronological experiment.
+///
+/// An empty training or test year is [`Error::DegenerateData`]. A model
+/// whose fit fails is recorded in [`ChronoResult::dropped`] with its
+/// reason instead of poisoning the family's whole result; a failed §3.3
+/// estimation leaves `estimated: None` on an otherwise valid point.
+pub fn try_run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> Result<ChronoResult> {
     let _span = telemetry::span!(
         "chronological",
         family = family.name(),
@@ -104,12 +156,12 @@ pub fn run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> ChronoR
         models = cfg.models.len(),
     );
     let set = AnnouncementSet::generate(family, cfg.data_seed);
-    let (train_recs, test_recs) = set.chronological_split(cfg.train_year);
+    let (train_recs, test_recs) = set.try_chronological_split(cfg.train_year)?;
     let train_table = table_from_announcements(&train_recs);
     let test_table = table_from_announcements(&test_recs);
 
     let progress = telemetry::Progress::new("chronological", cfg.models.len() as u64);
-    let points: Vec<ChronoPoint> = cfg
+    let outcomes: Vec<std::result::Result<ChronoPoint, Dropped>> = cfg
         .models
         .par_iter()
         .enumerate()
@@ -117,36 +169,72 @@ pub fn run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> ChronoR
             let _model_span =
                 telemetry::span!("model", model = kind.abbrev(), family = family.name());
             let seed = child_seed(cfg.seed, mi as u64);
-            let model = {
+            let fit = {
                 let _fit_span = telemetry::span!("fit", model = kind.abbrev());
-                train(kind, &train_table, seed)
+                try_train(kind, &train_table, seed)
+            };
+            let model = match fit {
+                Ok(m) => m,
+                Err(e) => {
+                    telemetry::point!(
+                        "chrono/drop_model",
+                        model = kind.abbrev(),
+                        reason = e.kind()
+                    );
+                    progress.inc();
+                    return Err(Dropped {
+                        kind,
+                        reason: e.kind().to_string(),
+                        detail: e.to_string(),
+                    });
+                }
             };
             let preds = model.predict(&test_table);
             let (error_mean, error_std) = mape(&preds, test_table.target());
             let estimated = if cfg.estimate_errors {
                 let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
-                Some(estimate_error(kind, &train_table, child_seed(seed, 0xE5)))
+                match try_estimate_error(kind, &train_table, child_seed(seed, 0xE5)) {
+                    Ok(est) => Some(est),
+                    Err(e) => {
+                        telemetry::point!(
+                            "chrono/estimate_failed",
+                            model = kind.abbrev(),
+                            reason = e.kind()
+                        );
+                        None
+                    }
+                }
             } else {
                 None
             };
             progress.inc();
             let imp = importance(&model, &train_table);
-            ChronoPoint {
+            Ok(ChronoPoint {
                 model: kind,
                 error_mean,
                 error_std,
                 estimated,
                 importance: imp,
-            }
+            })
         })
         .collect();
 
-    ChronoResult {
+    let mut points = Vec::new();
+    let mut dropped = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(p) => points.push(p),
+            Err(d) => dropped.push(d),
+        }
+    }
+
+    Ok(ChronoResult {
         family,
         n_train: train_table.n_rows(),
         n_test: test_table.n_rows(),
         points,
-    }
+        dropped,
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +320,17 @@ mod tests {
         };
         let r = run_chronological(ProcessorFamily::Opteron4, &cfg);
         assert!(r.n_train > 0 && r.n_test > 0);
+    }
+
+    #[test]
+    fn empty_year_is_a_typed_error() {
+        let cfg = ChronoConfig {
+            train_year: 1980,
+            models: vec![ModelKind::LrE],
+            ..Default::default()
+        };
+        let err = try_run_chronological(ProcessorFamily::Opteron, &cfg).expect_err("no 1980 data");
+        assert_eq!(err.kind(), "degenerate");
     }
 
     #[test]

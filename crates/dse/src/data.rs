@@ -15,10 +15,12 @@ pub fn table_from_sweep(results: &[SimResult]) -> Table {
 
     // All numeric features except the categorical bpred and the flag
     // issue_wrong_path.
+    // Invariant: `CpuConfig::feature_names()` is a compile-time constant
+    // list that includes "issue_wrong_path"; a unit test in cpusim pins it.
     let flag_idx = names
         .iter()
         .position(|&n| n == "issue_wrong_path")
-        .expect("issue_wrong_path feature");
+        .expect("issue_wrong_path is a fixed CpuConfig feature");
     for (j, _) in names.iter().enumerate() {
         if j == CpuConfig::BPRED_FEATURE_INDEX || j == flag_idx {
             continue;
@@ -72,7 +74,14 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
         levels.dedup();
         let codes: Vec<u32> = values
             .iter()
-            .map(|v| levels.iter().position(|l| l == v).expect("level exists") as u32)
+            // Invariant: `levels` is the dedup of `values`, so every
+            // value is present by construction.
+            .map(|v| {
+                levels
+                    .iter()
+                    .position(|l| l == v)
+                    .expect("level from values") as u32
+            })
             .collect();
         t.add_categorical(name, codes, levels);
     }

@@ -1,0 +1,198 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Every helper here manufactures one of the failure modes the
+//! fault-tolerance layer must absorb — NaN cycle counts from a broken
+//! simulator, constant or collinear predictor columns, degenerate
+//! targets, divergent training configurations, and checkpoint files cut
+//! off mid-write. All injections are seeded, so a failing robustness
+//! test reproduces byte-for-byte.
+//!
+//! The integration suite in `tests/fault_injection.rs` drives each
+//! injector through the public `try_*` pipeline entry points and asserts
+//! the contract of this PR's error layer: **every fault yields a typed
+//! error, a retry, or a recorded degradation — never a panic.**
+
+use cpusim::runner::SimResult;
+use fault::{Error, Result};
+use linalg::dist::{sample_indices, seeded_rng};
+use mlmodels::nn::{TrainAlgo, TrainConfig};
+use mlmodels::{Column, Table};
+
+/// Poison `count` seeded-random entries of a sweep with NaN cycles —
+/// the signature of a numerically broken simulator run.
+pub fn nan_cycles(results: &mut [SimResult], count: usize, seed: u64) {
+    let mut rng = seeded_rng(seed);
+    let count = count.min(results.len());
+    for idx in sample_indices(&mut rng, results.len(), count) {
+        results[idx].cycles = f64::NAN;
+    }
+}
+
+/// Rebuild `table` with `edit` applied to each (name, column) pair.
+fn rebuild(table: &Table, edit: impl Fn(&str, &Column) -> Column) -> Table {
+    let mut t = Table::new();
+    for (name, col) in table.names().iter().zip(table.columns()) {
+        match edit(name, col) {
+            Column::Numeric(v) => t.add_numeric(name.clone(), v),
+            Column::Flag(v) => t.add_flag(name.clone(), v),
+            Column::Categorical { codes, levels } => t.add_categorical(name.clone(), codes, levels),
+        };
+    }
+    t.set_target(table.target().to_vec());
+    t
+}
+
+/// Copy of `table` with column `name` frozen to its first row's value —
+/// a zero-variance predictor (§3.4's "no variation" case).
+pub fn with_constant_column(table: &Table, name: &str) -> Table {
+    rebuild(table, |n, col| {
+        if n != name {
+            return col.clone();
+        }
+        match col {
+            Column::Numeric(v) => Column::Numeric(vec![v[0]; v.len()]),
+            Column::Flag(v) => Column::Flag(vec![v[0]; v.len()]),
+            Column::Categorical { codes, levels } => Column::Categorical {
+                codes: vec![codes[0]; codes.len()],
+                levels: levels.clone(),
+            },
+        }
+    })
+}
+
+/// Copy of `table` with numeric column `name` duplicated as
+/// `<name>_dup` — an exactly collinear predictor pair that makes the
+/// normal equations singular.
+pub fn with_collinear_column(table: &Table, name: &str) -> Table {
+    let mut t = rebuild(table, |_, col| col.clone());
+    match table.column(name) {
+        Some(Column::Numeric(v)) => {
+            t.add_numeric(format!("{name}_dup"), v.clone());
+        }
+        other => panic!("with_collinear_column: '{name}' is not numeric ({other:?})"),
+    }
+    t.set_target(table.target().to_vec());
+    t
+}
+
+/// Copy of `table` with every target equal to `value` — nothing to learn.
+pub fn with_constant_target(table: &Table, value: f64) -> Table {
+    let mut t = rebuild(table, |_, col| col.clone());
+    t.set_target(vec![value; table.n_rows()]);
+    t
+}
+
+/// Copy of `table` with `count` seeded-random NaN targets.
+pub fn with_nan_targets(table: &Table, count: usize, seed: u64) -> Table {
+    let mut rng = seeded_rng(seed);
+    let mut target = table.target().to_vec();
+    let count = count.min(target.len());
+    for idx in sample_indices(&mut rng, target.len(), count) {
+        target[idx] = f64::NAN;
+    }
+    let mut t = rebuild(table, |_, col| col.clone());
+    t.set_target(target);
+    t
+}
+
+/// A training configuration guaranteed to diverge: plain SGD with an
+/// absurd constant learning rate. Drives the weights to overflow within
+/// a handful of epochs on any non-trivial data, exercising the
+/// retry-then-[`Diverged`](fault::Error::Diverged) path.
+pub fn divergent_train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        algo: TrainAlgo::Sgd,
+        learning_rate: 1e12,
+        momentum: 0.99,
+        epochs: 20,
+        lr_decay: 1.0,
+        weight_decay: 0.0,
+        seed,
+    }
+}
+
+/// Cut the file at `path` to its first `len` bytes — the on-disk state
+/// after a kill mid-write.
+pub fn truncate_file(path: &str, len: u64) -> Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| Error::io(path, e))?;
+    file.set_len(len).map_err(|e| Error::io(path, e))?;
+    Ok(())
+}
+
+/// Overwrite one line (0-based) of a JSONL file with garbage — mid-file
+/// corruption that resume must *reject*, unlike a truncated tail.
+pub fn corrupt_line(path: &str, line_idx: usize) -> Result<()> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if line_idx >= lines.len() {
+        return Err(Error::invalid(format!(
+            "corrupt_line: file has {} lines, asked for {line_idx}",
+            lines.len()
+        )));
+    }
+    lines[line_idx] = "{corrupted-not-json".to_string();
+    std::fs::write(path, format!("{}\n", lines.join("\n"))).map_err(|e| Error::io(path, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_table() -> Table {
+        let n = 24;
+        let mut t = Table::new();
+        t.add_numeric("a", (0..n).map(|i| i as f64).collect())
+            .add_numeric("b", (0..n).map(|i| (i * i % 7) as f64).collect())
+            .add_flag("f", (0..n).map(|i| i % 2 == 0).collect())
+            .set_target((0..n).map(|i| 2.0 * i as f64 + 1.0).collect());
+        t
+    }
+
+    #[test]
+    fn constant_column_is_frozen() {
+        let t = with_constant_column(&toy_table(), "a");
+        assert!(t.column("a").expect("col a").is_constant());
+        assert!(!t.column("b").expect("col b").is_constant());
+    }
+
+    #[test]
+    fn collinear_column_duplicates_values() {
+        let t = with_collinear_column(&toy_table(), "b");
+        assert_eq!(t.column("b"), t.column("b_dup"));
+        assert_eq!(t.n_cols(), 4);
+    }
+
+    #[test]
+    fn nan_targets_are_seeded_and_bounded() {
+        let a = with_nan_targets(&toy_table(), 5, 9);
+        let b = with_nan_targets(&toy_table(), 5, 9);
+        let nan_rows = |t: &Table| {
+            t.target()
+                .iter()
+                .enumerate()
+                .filter(|(_, y)| y.is_nan())
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(nan_rows(&a), nan_rows(&b), "same seed, same fault");
+        assert_eq!(nan_rows(&a).len(), 5);
+    }
+
+    #[test]
+    fn corrupt_line_rejects_out_of_range() {
+        let dir = std::env::temp_dir().join("perfpredict-faultinject-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("tiny.jsonl").to_string_lossy().into_owned();
+        std::fs::write(&path, "{}\n").expect("write");
+        assert!(corrupt_line(&path, 3).is_err());
+        corrupt_line(&path, 0).expect("in range");
+        assert!(std::fs::read_to_string(&path)
+            .expect("read")
+            .starts_with("{corrupted"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,15 +15,26 @@
 //!   into [`mlmodels::Table`]s.
 //! * [`report`] — plain-text table/series formatting shared by the
 //!   reproduction harnesses.
+//! * [`faultinject`] — deterministic fault injectors (NaN cycles,
+//!   collinear columns, divergent configs, truncated checkpoints) backing
+//!   the robustness test suite.
+//!
+//! Each workflow has a panicking legacy entry point and a fallible `try_*`
+//! variant returning typed [`fault::Error`]s; the `try_*` forms also
+//! accept a `--checkpoint` JSONL path for kill-and-resume operation.
 
 pub mod adaptive;
 pub mod chrono;
 pub mod data;
+pub mod faultinject;
 pub mod report;
 pub mod sampled;
 pub mod selectbest;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveResult};
-pub use chrono::{run_chronological, ChronoConfig, ChronoResult};
-pub use sampled::{run_sampled_dse, SampledConfig, SampledPoint, SampledRun, SamplingStrategy};
-pub use selectbest::{select_method_error, SelectOutcome};
+pub use chrono::{run_chronological, try_run_chronological, ChronoConfig, ChronoResult};
+pub use sampled::{
+    run_sampled_dse, try_run_sampled_dse, DroppedFit, SampledConfig, SampledPoint, SampledRun,
+    SamplingStrategy,
+};
+pub use selectbest::{select_method_error, try_select_method_error, SelectOutcome};

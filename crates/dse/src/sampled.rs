@@ -7,14 +7,21 @@
 //! predictions over the entire space — exactly how Figures 2–6 plot
 //! `NN-E / NN-S / LR-B` vs `NN-E-est / NN-S-est / LR-B-est`.
 
+use std::collections::HashMap;
+
 use crate::data::table_from_sweep;
-use cpusim::runner::{sweep_design_space, SimOptions, SimResult};
+use cpusim::runner::{
+    sweep_header, sweep_header_expectations, try_sweep_design_space, SimOptions, SimResult,
+};
 use cpusim::{Benchmark, DesignSpace};
+use fault::checkpoint::{self, CheckpointWriter};
+use fault::{Error, Result};
 use linalg::dist::{child_seed, permutation, sample_indices, seeded_rng};
 use linalg::stats::mape;
-use mlmodels::crossval::{estimate_error, ErrorEstimate};
-use mlmodels::{train, ModelKind, Table};
+use mlmodels::crossval::{try_estimate_error, ErrorEstimate};
+use mlmodels::{try_train, ModelKind, Table};
 use serde::{Deserialize, Serialize};
+use telemetry::json::JsonObject;
 
 /// How training points are drawn from the design space.
 ///
@@ -81,6 +88,21 @@ pub struct SampledPoint {
     pub estimated: Option<ErrorEstimate>,
 }
 
+/// A (model, rate) fit that failed and was dropped from the candidate
+/// set — the §3.3 *select* protocol degrades gracefully instead of
+/// poisoning the whole run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DroppedFit {
+    /// Model that failed.
+    pub model: ModelKind,
+    /// Sampling rate it failed at.
+    pub rate: f64,
+    /// Stable failure tag (`fault::Error::kind`).
+    pub reason: String,
+    /// Full human-readable error.
+    pub detail: String,
+}
+
 /// Full result of one benchmark's sampled-DSE experiment.
 #[derive(Debug, Clone)]
 pub struct SampledRun {
@@ -94,6 +116,8 @@ pub struct SampledRun {
     pub variation: f64,
     /// All (model, rate) measurements.
     pub points: Vec<SampledPoint>,
+    /// Fits that failed, with their recorded reasons.
+    pub dropped: Vec<DroppedFit>,
 }
 
 impl SampledRun {
@@ -160,34 +184,233 @@ fn true_error(model: &mlmodels::TrainedModel, full: &Table) -> (f64, f64) {
 ///
 /// `sweep` results may be precomputed (pass `Some`) to share the expensive
 /// simulation across experiments.
+///
+/// Infallible-signature wrapper over [`try_run_sampled_dse`] without a
+/// checkpoint; panics on its error paths (degenerate sweeps, invalid
+/// rates). Pipeline code uses the `try_` variant.
 pub fn run_sampled_dse(
     benchmark: Benchmark,
     space: &DesignSpace,
     cfg: &SampledConfig,
     precomputed: Option<Vec<SimResult>>,
 ) -> SampledRun {
+    match try_run_sampled_dse(benchmark, space, cfg, precomputed, None) {
+        Ok(run) => run,
+        Err(e) => panic!("sampled DSE on {}: {e}", benchmark.name()),
+    }
+}
+
+/// A restored per-fit checkpoint record.
+enum RestoredFit {
+    Fit(SampledPoint),
+    Drop(DroppedFit),
+}
+
+/// Parse the `"fit"` / `"drop"` records of a shared checkpoint file into
+/// a `(rate index, model)`-keyed map. Later records win, mirroring the
+/// sim-record dedupe in the sweep reader.
+fn restore_fits(
+    path: &str,
+    records: &[telemetry::json::Value],
+    cfg: &SampledConfig,
+) -> Result<HashMap<(usize, ModelKind), RestoredFit>> {
+    let mut restored = HashMap::new();
+    for rec in records {
+        let ty = checkpoint::str_field(path, rec, "type")?;
+        if ty != "fit" && ty != "drop" {
+            continue;
+        }
+        let ri = checkpoint::u64_field(path, rec, "rate_idx")? as usize;
+        if ri >= cfg.sampling_rates.len() {
+            return Err(Error::checkpoint(
+                path,
+                format!(
+                    "{ty} record rate_idx {ri} outside the {} configured rates",
+                    cfg.sampling_rates.len()
+                ),
+            ));
+        }
+        let abbrev = checkpoint::str_field(path, rec, "model")?;
+        let kind = ModelKind::from_abbrev(abbrev)
+            .ok_or_else(|| Error::checkpoint(path, format!("unknown model '{abbrev}'")))?;
+        let rate = checkpoint::f64_field(path, rec, "rate")?;
+        if (rate - cfg.sampling_rates[ri]).abs() > 1e-12 {
+            return Err(Error::checkpoint(
+                path,
+                format!(
+                    "{ty} record rate {rate} does not match configured rate {} at index {ri}",
+                    cfg.sampling_rates[ri]
+                ),
+            ));
+        }
+        let value = if ty == "fit" {
+            RestoredFit::Fit(SampledPoint {
+                model: kind,
+                rate,
+                sample_size: checkpoint::u64_field(path, rec, "sample_size")? as usize,
+                true_error: checkpoint::f64_field(path, rec, "true_error")?,
+                true_error_std: checkpoint::f64_field(path, rec, "true_error_std")?,
+                estimated: match rec.get("est_max") {
+                    Some(_) => Some(ErrorEstimate {
+                        mean: checkpoint::f64_field(path, rec, "est_mean")?,
+                        max: checkpoint::f64_field(path, rec, "est_max")?,
+                    }),
+                    None => None,
+                },
+            })
+        } else {
+            RestoredFit::Drop(DroppedFit {
+                model: kind,
+                rate,
+                reason: checkpoint::str_field(path, rec, "reason")?.to_string(),
+                detail: checkpoint::str_field(path, rec, "detail")?.to_string(),
+            })
+        };
+        restored.insert((ri, kind), value);
+    }
+    Ok(restored)
+}
+
+/// Render a completed fit as a checkpoint line.
+fn fit_line(ri: usize, p: &SampledPoint) -> String {
+    let mut obj = JsonObject::new()
+        .str("type", "fit")
+        .uint("rate_idx", ri as u64)
+        .str("model", p.model.abbrev())
+        .num("rate", p.rate)
+        .uint("sample_size", p.sample_size as u64)
+        .num("true_error", p.true_error)
+        .num("true_error_std", p.true_error_std);
+    if let Some(est) = &p.estimated {
+        obj = obj.num("est_mean", est.mean).num("est_max", est.max);
+    }
+    obj.finish()
+}
+
+/// Render a dropped fit as a checkpoint line.
+fn drop_line(ri: usize, d: &DroppedFit) -> String {
+    JsonObject::new()
+        .str("type", "drop")
+        .uint("rate_idx", ri as u64)
+        .str("model", d.model.abbrev())
+        .num("rate", d.rate)
+        .str("reason", &d.reason)
+        .str("detail", &d.detail)
+        .finish()
+}
+
+/// Fallible, checkpointable sampled-DSE experiment.
+///
+/// Differences from the historical panicking path, none of which change
+/// the no-fault results:
+///
+/// * Sweep rows with non-finite cycles are dropped (with a telemetry
+///   counter) before the table is built; fewer than 8 usable rows is
+///   [`Error::DegenerateData`].
+/// * A model whose fit fails (singular design, divergence surviving all
+///   retries, degenerate sample) is recorded in [`SampledRun::dropped`]
+///   with its reason instead of aborting the run — the §4.4 *select*
+///   protocol then simply never chooses it.
+/// * A failed §3.3 error estimation leaves `estimated: None` on an
+///   otherwise valid point.
+/// * With `checkpoint: Some(path)`, the sweep and every completed fit are
+///   appended to one JSONL file; on restart, completed work is restored
+///   and only the remainder runs. The file must belong to the same
+///   (benchmark, space, sim options) run.
+pub fn try_run_sampled_dse(
+    benchmark: Benchmark,
+    space: &DesignSpace,
+    cfg: &SampledConfig,
+    precomputed: Option<Vec<SimResult>>,
+    checkpoint: Option<&str>,
+) -> Result<SampledRun> {
     let _span = telemetry::span!(
         "sampled_dse",
         benchmark = benchmark.name(),
         rates = cfg.sampling_rates.len(),
         models = cfg.models.len(),
     );
-    let results = precomputed.unwrap_or_else(|| sweep_design_space(space, benchmark, &cfg.sim));
-    assert_eq!(results.len(), space.len(), "sweep size mismatch");
+    for &rate in &cfg.sampling_rates {
+        if !(rate > 0.0 && rate < 1.0) {
+            return Err(Error::invalid(format!(
+                "sampling rate out of range: {rate}"
+            )));
+        }
+    }
+
+    // Restore prior fit records before the sweep appends to the file.
+    let mut restored = HashMap::new();
+    let mut prior_records = 0usize;
+    if let Some(path) = checkpoint {
+        let records = checkpoint::load_records(path)?;
+        if let Some(header) = records.first() {
+            checkpoint::check_header(
+                path,
+                header,
+                &sweep_header_expectations(benchmark, space.len(), &cfg.sim),
+            )?;
+            restored = restore_fits(path, &records[1..], cfg)?;
+            if !restored.is_empty() {
+                telemetry::point!("sampled/resume", fits = restored.len());
+            }
+        }
+        prior_records = records.len();
+    }
+
+    let had_precomputed = precomputed.is_some();
+    let results = match precomputed {
+        Some(r) => {
+            if r.len() != space.len() {
+                return Err(Error::invalid(format!(
+                    "precomputed sweep has {} results for a {}-point space",
+                    r.len(),
+                    space.len()
+                )));
+            }
+            r
+        }
+        None => try_sweep_design_space(space, benchmark, &cfg.sim, checkpoint)?.results,
+    };
+    let writer = match checkpoint {
+        Some(path) => {
+            let w = CheckpointWriter::append(path)?;
+            // The sweep writes the header when it owns an empty file; with
+            // precomputed results nobody has yet, so the fit records need one.
+            if prior_records == 0 && had_precomputed {
+                w.append_record(&sweep_header(benchmark, space.len(), &cfg.sim))?;
+            }
+            Some(w)
+        }
+        None => None,
+    };
+
+    let bad_rows = results.iter().filter(|r| !r.cycles.is_finite()).count();
+    if bad_rows > 0 {
+        telemetry::counter_add("dse/dropped_rows", bad_rows as u64);
+        telemetry::point!("sampled/dropped_rows", rows = bad_rows);
+    }
+    let results: Vec<SimResult> = results
+        .into_iter()
+        .filter(|r| r.cycles.is_finite())
+        .collect();
+    if results.len() < 8 {
+        return Err(Error::degenerate(format!(
+            "sweep of {} left {} finite-cycle rows; need at least 8 to fit anything",
+            benchmark.name(),
+            results.len()
+        )));
+    }
     let summary = cpusim::runner::summarize_sweep(&results);
     let full = table_from_sweep(&results);
     let n = full.n_rows();
 
     let mut points = Vec::new();
+    let mut dropped = Vec::new();
     let progress = telemetry::Progress::new(
         "sampled_dse",
         (cfg.sampling_rates.len() * cfg.models.len()) as u64,
     );
     for (ri, &rate) in cfg.sampling_rates.iter().enumerate() {
-        assert!(
-            rate > 0.0 && rate < 1.0,
-            "sampling rate out of range: {rate}"
-        );
         let _rate_span = telemetry::span!("rate", rate = rate);
         let k = ((n as f64 * rate).round() as usize).max(8);
         let rows = draw_sample(
@@ -200,43 +423,90 @@ pub fn run_sampled_dse(
         let sample = full.select_rows(&rows);
 
         for (mi, &kind) in cfg.models.iter().enumerate() {
+            if let Some(prior) = restored.get(&(ri, kind)) {
+                match prior {
+                    RestoredFit::Fit(p) => points.push(p.clone()),
+                    RestoredFit::Drop(d) => dropped.push(d.clone()),
+                }
+                progress.inc();
+                continue;
+            }
             let _model_span = telemetry::span!("model", model = kind.abbrev(), rate = rate);
             let train_seed = child_seed(cfg.seed, (ri as u64) << 8 | mi as u64);
-            let model = {
+            let fit = {
                 let _train_span = telemetry::span!("fit", model = kind.abbrev(), sample_size = k);
-                train(kind, &sample, train_seed)
+                try_train(kind, &sample, train_seed)
             };
-            let (te, te_std) = true_error(&model, &full);
-            let estimated = if cfg.estimate_errors {
-                let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
-                Some(estimate_error(kind, &sample, child_seed(train_seed, 0xE5)))
-            } else {
-                None
-            };
+            match fit {
+                Err(e) => {
+                    telemetry::point!("sampled/drop_fit", model = kind.abbrev(), reason = e.kind());
+                    let d = DroppedFit {
+                        model: kind,
+                        rate,
+                        reason: e.kind().to_string(),
+                        detail: e.to_string(),
+                    };
+                    if let Some(w) = &writer {
+                        w.append_record(&drop_line(ri, &d))?;
+                    }
+                    dropped.push(d);
+                }
+                Ok(model) => {
+                    let (te, te_std) = true_error(&model, &full);
+                    let estimated = if cfg.estimate_errors {
+                        let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
+                        match try_estimate_error(kind, &sample, child_seed(train_seed, 0xE5)) {
+                            Ok(est) => Some(est),
+                            Err(e) => {
+                                telemetry::point!(
+                                    "sampled/estimate_failed",
+                                    model = kind.abbrev(),
+                                    reason = e.kind()
+                                );
+                                None
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    let point = SampledPoint {
+                        model: kind,
+                        rate,
+                        sample_size: k,
+                        true_error: te,
+                        true_error_std: te_std,
+                        estimated,
+                    };
+                    if let Some(w) = &writer {
+                        // A non-finite error would round-trip as JSON null;
+                        // re-fit on resume instead of checkpointing it.
+                        if te.is_finite() && te_std.is_finite() {
+                            w.append_record(&fit_line(ri, &point))?;
+                        } else {
+                            telemetry::point!("sampled/skip_checkpoint", model = kind.abbrev());
+                        }
+                    }
+                    points.push(point);
+                }
+            }
             progress.inc();
-            points.push(SampledPoint {
-                model: kind,
-                rate,
-                sample_size: k,
-                true_error: te,
-                true_error_std: te_std,
-                estimated,
-            });
         }
     }
 
-    SampledRun {
+    Ok(SampledRun {
         benchmark,
         space_size: n,
         range: summary.range,
         variation: summary.variation,
         points,
-    }
+        dropped,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpusim::runner::sweep_design_space;
 
     fn small_cfg() -> SampledConfig {
         SampledConfig {
@@ -308,5 +578,131 @@ mod tests {
         let p = run.point(ModelKind::LrB, 0.05).expect("point exists");
         assert_eq!(p.model, ModelKind::LrB);
         assert!(run.point(ModelKind::NnE, 0.05).is_none());
+    }
+
+    fn tmp_checkpoint(name: &str) -> String {
+        let dir = std::env::temp_dir().join("perfpredict-sampled-tests");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn checkpointed_run_restores_completed_fits() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let path = tmp_checkpoint("fits.jsonl");
+        let fresh = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, None, Some(&path))
+            .expect("first run");
+        let lines_after_first = std::fs::read_to_string(&path)
+            .expect("read")
+            .lines()
+            .count();
+        // Header + 288 sims + 4 fits.
+        assert_eq!(lines_after_first, 1 + 288 + 4);
+
+        let resumed =
+            try_run_sampled_dse(Benchmark::Applu, &space, &cfg, None, Some(&path)).expect("resume");
+        assert_eq!(resumed.points.len(), fresh.points.len());
+        for (a, b) in fresh.points.iter().zip(&resumed.points) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.true_error, b.true_error);
+            assert_eq!(a.estimated.map(|e| e.max), b.estimated.map(|e| e.max));
+        }
+        // Fully restored: the resume appended nothing.
+        let lines_after_second = std::fs::read_to_string(&path)
+            .expect("read")
+            .lines()
+            .count();
+        assert_eq!(lines_after_first, lines_after_second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partial_fit_checkpoint_resumes_to_identical_results() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let path = tmp_checkpoint("fits-partial.jsonl");
+        let fresh = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, None, Some(&path))
+            .expect("first run");
+        // Keep the header, all sims, and the first two fit records.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let keep: Vec<&str> = text.lines().take(1 + 288 + 2).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).expect("truncate");
+
+        let resumed =
+            try_run_sampled_dse(Benchmark::Applu, &space, &cfg, None, Some(&path)).expect("resume");
+        for (a, b) in fresh.points.iter().zip(&resumed.points) {
+            assert_eq!(
+                a.true_error,
+                b.true_error,
+                "{}@{}",
+                a.model.abbrev(),
+                a.rate
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn precomputed_checkpoint_gets_a_header() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let path = tmp_checkpoint("fits-precomputed.jsonl");
+        let sweep = sweep_design_space(&space, Benchmark::Applu, &cfg.sim);
+        try_run_sampled_dse(
+            Benchmark::Applu,
+            &space,
+            &cfg,
+            Some(sweep.clone()),
+            Some(&path),
+        )
+        .expect("precomputed run");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.lines().next().expect("header").contains("\"header\""));
+        // Resume also works with the precomputed sweep.
+        let resumed = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, Some(sweep), Some(&path))
+            .expect("resume");
+        assert_eq!(resumed.points.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_rate_is_a_typed_error() {
+        let cfg = SampledConfig {
+            sampling_rates: vec![1.5],
+            ..small_cfg()
+        };
+        let err = try_run_sampled_dse(Benchmark::Applu, &small_space(), &cfg, None, None)
+            .expect_err("rate out of range");
+        assert_eq!(err.kind(), "invalid");
+    }
+
+    #[test]
+    fn nan_cycles_are_dropped_not_fatal() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let mut sweep = sweep_design_space(&space, Benchmark::Applu, &cfg.sim);
+        for r in sweep.iter_mut().take(20) {
+            r.cycles = f64::NAN;
+        }
+        let run = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, Some(sweep), None)
+            .expect("run survives NaN rows");
+        assert_eq!(run.space_size, 288 - 20);
+        assert_eq!(run.points.len(), 4);
+    }
+
+    #[test]
+    fn all_nan_sweep_is_degenerate() {
+        let space = small_space();
+        let cfg = small_cfg();
+        let mut sweep = sweep_design_space(&space, Benchmark::Applu, &cfg.sim);
+        for r in sweep.iter_mut() {
+            r.cycles = f64::NAN;
+        }
+        let err = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, Some(sweep), None)
+            .expect_err("nothing usable");
+        assert_eq!(err.kind(), "degenerate");
     }
 }

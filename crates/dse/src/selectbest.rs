@@ -8,6 +8,7 @@
 //! estimated model is LR-B.
 
 use crate::sampled::SampledRun;
+use fault::{Error, Result};
 use mlmodels::ModelKind;
 use serde::{Deserialize, Serialize};
 
@@ -24,33 +25,73 @@ pub struct SelectOutcome {
 
 /// Apply the select method to a finished sampled run at one rate.
 ///
-/// Panics if the run was produced without error estimation.
+/// Panicking wrapper over [`try_select_method_error`].
 pub fn select_method_error(run: &SampledRun, rate: f64) -> SelectOutcome {
+    match try_select_method_error(run, rate) {
+        Ok(o) => o,
+        Err(e) => panic!("select method: {e}"),
+    }
+}
+
+/// Fallible select method: pick the candidate with the lowest estimated
+/// (max) error among those that have a finite estimate.
+///
+/// Candidates whose fit was dropped never appear in `run.points`, and
+/// candidates without a usable estimate (estimation disabled or failed)
+/// are skipped with a telemetry point — this is the §4.4 protocol
+/// degrading gracefully. No points at the rate at all is
+/// [`Error::InvalidInput`]; points existing but none having a usable
+/// estimate is [`Error::NoViableModel`] listing each one's defect.
+pub fn try_select_method_error(run: &SampledRun, rate: f64) -> Result<SelectOutcome> {
     let candidates: Vec<_> = run
         .points
         .iter()
         .filter(|p| (p.rate - rate).abs() < 1e-12)
         .collect();
-    assert!(!candidates.is_empty(), "no points at rate {rate}");
+    if candidates.is_empty() {
+        return Err(Error::invalid(format!("no points at rate {rate}")));
+    }
     let chosen = candidates
         .iter()
-        .min_by(|a, b| {
-            let ea = a.estimated.expect("run must estimate errors").max;
-            let eb = b.estimated.expect("run must estimate errors").max;
-            ea.partial_cmp(&eb).expect("NaN estimate")
+        .filter(|p| {
+            let usable = p.estimated.is_some_and(|e| e.max.is_finite());
+            if !usable {
+                telemetry::point!("select/skip_unestimated", model = p.model.abbrev());
+            }
+            usable
         })
-        .expect("nonempty");
-    SelectOutcome {
-        rate,
-        chosen: chosen.model,
-        true_error: chosen.true_error,
+        .min_by(|a, b| {
+            let ea = a.estimated.map_or(f64::INFINITY, |e| e.max);
+            let eb = b.estimated.map_or(f64::INFINITY, |e| e.max);
+            ea.total_cmp(&eb)
+        });
+    match chosen {
+        Some(p) => Ok(SelectOutcome {
+            rate,
+            chosen: p.model,
+            true_error: p.true_error,
+        }),
+        None => Err(Error::NoViableModel {
+            reasons: candidates
+                .iter()
+                .map(|p| {
+                    (
+                        p.model.abbrev().to_string(),
+                        match p.estimated {
+                            Some(e) => format!("non-finite error estimate ({})", e.max),
+                            None => "no error estimate".to_string(),
+                        },
+                    )
+                })
+                .collect(),
+        }),
     }
 }
 
 /// Select outcomes for every rate in a run.
 pub fn select_method_series(run: &SampledRun) -> Vec<SelectOutcome> {
     let mut rates: Vec<f64> = run.points.iter().map(|p| p.rate).collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("NaN rate"));
+    rates.sort_by(f64::total_cmp);
     rates.dedup();
     rates
         .into_iter()
@@ -91,6 +132,7 @@ mod tests {
                 mk(ModelKind::NnE, 0.03, 0.6, 0.8),
                 mk(ModelKind::LrB, 0.03, 1.1, 1.4),
             ],
+            dropped: vec![],
         }
     }
 
@@ -118,5 +160,26 @@ mod tests {
     fn missing_rate_panics() {
         let run = fake_run();
         let _ = select_method_error(&run, 0.02);
+    }
+
+    #[test]
+    fn missing_rate_is_invalid_input() {
+        let run = fake_run();
+        let err = try_select_method_error(&run, 0.02).expect_err("no points");
+        assert_eq!(err.kind(), "invalid");
+    }
+
+    #[test]
+    fn unestimated_candidates_are_skipped_not_fatal() {
+        let mut run = fake_run();
+        // Knock out NN-E's estimate at 1%: LR-B must still be chosen.
+        run.points[0].estimated = None;
+        let s = try_select_method_error(&run, 0.01).expect("one viable candidate");
+        assert_eq!(s.chosen, ModelKind::LrB);
+        // Knock out both: typed NoViableModel naming each candidate.
+        run.points[1].estimated = None;
+        let err = try_select_method_error(&run, 0.01).expect_err("no viable");
+        assert_eq!(err.kind(), "no_viable_model");
+        assert!(err.to_string().contains("NN-E") && err.to_string().contains("LR-B"));
     }
 }

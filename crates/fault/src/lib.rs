@@ -1,0 +1,262 @@
+//! `fault` — the typed error hierarchy and checkpoint machinery behind
+//! perfpredict's fault tolerance.
+//!
+//! The paper's premise is that surrogate models replace expensive
+//! simulation sweeps; a production pipeline built on that idea has to
+//! survive the failure modes the paper itself observes — networks that
+//! diverge or over-fit (§4.3), degenerate design matrices produced by
+//! near-constant samples, and long sweeps that die halfway. This crate
+//! gives every layer a shared vocabulary for those failures:
+//!
+//! * [`Error`] — the typed hierarchy ([`Error::SingularSystem`],
+//!   [`Error::Diverged`], [`Error::DegenerateData`], [`Error::Io`],
+//!   [`Error::Checkpoint`], …) returned by the fallible cores
+//!   (`linalg::solve::try_lstsq`, `mlmodels::try_train`,
+//!   `cpusim::runner::try_sweep_design_space`, `dse::try_run_sampled_dse`).
+//! * [`Error::exit_code`] — the CLI's error-to-exit-code mapping, so shell
+//!   drivers can distinguish bad input from numeric failure from a
+//!   corrupted checkpoint.
+//! * [`checkpoint`] — append-only JSONL checkpoint files shared by the
+//!   simulator sweep and the sampled-DSE model fits, tolerant of a
+//!   truncated final line (the signature a `kill -9` leaves behind).
+
+pub mod checkpoint;
+
+use std::fmt;
+
+/// Alias for results carrying the perfpredict [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every failure the pipeline can surface, from the numeric cores up to
+/// the CLI. Variants carry enough context to be actionable in a log line.
+#[derive(Debug)]
+pub enum Error {
+    /// A linear system was singular (rank-deficient) to working precision
+    /// and no factorization produced finite coefficients.
+    SingularSystem {
+        /// What was being solved (e.g. `"lstsq 24x3"`).
+        context: String,
+    },
+    /// Iterative training left the finite domain and retries were
+    /// exhausted.
+    Diverged {
+        /// Epoch (or iteration) at which divergence was detected.
+        epoch: usize,
+        /// The non-finite (or exploded) loss observed there.
+        loss: f64,
+    },
+    /// Input data cannot support a fit: empty/too-few rows, non-finite
+    /// values, constant targets where variation is required, and so on.
+    DegenerateData {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// An I/O operation failed.
+    Io {
+        /// Path involved (empty when unknown).
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file is unusable: corrupt before its final line, or
+    /// written by an incompatible run (different benchmark, space, seed).
+    Checkpoint {
+        /// Checkpoint path.
+        path: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// User-supplied input (CLI argument, configuration field) is invalid.
+    InvalidInput {
+        /// What was rejected and why.
+        detail: String,
+    },
+    /// Every candidate model in a selection set failed; carries the
+    /// per-candidate reasons so the degradation is recorded, not silent.
+    NoViableModel {
+        /// `(candidate, reason)` pairs, in candidate order.
+        reasons: Vec<(String, String)>,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::DegenerateData`].
+    pub fn degenerate(reason: impl Into<String>) -> Error {
+        Error::DegenerateData {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::SingularSystem`].
+    pub fn singular(context: impl Into<String>) -> Error {
+        Error::SingularSystem {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::InvalidInput`].
+    pub fn invalid(detail: impl Into<String>) -> Error {
+        Error::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`Error::Checkpoint`].
+    pub fn checkpoint(path: impl Into<String>, detail: impl Into<String>) -> Error {
+        Error::Checkpoint {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Attach a path to an I/O error.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Error {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code the CLI maps this error to:
+    ///
+    /// | code | meaning |
+    /// |---|---|
+    /// | 2 | invalid input (bad argument, unknown benchmark/family) |
+    /// | 3 | I/O failure |
+    /// | 4 | checkpoint corrupt or incompatible |
+    /// | 5 | numeric/model failure (singular, diverged, degenerate, no viable model) |
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::InvalidInput { .. } => 2,
+            Error::Io { .. } => 3,
+            Error::Checkpoint { .. } => 4,
+            Error::SingularSystem { .. }
+            | Error::Diverged { .. }
+            | Error::DegenerateData { .. }
+            | Error::NoViableModel { .. } => 5,
+        }
+    }
+
+    /// Short machine-friendly tag for telemetry attributes and checkpoint
+    /// records (`singular`, `diverged`, `degenerate`, `io`, `checkpoint`,
+    /// `invalid`, `no_viable_model`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::SingularSystem { .. } => "singular",
+            Error::Diverged { .. } => "diverged",
+            Error::DegenerateData { .. } => "degenerate",
+            Error::Io { .. } => "io",
+            Error::Checkpoint { .. } => "checkpoint",
+            Error::InvalidInput { .. } => "invalid",
+            Error::NoViableModel { .. } => "no_viable_model",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SingularSystem { context } => {
+                write!(f, "singular system: {context}")
+            }
+            Error::Diverged { epoch, loss } => {
+                write!(f, "training diverged at epoch {epoch} (loss {loss})")
+            }
+            Error::DegenerateData { reason } => write!(f, "degenerate data: {reason}"),
+            Error::Io { path, source } => {
+                if path.is_empty() {
+                    write!(f, "I/O error: {source}")
+                } else {
+                    write!(f, "I/O error on {path}: {source}")
+                }
+            }
+            Error::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {path}: {detail}")
+            }
+            Error::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            Error::NoViableModel { reasons } => {
+                write!(f, "no viable model among {} candidates:", reasons.len())?;
+                for (cand, why) in reasons {
+                    write!(f, " [{cand}: {why}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(source: std::io::Error) -> Error {
+        Error::Io {
+            path: String::new(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(Error::invalid("bad flag").exit_code(), 2);
+        assert_eq!(Error::io("x", std::io::Error::other("e")).exit_code(), 3);
+        assert_eq!(Error::checkpoint("p", "corrupt").exit_code(), 4);
+        assert_eq!(Error::singular("lstsq").exit_code(), 5);
+        assert_eq!(
+            Error::Diverged {
+                epoch: 3,
+                loss: f64::NAN
+            }
+            .exit_code(),
+            5
+        );
+        assert_eq!(Error::degenerate("constant target").exit_code(), 5);
+        assert_eq!(Error::NoViableModel { reasons: vec![] }.exit_code(), 5);
+    }
+
+    #[test]
+    fn display_carries_context() {
+        let e = Error::singular("lstsq 24x3");
+        assert!(e.to_string().contains("lstsq 24x3"));
+        let e = Error::Diverged {
+            epoch: 17,
+            loss: f64::INFINITY,
+        };
+        assert!(e.to_string().contains("epoch 17"));
+        let e = Error::NoViableModel {
+            reasons: vec![("NN-E".into(), "diverged".into())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("NN-E") && s.contains("diverged"), "{s}");
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        assert_eq!(Error::singular("x").kind(), "singular");
+        assert_eq!(Error::degenerate("x").kind(), "degenerate");
+        assert_eq!(Error::checkpoint("p", "d").kind(), "checkpoint");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        fn fails() -> Result<()> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))?;
+            Ok(())
+        }
+        match fails() {
+            Err(Error::Io { .. }) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -97,10 +97,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u = rng.random::<f64>();
         // Binary search the CDF.
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("Zipf: NaN"))
-        {
+        // The CDF is finite by construction (normalised partial sums of
+        // positive weights); total_cmp keeps the search total regardless.
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -3,10 +3,24 @@
 //! Ordinary least squares is solved either through the normal equations with
 //! a Cholesky factorization (fast; fine for the well-scaled 0–1 design
 //! matrices this project produces) or through a Householder QR factorization
-//! (slower but numerically robust). [`lstsq`] tries Cholesky first and falls
-//! back to QR, then to a tiny ridge perturbation, so callers never see a
-//! hard failure on collinear predictors — exactly the behaviour a stepwise
-//! regression driver wants when it probes near-redundant predictor subsets.
+//! (slower but numerically robust). Three entry points trade strictness for
+//! convenience:
+//!
+//! * [`try_lstsq`] — Cholesky then QR; a rank-deficient system is reported
+//!   as [`Error::SingularSystem`] and non-finite input as
+//!   [`Error::DegenerateData`]. This is what selection drivers use to *skip*
+//!   a collinear candidate column instead of absorbing a blurred fit.
+//! * [`lstsq_ridge`] — [`try_lstsq`] plus a ridge-stabilized fallback for
+//!   callers that want *some* usable fit on collinear predictors (the
+//!   paper's Enter method, which regresses on all predictors regardless of
+//!   redundancy). Still returns `Err` on non-finite input or when even
+//!   heavy shrinkage cannot stabilize the system.
+//! * [`lstsq`] — the original infallible-looking signature, now a thin
+//!   wrapper over [`lstsq_ridge`] that panics on the (degenerate-input)
+//!   error paths. Kept for tests and exploratory callers; pipeline code
+//!   uses the fallible forms.
+
+use fault::{Error, Result};
 
 use crate::matrix::{dot, Matrix};
 
@@ -172,43 +186,100 @@ pub fn solve_qr(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     Some(x)
 }
 
-/// Robust least squares: Cholesky normal equations, falling back to QR and
-/// finally to a ridge-stabilized solve. Returns the coefficients and the
-/// method that succeeded.
-pub fn lstsq(x: &Matrix, y: &[f64]) -> (Vec<f64>, LstsqMethod) {
+fn check_finite_inputs(x: &Matrix, y: &[f64]) -> Result<()> {
+    for i in 0..x.rows() {
+        for &v in x.row(i) {
+            if !v.is_finite() {
+                return Err(Error::degenerate(format!(
+                    "design matrix contains a non-finite value in row {i}"
+                )));
+            }
+        }
+    }
+    if let Some(i) = y.iter().position(|v| !v.is_finite()) {
+        return Err(Error::degenerate(format!(
+            "response vector contains a non-finite value at index {i}"
+        )));
+    }
+    Ok(())
+}
+
+/// Strict least squares: Cholesky normal equations falling back to
+/// Householder QR, with no regularization.
+///
+/// Errors with [`Error::DegenerateData`] on non-finite input and
+/// [`Error::SingularSystem`] when the design is rank-deficient to working
+/// precision — the signal a stepwise driver uses to skip a collinear
+/// candidate column.
+pub fn try_lstsq(x: &Matrix, y: &[f64]) -> Result<(Vec<f64>, LstsqMethod)> {
+    check_finite_inputs(x, y)?;
     let gram = x.gram();
     let xty = x.t_matvec(y);
     if let Some(beta) = solve_cholesky(&gram, &xty) {
         if beta.iter().all(|b| b.is_finite()) {
-            return (beta, LstsqMethod::Cholesky);
+            return Ok((beta, LstsqMethod::Cholesky));
         }
     }
     if x.rows() >= x.cols() {
         if let Some(beta) = solve_qr(x, y) {
             if beta.iter().all(|b| b.is_finite()) {
-                return (beta, LstsqMethod::Qr);
+                return Ok((beta, LstsqMethod::Qr));
             }
         }
     }
+    Err(Error::singular(format!(
+        "lstsq {}x{}: Cholesky and QR both failed (rank-deficient design)",
+        x.rows(),
+        x.cols()
+    )))
+}
+
+/// Robust least squares: [`try_lstsq`], then a ridge-stabilized solve for
+/// collinear designs. Returns the coefficients and the method that
+/// succeeded.
+///
+/// Errors with [`Error::DegenerateData`] on non-finite input and
+/// [`Error::SingularSystem`] if even shrinkage six orders of magnitude
+/// above the Gram diagonal scale cannot stabilize the system.
+pub fn lstsq_ridge(x: &Matrix, y: &[f64]) -> Result<(Vec<f64>, LstsqMethod)> {
+    match try_lstsq(x, y) {
+        Ok(solved) => return Ok(solved),
+        Err(Error::SingularSystem { .. }) => {}
+        Err(other) => return Err(other),
+    }
     // Ridge fallback: shrinkage proportional to the Gram diagonal scale.
+    let gram = x.gram();
+    let xty = x.t_matvec(y);
     let p = gram.rows();
     let scale = (0..p).map(|i| gram[(i, i)]).fold(0.0f64, f64::max).max(1.0);
     let mut g = gram;
     let mut lambda = 1e-8 * scale;
-    loop {
+    while lambda < scale * 1e6 {
         for i in 0..p {
             g[(i, i)] += lambda;
         }
         if let Some(beta) = solve_cholesky(&g, &xty) {
             if beta.iter().all(|b| b.is_finite()) {
-                return (beta, LstsqMethod::Ridge);
+                return Ok((beta, LstsqMethod::Ridge));
             }
         }
         lambda *= 10.0;
-        assert!(
-            lambda < scale * 1e6,
-            "lstsq: ridge fallback failed to stabilize the normal equations"
-        );
+    }
+    Err(Error::singular(format!(
+        "lstsq {}x{}: ridge fallback failed to stabilize the normal equations",
+        x.rows(),
+        x.cols()
+    )))
+}
+
+/// Infallible-signature least squares, kept for tests and exploratory
+/// callers: [`lstsq_ridge`] that panics on its error paths (non-finite
+/// input, or a system no amount of shrinkage stabilizes). Pipeline code
+/// uses [`try_lstsq`] / [`lstsq_ridge`] instead.
+pub fn lstsq(x: &Matrix, y: &[f64]) -> (Vec<f64>, LstsqMethod) {
+    match lstsq_ridge(x, y) {
+        Ok(solved) => solved,
+        Err(e) => panic!("lstsq: {e}"),
     }
 }
 
@@ -294,6 +365,41 @@ mod tests {
         for (p, t) in pred.iter().zip(&y) {
             assert!((p - t).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn try_lstsq_reports_singular_instead_of_blurring() {
+        // Identical second and third columns: strict solve must refuse.
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let v = i as f64;
+                vec![1.0, v, v]
+            })
+            .collect();
+        let y: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[1]).collect();
+        let x = Matrix::from_rows(&xs);
+        match try_lstsq(&x, &y) {
+            Err(fault::Error::SingularSystem { context }) => {
+                assert!(context.contains("30x3"), "{context}");
+            }
+            other => panic!("expected SingularSystem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_lstsq_rejects_non_finite_input() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, f64::NAN], vec![1.0, 2.0]]);
+        let y = vec![0.0, 1.0, 2.0];
+        assert!(matches!(
+            try_lstsq(&x, &y),
+            Err(fault::Error::DegenerateData { .. })
+        ));
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
+        let y = vec![0.0, f64::INFINITY, 2.0];
+        assert!(matches!(
+            lstsq_ridge(&x, &y),
+            Err(fault::Error::DegenerateData { .. })
+        ));
     }
 
     #[test]

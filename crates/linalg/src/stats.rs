@@ -115,8 +115,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile: empty input");
     assert!((0.0..=100.0).contains(&p), "percentile: p out of range");
+    // total_cmp sorts NaNs to the top end rather than panicking; callers
+    // that must exclude NaN filter before calling.
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -1,7 +1,7 @@
 //! Property-based tests for the linalg crate.
 
 use linalg::matrix::{dot, Matrix};
-use linalg::solve::{lstsq, rss, solve_qr};
+use linalg::solve::{lstsq, lstsq_ridge, rss, solve_qr, try_lstsq};
 use linalg::special::{f_cdf, inc_beta, t_cdf};
 use linalg::stats::{geometric_mean, mean, percentile, range_ratio};
 use proptest::prelude::*;
@@ -80,6 +80,65 @@ proptest! {
                 prop_assert!((p - t).abs() < 1e-6);
             }
         }
+    }
+
+    /// On exactly rank-deficient designs (a column is a multiple of
+    /// another), the strict solver either reports `SingularSystem` or
+    /// returns fully finite coefficients — never silent NaN/Inf.
+    #[test]
+    fn try_lstsq_never_silently_non_finite(
+        col in prop::collection::vec(-5.0f64..5.0, 12),
+        scale in -3.0f64..3.0,
+        y in prop::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let rows: Vec<Vec<f64>> = col.iter().map(|&v| vec![1.0, v, scale * v]).collect();
+        let x = Matrix::from_rows(&rows);
+        match try_lstsq(&x, &y) {
+            Ok((beta, _)) => prop_assert!(beta.iter().all(|b| b.is_finite())),
+            Err(e) => prop_assert_eq!(e.kind(), "singular"),
+        }
+    }
+
+    /// The ridge-fallback tier must always produce finite coefficients on
+    /// ill-conditioned (near-duplicate column) designs — that is its job.
+    #[test]
+    fn lstsq_ridge_recovers_ill_conditioned(
+        col in prop::collection::vec(-5.0f64..5.0, 14),
+        eps in 0.0f64..1e-10,
+        y in prop::collection::vec(-5.0f64..5.0, 14),
+    ) {
+        let rows: Vec<Vec<f64>> = col
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![1.0, v, v + eps * i as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        match lstsq_ridge(&x, &y) {
+            Ok((beta, _)) => prop_assert!(beta.iter().all(|b| b.is_finite())),
+            Err(e) => prop_assert_eq!(e.kind(), "singular"),
+        }
+    }
+
+    /// Non-finite inputs are always a typed `DegenerateData`, regardless
+    /// of where the poison sits.
+    #[test]
+    fn try_lstsq_rejects_poisoned_input(
+        data in prop::collection::vec(-5.0f64..5.0, 10 * 2),
+        y in prop::collection::vec(-5.0f64..5.0, 10),
+        bad_row in 0usize..10,
+        bad_col in 0usize..2,
+        poison_design in any::<bool>(),
+    ) {
+        let mut data = data;
+        let mut y = y;
+        if poison_design {
+            data[bad_row * 2 + bad_col] = f64::NAN;
+        } else {
+            y[bad_row] = f64::INFINITY;
+        }
+        let x = Matrix::from_vec(10, 2, data);
+        let e = try_lstsq(&x, &y).expect_err("poisoned input must be rejected");
+        prop_assert_eq!(e.kind(), "degenerate");
     }
 
     #[test]

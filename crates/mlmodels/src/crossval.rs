@@ -8,8 +8,9 @@
 //! these data sets, as well as the maximum of the error. … in general
 //! maximum gives a closer estimate."
 
-use crate::model::{train, ModelKind};
+use crate::model::{train, try_train, ModelKind};
 use crate::table::Table;
+use fault::{Error, Result};
 use linalg::dist::{child_seed, permutation, seeded_rng};
 use linalg::stats::mape;
 use rayon::prelude::*;
@@ -28,15 +29,43 @@ pub struct ErrorEstimate {
     pub max: f64,
 }
 
+/// A candidate model dropped from a selection set, with the reason — the
+/// §3.3 *select* method degrades gracefully instead of poisoning the run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropped {
+    /// The candidate that failed.
+    pub kind: ModelKind,
+    /// Error kind tag (`diverged`, `degenerate`, `singular`, …).
+    pub reason: String,
+    /// Full error message.
+    pub detail: String,
+}
+
 /// Run the §3.3 estimation for one model kind on a training table.
 ///
-/// Each split trains on a random half and measures the mean percentage
-/// error on the complementary half. Splits run in parallel.
+/// Infallible-signature wrapper over [`try_estimate_error`]; panics on
+/// its error paths. Pipeline code uses the fallible form.
 pub fn estimate_error(kind: ModelKind, table: &Table, seed: u64) -> ErrorEstimate {
+    match try_estimate_error(kind, table, seed) {
+        Ok(est) => est,
+        Err(e) => panic!("estimate_error {}: {e}", kind.abbrev()),
+    }
+}
+
+/// Fallible §3.3 estimation: each split trains on a random half and
+/// measures the mean percentage error on the complementary half, splits
+/// in parallel. A failed split fit (diverged, singular, degenerate) fails
+/// the whole estimate — the candidate is then dropped by
+/// [`estimate_all_fallible`] with the reason recorded.
+pub fn try_estimate_error(kind: ModelKind, table: &Table, seed: u64) -> Result<ErrorEstimate> {
     let _span = telemetry::span!("estimate", model = kind.abbrev());
     let n = table.n_rows();
-    assert!(n >= 8, "need at least 8 rows for 50% cross-validation");
-    let errors: Vec<f64> = (0..N_SPLITS)
+    if n < 8 {
+        return Err(Error::degenerate(format!(
+            "need at least 8 rows for 50% cross-validation, got {n}"
+        )));
+    }
+    let errors: Vec<Result<f64>> = (0..N_SPLITS)
         .into_par_iter()
         .map(|s| {
             let _span = telemetry::span!("fold", model = kind.abbrev(), split = s);
@@ -48,19 +77,29 @@ pub fn estimate_error(kind: ModelKind, table: &Table, seed: u64) -> ErrorEstimat
             let test_rows = &perm[half..];
             let tr = table.select_rows(train_rows);
             let te = table.select_rows(test_rows);
-            let model = train(kind, &tr, child_seed(split_seed, 1));
+            let model = try_train(kind, &tr, child_seed(split_seed, 1))?;
             let preds = model.predict(&te);
             let (m, _) = mape(&preds, te.target());
-            m
+            Ok(m)
         })
         .collect();
+    let errors = errors.into_iter().collect::<Result<Vec<f64>>>()?;
     let mean = linalg::stats::mean(&errors);
     let max = errors.iter().cloned().fold(0.0f64, f64::max);
-    ErrorEstimate { mean, max }
+    if !max.is_finite() {
+        return Err(Error::degenerate(format!(
+            "{}: cross-validation produced a non-finite error estimate",
+            kind.abbrev()
+        )));
+    }
+    Ok(ErrorEstimate { mean, max })
 }
 
 /// Estimate every candidate's error and return `(kind, estimate)` pairs,
 /// candidates in parallel.
+///
+/// Panics if any candidate fails; [`estimate_all_fallible`] records
+/// failures instead.
 pub fn estimate_all(
     kinds: &[ModelKind],
     table: &Table,
@@ -81,15 +120,83 @@ pub fn estimate_all(
         .collect()
 }
 
+/// Estimate every candidate, degrading gracefully: a candidate whose
+/// estimation fails is moved to the dropped list with its reason
+/// (telemetry point `select/drop_model`) instead of failing the run —
+/// mirroring how the paper's select falls back to the next-best model.
+pub fn estimate_all_fallible(
+    kinds: &[ModelKind],
+    table: &Table,
+    seed: u64,
+) -> (Vec<(ModelKind, ErrorEstimate)>, Vec<Dropped>) {
+    let results: Vec<(ModelKind, Result<ErrorEstimate>)> = kinds
+        .par_iter()
+        .map(|&k| {
+            (
+                k,
+                try_estimate_error(
+                    k,
+                    table,
+                    child_seed(seed, k.abbrev().len() as u64 * 31 + k as u64),
+                ),
+            )
+        })
+        .collect();
+    let mut estimates = Vec::new();
+    let mut dropped = Vec::new();
+    for (kind, r) in results {
+        match r {
+            Ok(est) => estimates.push((kind, est)),
+            Err(e) => {
+                telemetry::point!(
+                    "select/drop_model",
+                    model = kind.abbrev(),
+                    reason = e.kind()
+                );
+                dropped.push(Dropped {
+                    kind,
+                    reason: e.kind().to_string(),
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+    (estimates, dropped)
+}
+
 /// The paper's *select* method: the candidate with the smallest maximum
 /// estimated error.
+///
+/// Panicking wrapper over [`try_select_best`].
 pub fn select_best(estimates: &[(ModelKind, ErrorEstimate)]) -> ModelKind {
-    assert!(!estimates.is_empty(), "select_best: no candidates");
-    estimates
+    match try_select_best(estimates) {
+        Ok(kind) => kind,
+        Err(e) => panic!("select_best: {e}"),
+    }
+}
+
+/// Fallible *select*: candidates with non-finite max estimates are
+/// ignored; if none remain, [`Error::NoViableModel`] lists every
+/// candidate with why it was unusable.
+pub fn try_select_best(estimates: &[(ModelKind, ErrorEstimate)]) -> Result<ModelKind> {
+    let viable = estimates
         .iter()
-        .min_by(|a, b| a.1.max.partial_cmp(&b.1.max).expect("NaN error estimate"))
-        .expect("nonempty")
-        .0
+        .filter(|(_, est)| est.max.is_finite())
+        .min_by(|a, b| a.1.max.total_cmp(&b.1.max));
+    match viable {
+        Some((kind, _)) => Ok(*kind),
+        None => Err(Error::NoViableModel {
+            reasons: estimates
+                .iter()
+                .map(|(k, est)| {
+                    (
+                        k.abbrev().to_string(),
+                        format!("non-finite max error estimate ({})", est.max),
+                    )
+                })
+                .collect(),
+        }),
+    }
 }
 
 /// Generalized k-fold cross-validation (an extension of the paper's fixed
@@ -188,6 +295,42 @@ mod tests {
             ),
         ];
         assert_eq!(select_best(&ests), ModelKind::NnE);
+    }
+
+    #[test]
+    fn estimate_all_fallible_records_dropped_candidates() {
+        // 6 rows cannot support 50% cross-validation: every candidate is
+        // dropped with a recorded reason instead of panicking.
+        let t = table(6);
+        let (ests, dropped) = estimate_all_fallible(&[ModelKind::LrE, ModelKind::NnS], &t, 1);
+        assert!(ests.is_empty());
+        assert_eq!(dropped.len(), 2);
+        for d in &dropped {
+            assert_eq!(d.reason, "degenerate");
+            assert!(d.detail.contains("8 rows"), "{}", d.detail);
+        }
+    }
+
+    #[test]
+    fn try_select_best_skips_non_finite_and_reports_no_viable() {
+        let nan_est = ErrorEstimate {
+            mean: f64::NAN,
+            max: f64::NAN,
+        };
+        let good = ErrorEstimate {
+            mean: 2.0,
+            max: 3.0,
+        };
+        let picked =
+            try_select_best(&[(ModelKind::LrE, nan_est), (ModelKind::NnE, good)]).expect("viable");
+        assert_eq!(picked, ModelKind::NnE);
+        match try_select_best(&[(ModelKind::LrE, nan_est)]) {
+            Err(fault::Error::NoViableModel { reasons }) => {
+                assert_eq!(reasons.len(), 1);
+                assert_eq!(reasons[0].0, "LR-E");
+            }
+            other => panic!("expected NoViableModel, got {other:?}"),
+        }
     }
 
     #[test]

@@ -97,7 +97,9 @@ pub fn importance(model: &TrainedModel, table: &Table) -> Vec<Importance> {
             score,
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN importance"));
+    // total_cmp: a NaN score (degenerate weight column) sorts last
+    // instead of panicking mid-report.
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
 }
 

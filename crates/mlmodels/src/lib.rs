@@ -41,5 +41,5 @@ pub mod prep;
 pub mod select;
 pub mod table;
 
-pub use model::{train, ModelKind, TrainedModel};
+pub use model::{train, try_train, ModelKind, TrainedModel};
 pub use table::{Column, Table};

@@ -6,8 +6,9 @@
 //! statistics, and §4.4 reports *standardized beta coefficients* as the
 //! importance measure — all computed here.
 
+use fault::{Error, Result};
 use linalg::matrix::dot;
-use linalg::solve::{lstsq, spd_inverse};
+use linalg::solve::{lstsq_ridge, spd_inverse, try_lstsq};
 use linalg::special::t_sf_two_sided;
 use linalg::stats::{mean, sample_variance};
 use linalg::Matrix;
@@ -38,14 +39,45 @@ pub struct LinearFit {
 impl LinearFit {
     /// Fit on the columns `active` of `x` (full design matrix, no intercept
     /// column — one is added internally).
+    ///
+    /// Infallible-signature wrapper over [`LinearFit::try_fit_ridge`];
+    /// panics on its error paths (non-finite data, too few observations).
+    /// Pipeline code uses the fallible forms.
     pub fn fit(x: &Matrix, y: &[f64], active: &[usize]) -> LinearFit {
+        match Self::try_fit_ridge(x, y, active) {
+            Ok(fit) => fit,
+            Err(e) => panic!("LinearFit::fit: {e}"),
+        }
+    }
+
+    /// Strict fallible fit: a rank-deficient active set yields
+    /// [`Error::SingularSystem`] instead of a ridge-blurred solution.
+    /// Selection drivers use this to *skip* collinear candidates.
+    pub fn try_fit(x: &Matrix, y: &[f64], active: &[usize]) -> Result<LinearFit> {
+        Self::fit_impl(x, y, active, false)
+    }
+
+    /// Fallible fit with a ridge fallback for collinear active sets (the
+    /// Enter method regresses on all predictors regardless of redundancy).
+    /// Still errors on non-finite data or too few observations.
+    pub fn try_fit_ridge(x: &Matrix, y: &[f64], active: &[usize]) -> Result<LinearFit> {
+        Self::fit_impl(x, y, active, true)
+    }
+
+    fn fit_impl(x: &Matrix, y: &[f64], active: &[usize], ridge: bool) -> Result<LinearFit> {
         let n = x.rows();
-        assert_eq!(n, y.len(), "design/target length mismatch");
-        assert!(
-            n > active.len() + 1,
-            "not enough observations for {} predictors",
-            active.len()
-        );
+        if n != y.len() {
+            return Err(Error::degenerate(format!(
+                "design/target length mismatch: {n} rows vs {} targets",
+                y.len()
+            )));
+        }
+        if n <= active.len() + 1 {
+            return Err(Error::degenerate(format!(
+                "{n} observations cannot support {} predictors",
+                active.len()
+            )));
+        }
 
         let sub = x.select_cols(active);
         // Design with leading intercept column.
@@ -54,7 +86,11 @@ impl LinearFit {
             design[(i, 0)] = 1.0;
             design.row_mut(i)[1..].copy_from_slice(sub.row(i));
         }
-        let (beta, _) = lstsq(&design, y);
+        let (beta, _) = if ridge {
+            lstsq_ridge(&design, y)?
+        } else {
+            try_lstsq(&design, y)?
+        };
 
         let mut rss = 0.0;
         for (i, &yi) in y.iter().enumerate() {
@@ -100,7 +136,7 @@ impl LinearFit {
             p_values.push(pv);
         }
 
-        LinearFit {
+        Ok(LinearFit {
             active: active.to_vec(),
             intercept: beta[0],
             coefs: beta[1..].to_vec(),
@@ -109,7 +145,7 @@ impl LinearFit {
             n,
             std_betas,
             p_values,
-        }
+        })
     }
 
     /// Predict one row of the full design matrix.

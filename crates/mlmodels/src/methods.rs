@@ -20,6 +20,7 @@
 //! then retrained on all rows.
 
 use crate::nn::{restart_seed, Mlp, TrainAlgo, TrainConfig};
+use fault::{Error, Result};
 use linalg::dist::{child_seed, permutation, seeded_rng};
 use linalg::Matrix;
 use rayon::prelude::*;
@@ -116,11 +117,83 @@ fn finalize(proto: &Mlp, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Mlp {
 
 /// Train a network on `(x, y01)` — the design matrix and 0–1 scaled
 /// targets — with the chosen method. Deterministic per seed.
+///
+/// Infallible-signature wrapper over [`try_train_nn`]; panics on its
+/// error paths (degenerate data, divergence surviving all retries).
+/// Pipeline code uses [`try_train_nn`].
 pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
+    match try_train_nn(method, x, y01, seed) {
+        Ok(net) => net,
+        Err(e) => panic!("train_nn {}: {e}", method.abbrev()),
+    }
+}
+
+/// Fallible method-level training with divergence guards.
+///
+/// Validates the inputs up front ([`Error::DegenerateData`] on fewer than
+/// 4 rows or non-finite values), then runs the chosen method. The
+/// per-network engine already retries reseeded weights internally; if the
+/// *method* still produces a non-finite model, the whole method is rerun
+/// with a reseeded driver (telemetry point `train/retry`), and after the
+/// retry budget the failure surfaces as [`Error::Diverged`].
+pub fn try_train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Result<Mlp> {
+    if x.rows() < 4 {
+        return Err(Error::degenerate(format!(
+            "need at least 4 rows to train a network, got {}",
+            x.rows()
+        )));
+    }
+    if x.rows() != y01.len() {
+        return Err(Error::degenerate(format!(
+            "design/target mismatch: {} rows vs {} targets",
+            x.rows(),
+            y01.len()
+        )));
+    }
+    for i in 0..x.rows() {
+        if x.row(i).iter().any(|v| !v.is_finite()) {
+            return Err(Error::degenerate(format!(
+                "design row {i} contains a non-finite value"
+            )));
+        }
+    }
+    if let Some(i) = y01.iter().position(|v| !v.is_finite()) {
+        return Err(Error::degenerate(format!("target {i} is non-finite")));
+    }
+
+    const METHOD_RETRIES: u64 = 2;
+    let mut last_loss = f64::NAN;
+    for attempt in 0..=METHOD_RETRIES {
+        // Attempt 0 uses the caller's seed verbatim so the no-fault path
+        // reproduces historical results bit-for-bit.
+        let mseed = if attempt == 0 {
+            seed
+        } else {
+            child_seed(seed, 0x7E00 + attempt)
+        };
+        let net = train_nn_inner(method, x, y01, mseed);
+        let rmse = net.rmse(x, y01);
+        if rmse.is_finite() {
+            return Ok(net);
+        }
+        last_loss = rmse;
+        telemetry::point!(
+            "train/retry",
+            method = method.abbrev(),
+            attempt = attempt + 1,
+            loss = rmse
+        );
+    }
+    Err(Error::Diverged {
+        epoch: 0,
+        loss: last_loss,
+    })
+}
+
+fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
     let _span = telemetry::span!("train_nn", method = method.abbrev());
     let n = x.rows();
     let p = x.cols();
-    assert!(n >= 4, "need at least 4 rows to train a network");
     let (ti, vi) = split_half(n, child_seed(seed, 0x51));
     let xt = rows_of(x, &ti);
     let yt = targets_of(y01, &ti);

@@ -7,11 +7,12 @@
 //! [`Table`]s.
 
 use crate::linreg::LinearFit;
-use crate::methods::{train_nn, NnMethod};
+use crate::methods::{try_train_nn, NnMethod};
 use crate::nn::Mlp;
 use crate::prep::{Encoding, Preprocessor};
-use crate::select::{select, SelectionMethod, Thresholds};
+use crate::select::{try_select, SelectionMethod, Thresholds};
 use crate::table::Table;
+use fault::Result;
 use serde::{Deserialize, Serialize};
 
 /// Every model evaluated in the paper.
@@ -175,30 +176,46 @@ impl TrainedModel {
 }
 
 /// Train `kind` on a table. Deterministic per `(kind, table, seed)`.
+///
+/// Infallible-signature wrapper over [`try_train`]; panics on its error
+/// paths (degenerate tables, singular designs, divergence surviving all
+/// retries). Pipeline code uses [`try_train`].
 pub fn train(kind: ModelKind, table: &Table, seed: u64) -> TrainedModel {
+    match try_train(kind, table, seed) {
+        Ok(m) => m,
+        Err(e) => panic!("train {}: {e}", kind.abbrev()),
+    }
+}
+
+/// Fallible training. Deterministic per `(kind, table, seed)`; on the
+/// no-fault path it produces bit-identical models to the historical
+/// [`train`]. Failures surface as typed [`fault::Error`]s:
+/// `DegenerateData` for unusable tables, `SingularSystem` for
+/// unsalvageable designs, `Diverged` when NN retries are exhausted.
+pub fn try_train(kind: ModelKind, table: &Table, seed: u64) -> Result<TrainedModel> {
     let _span = telemetry::span!("train", model = kind.abbrev(), rows = table.n_rows());
     telemetry::counter_add("train/fits", 1);
-    table.validate();
+    table.try_validate()?;
     if let Some(selection) = kind.selection() {
         let prep = Preprocessor::fit(table, Encoding::NumericCoded);
         let x = prep.transform(table);
-        let fit = select(&x, table.target(), selection, Thresholds::default());
-        TrainedModel {
+        let fit = try_select(&x, table.target(), selection, Thresholds::default())?;
+        Ok(TrainedModel {
             kind,
             prep,
             estimator: Estimator::Linear(fit),
-        }
+        })
     } else {
         let method = kind.nn_method().expect("model is LR or NN");
         let prep = Preprocessor::fit(table, Encoding::OneHot);
         let x = prep.transform(table);
         let y01 = prep.scaled_targets(table);
-        let net = train_nn(method, &x, &y01, seed);
-        TrainedModel {
+        let net = try_train_nn(method, &x, &y01, seed)?;
+        Ok(TrainedModel {
             kind,
             prep,
             estimator: Estimator::Network(net),
-        }
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! drivers in [`crate::methods`] need structural surgery (removing hidden
 //! units, silencing inputs), which the network supports directly.
 
+use fault::{Error, Result};
 use linalg::dist::{sample_normal, seeded_rng};
 use linalg::Matrix;
 use rand::rngs::StdRng;
@@ -419,25 +420,109 @@ impl Mlp {
     /// Train with the configured algorithm. Returns the final training
     /// RMSE.
     ///
-    /// Small samples with many inputs can make SGD diverge; if the weights
-    /// go non-finite the network re-initializes and retries at a quarter of
-    /// the learning rate (up to three times), so callers always get a
-    /// finite model. RProp is sign-based and cannot diverge this way.
+    /// Infallible-signature wrapper over [`Mlp::try_train`]: divergence
+    /// after all retries yields the (non-finite) final loss, matching the
+    /// historical contract; degenerate input panics. Pipeline code uses
+    /// [`Mlp::try_train`].
     pub fn train(&mut self, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> f64 {
-        assert_eq!(x.rows(), y.len(), "design/target mismatch");
-        assert_eq!(x.cols(), self.inputs(), "input width mismatch");
-        if cfg.algo == TrainAlgo::Rprop {
-            self.train_rprop(x, y, cfg);
-            return self.rmse(x, y);
+        match self.try_train(x, y, cfg) {
+            Ok(rmse) => rmse,
+            Err(Error::Diverged { loss, .. }) => loss,
+            Err(e) => panic!("Mlp::train: {e}"),
         }
+    }
+
+    /// Fallible training with divergence guards.
+    ///
+    /// Non-finite inputs or targets are rejected up front with
+    /// [`Error::DegenerateData`] — they would otherwise poison every
+    /// weight on the first update. If training leaves the finite domain,
+    /// the network re-initializes with reseeded weights and retries (SGD
+    /// additionally quarters its learning rate each time); every retry is
+    /// recorded with a `train/retry` telemetry point. When the retry
+    /// budget is exhausted the final non-finite loss is reported as
+    /// [`Error::Diverged`].
+    pub fn try_train(&mut self, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Result<f64> {
+        if x.rows() != y.len() {
+            return Err(Error::degenerate(format!(
+                "design/target mismatch: {} rows vs {} targets",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if x.cols() != self.inputs() {
+            return Err(Error::degenerate(format!(
+                "input width mismatch: {} columns for a {}-input network",
+                x.cols(),
+                self.inputs()
+            )));
+        }
+        if x.rows() == 0 {
+            return Err(Error::degenerate("no training rows"));
+        }
+        for i in 0..x.rows() {
+            if x.row(i).iter().any(|v| !v.is_finite()) {
+                return Err(Error::degenerate(format!(
+                    "training row {i} contains a non-finite value"
+                )));
+            }
+        }
+        if let Some(i) = y.iter().position(|v| !v.is_finite()) {
+            return Err(Error::degenerate(format!(
+                "training target {i} is non-finite"
+            )));
+        }
+
         let hidden = self.hidden_sizes();
         let dead: Vec<usize> = (0..self.inputs())
             .filter(|&i| self.dead_inputs[i])
             .collect();
-        let mut lr0 = cfg.learning_rate;
         let trace = telemetry::enabled();
-        for attempt in 0..4 {
-            let mut rng = seeded_rng(linalg::dist::child_seed(cfg.seed, attempt));
+
+        // Divergence is not only NaN/Inf: saturated activations can bound
+        // the gradients while the output weights blow up, leaving a
+        // finite loss that is orders of magnitude beyond the target scale.
+        let y_scale = y.iter().fold(0.0f64, |a, &v| a.max(v.abs())).max(1.0);
+        let diverged = |rmse: f64| !rmse.is_finite() || rmse > 1e6 * y_scale;
+
+        if cfg.algo == TrainAlgo::Rprop {
+            // RProp's sign-based steps rarely diverge, but a pathological
+            // initialization still can; reseed and retry a bounded number
+            // of times before reporting divergence.
+            const ATTEMPTS: usize = 3;
+            for attempt in 0..ATTEMPTS {
+                if attempt > 0 {
+                    *self = Mlp::new(
+                        x.cols(),
+                        &hidden,
+                        linalg::dist::child_seed(cfg.seed, 200 + attempt as u64),
+                    );
+                    for &d in &dead {
+                        self.prune_input(d);
+                    }
+                }
+                self.train_rprop(x, y, cfg);
+                let rmse = self.rmse(x, y);
+                if !diverged(rmse) {
+                    return Ok(rmse);
+                }
+                telemetry::point!(
+                    "train/retry",
+                    algo = "rprop",
+                    attempt = attempt + 1,
+                    loss = rmse
+                );
+            }
+            return Err(Error::Diverged {
+                epoch: cfg.epochs * ATTEMPTS,
+                loss: self.rmse(x, y),
+            });
+        }
+
+        const ATTEMPTS: usize = 4;
+        let mut lr0 = cfg.learning_rate;
+        for attempt in 0..ATTEMPTS {
+            let mut rng = seeded_rng(linalg::dist::child_seed(cfg.seed, attempt as u64));
             let mut lr = lr0;
             for e in 0..cfg.epochs {
                 self.epoch(x, y, lr, cfg, &mut rng);
@@ -453,21 +538,30 @@ impl Mlp {
                 }
             }
             let rmse = self.rmse(x, y);
-            if rmse.is_finite() {
-                return rmse;
+            if !diverged(rmse) {
+                return Ok(rmse);
             }
+            telemetry::point!(
+                "train/retry",
+                algo = "sgd",
+                attempt = attempt + 1,
+                loss = rmse
+            );
             // Diverged: rebuild and slow down.
             *self = Mlp::new(
                 x.cols(),
                 &hidden,
-                linalg::dist::child_seed(cfg.seed, 100 + attempt),
+                linalg::dist::child_seed(cfg.seed, 100 + attempt as u64),
             );
             for &d in &dead {
                 self.prune_input(d);
             }
             lr0 *= 0.25;
         }
-        self.rmse(x, y)
+        Err(Error::Diverged {
+            epoch: cfg.epochs * ATTEMPTS,
+            loss: self.rmse(x, y),
+        })
     }
 
     /// Magnitude of a hidden unit: sum of |outgoing weights| (pruning
@@ -650,6 +744,31 @@ mod tests {
         let p1 = net.forward(&[0.0, 0.5]);
         let p2 = net.forward(&[1.0, 0.5]);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn try_train_rejects_non_finite_data() {
+        let (x, y) = nonlinear_data(20);
+        let mut bad_y = y.clone();
+        bad_y[5] = f64::NAN;
+        let mut net = Mlp::new(2, &[4], 3);
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            net.try_train(&x, &bad_y, &cfg),
+            Err(fault::Error::DegenerateData { .. })
+        ));
+        let mut bad_rows: Vec<Vec<f64>> = (0..x.rows()).map(|i| x.row(i).to_vec()).collect();
+        bad_rows[2][1] = f64::INFINITY;
+        let bad_x = Matrix::from_rows(&bad_rows);
+        assert!(matches!(
+            net.try_train(&bad_x, &y, &cfg),
+            Err(fault::Error::DegenerateData { .. })
+        ));
+        // The guard must fire before any weight update corrupts the net.
+        assert!(net.forward(&[0.3, 0.3]).is_finite());
     }
 
     #[test]

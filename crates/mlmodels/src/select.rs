@@ -10,6 +10,7 @@
 //! p-to-enter 0.05, p-to-remove 0.10.
 
 use crate::linreg::LinearFit;
+use fault::{Error, Result};
 use linalg::special::f_sf;
 use linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -52,7 +53,36 @@ fn step_p_value(big: &LinearFit, small: &LinearFit) -> f64 {
 }
 
 /// Run the selection strategy; returns the final fit.
+///
+/// Infallible-signature wrapper over [`try_select`]; panics on its error
+/// paths (degenerate data, unsalvageably singular designs). Pipeline code
+/// uses [`try_select`].
 pub fn select(x: &Matrix, y: &[f64], method: SelectionMethod, thresholds: Thresholds) -> LinearFit {
+    match try_select(x, y, method, thresholds) {
+        Ok(fit) => fit,
+        Err(e) => panic!("select: {e}"),
+    }
+}
+
+/// Fallible selection. Degrades gracefully on collinear predictors:
+///
+/// * **Forward/Stepwise** skip a candidate column whose trial fit is
+///   singular (telemetry point `select/skip_candidate`), considering the
+///   remaining candidates instead.
+/// * **Backward** starts from a ridge-stabilized full fit when the strict
+///   one is singular, and skips removal candidates whose reduced fit
+///   fails.
+/// * **Enter** uses the ridge fallback directly, matching the method's
+///   all-predictors-regardless semantics.
+///
+/// Errors surface only when no fit at all is possible (non-finite data,
+/// too few rows, or every candidate singular beyond ridge repair).
+pub fn try_select(
+    x: &Matrix,
+    y: &[f64],
+    method: SelectionMethod,
+    thresholds: Thresholds,
+) -> Result<LinearFit> {
     let p = x.cols();
     // Guard against under-determined fits: never use more predictors than
     // observations allow.
@@ -61,11 +91,24 @@ pub fn select(x: &Matrix, y: &[f64], method: SelectionMethod, thresholds: Thresh
     match method {
         SelectionMethod::Enter => {
             let active: Vec<usize> = all.into_iter().take(max_active).collect();
-            LinearFit::fit(x, y, &active)
+            LinearFit::try_fit_ridge(x, y, &active)
         }
         SelectionMethod::Forward => forward(x, y, thresholds, max_active, false),
         SelectionMethod::Stepwise => forward(x, y, thresholds, max_active, true),
         SelectionMethod::Backward => backward(x, y, thresholds, max_active),
+    }
+}
+
+/// Trial-fit a candidate active set, mapping a singular design to `None`
+/// (the driver skips the candidate) and propagating every other error.
+fn trial_fit(x: &Matrix, y: &[f64], active: &[usize]) -> Result<Option<LinearFit>> {
+    match LinearFit::try_fit(x, y, active) {
+        Ok(fit) => Ok(Some(fit)),
+        Err(Error::SingularSystem { .. }) => {
+            telemetry::point!("select/skip_candidate", active = active.len());
+            Ok(None)
+        }
+        Err(other) => Err(other),
     }
 }
 
@@ -77,15 +120,17 @@ fn forward(
     th: Thresholds,
     max_active: usize,
     reconsider: bool,
-) -> LinearFit {
+) -> Result<LinearFit> {
     let p = x.cols();
     let mut active: Vec<usize> = Vec::new();
-    let mut current = LinearFit::fit(x, y, &active);
+    // The intercept-only fit cannot be singular; failure here means the
+    // data itself is unusable, which must propagate.
+    let mut current = LinearFit::try_fit(x, y, &active)?;
     loop {
         if active.len() >= max_active {
             break;
         }
-        // Best candidate to add.
+        // Best candidate to add; singular candidates are skipped.
         let mut best: Option<(usize, f64, LinearFit)> = None;
         for cand in 0..p {
             if active.contains(&cand) {
@@ -93,7 +138,9 @@ fn forward(
             }
             let mut trial_active = active.clone();
             trial_active.push(cand);
-            let trial = LinearFit::fit(x, y, &trial_active);
+            let Some(trial) = trial_fit(x, y, &trial_active)? else {
+                continue;
+            };
             let pv = step_p_value(&trial, &current);
             if best.as_ref().is_none_or(|(_, bpv, _)| pv < *bpv) {
                 best = Some((cand, pv, trial));
@@ -118,7 +165,9 @@ fn forward(
                 for (pos, _) in active.iter().enumerate() {
                     let mut reduced = active.clone();
                     reduced.remove(pos);
-                    let small = LinearFit::fit(x, y, &reduced);
+                    let Some(small) = trial_fit(x, y, &reduced)? else {
+                        continue;
+                    };
                     let pv = step_p_value(&current, &small);
                     if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
                         worst = Some((pos, pv, small));
@@ -134,20 +183,31 @@ fn forward(
             }
         }
     }
-    current
+    Ok(current)
 }
 
 /// Backward elimination.
-fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> LinearFit {
+fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> Result<LinearFit> {
     let mut active: Vec<usize> = (0..x.cols()).take(max_active).collect();
-    let mut current = LinearFit::fit(x, y, &active);
+    // The full starting model may legitimately be collinear; begin from a
+    // ridge-stabilized fit in that case and let elimination trim it.
+    let mut current = match LinearFit::try_fit(x, y, &active) {
+        Ok(fit) => fit,
+        Err(Error::SingularSystem { .. }) => {
+            telemetry::point!("select/backward_ridge_start", active = active.len());
+            LinearFit::try_fit_ridge(x, y, &active)?
+        }
+        Err(other) => return Err(other),
+    };
     while active.len() > 1 {
         // Find the least significant predictor (largest removal p-value).
         let mut worst: Option<(usize, f64, LinearFit)> = None;
         for (pos, _) in active.iter().enumerate() {
             let mut reduced = active.clone();
             reduced.remove(pos);
-            let small = LinearFit::fit(x, y, &reduced);
+            let Some(small) = trial_fit(x, y, &reduced)? else {
+                continue;
+            };
             let pv = step_p_value(&current, &small);
             if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
                 worst = Some((pos, pv, small));
@@ -161,7 +221,7 @@ fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> LinearF
             _ => break,
         }
     }
-    current
+    Ok(current)
 }
 
 #[cfg(test)]
@@ -238,6 +298,62 @@ mod tests {
         ] {
             let fit = select(&x, &y, m, Thresholds::default());
             assert!(fit.r2() > 0.99, "{m:?}: r2 {}", fit.r2());
+        }
+    }
+
+    /// Append a duplicate of column 0, making one candidate collinear.
+    fn data_with_duplicate_column() -> (Matrix, Vec<f64>) {
+        let (x, y) = data();
+        let rows: Vec<Vec<f64>> = (0..x.rows())
+            .map(|i| {
+                let mut r = x.row(i).to_vec();
+                r.push(r[0]);
+                r
+            })
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forward_skips_collinear_candidate() {
+        let (x, y) = data_with_duplicate_column();
+        let fit =
+            try_select(&x, &y, SelectionMethod::Forward, Thresholds::default()).expect("selects");
+        // The duplicate (column 6) must not join column 0 in the model.
+        assert!(
+            !(fit.active.contains(&0) && fit.active.contains(&6)),
+            "collinear pair admitted: {:?}",
+            fit.active
+        );
+        assert!(fit.r2() > 0.99, "r2 {}", fit.r2());
+    }
+
+    #[test]
+    fn stepwise_and_backward_survive_collinear_column() {
+        let (x, y) = data_with_duplicate_column();
+        for m in [SelectionMethod::Stepwise, SelectionMethod::Backward] {
+            let fit = try_select(&x, &y, m, Thresholds::default()).expect("selects");
+            assert!(fit.r2() > 0.99, "{m:?}: r2 {}", fit.r2());
+            for b in fit.coefs.iter().chain([&fit.intercept]) {
+                assert!(b.is_finite(), "{m:?}: non-finite coefficient");
+            }
+        }
+    }
+
+    #[test]
+    fn try_select_rejects_non_finite_target() {
+        let (x, mut y) = data();
+        y[3] = f64::NAN;
+        for m in [
+            SelectionMethod::Enter,
+            SelectionMethod::Forward,
+            SelectionMethod::Backward,
+            SelectionMethod::Stepwise,
+        ] {
+            match try_select(&x, &y, m, Thresholds::default()) {
+                Err(fault::Error::DegenerateData { .. }) => {}
+                other => panic!("{m:?}: expected DegenerateData, got {other:?}"),
+            }
         }
     }
 

@@ -186,17 +186,48 @@ impl Table {
     }
 
     /// Validate internal consistency (equal lengths, target present).
+    /// Panicking wrapper over [`Table::try_validate`].
     pub fn validate(&self) {
-        let n = self.n_rows();
-        assert!(n > 0, "table is empty");
-        for (name, col) in self.names.iter().zip(&self.columns) {
-            assert_eq!(col.len(), n, "column '{name}' length mismatch");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        assert_eq!(self.target.len(), n, "target length mismatch");
-        assert!(
-            self.target.iter().all(|t| t.is_finite()),
-            "target contains non-finite values"
-        );
+    }
+
+    /// Validate internal consistency, reporting defects as
+    /// [`fault::Error::DegenerateData`]: empty tables, length mismatches,
+    /// non-finite values in the target or any numeric predictor.
+    pub fn try_validate(&self) -> fault::Result<()> {
+        let n = self.n_rows();
+        if n == 0 {
+            return Err(fault::Error::degenerate("table is empty"));
+        }
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            if col.len() != n {
+                return Err(fault::Error::degenerate(format!(
+                    "column '{name}' length mismatch: {} vs {n} rows",
+                    col.len()
+                )));
+            }
+            if let Column::Numeric(v) = col {
+                if let Some(i) = v.iter().position(|x| !x.is_finite()) {
+                    return Err(fault::Error::degenerate(format!(
+                        "column '{name}' contains a non-finite value at row {i}"
+                    )));
+                }
+            }
+        }
+        if self.target.len() != n {
+            return Err(fault::Error::degenerate(format!(
+                "target length mismatch: {} vs {n} rows",
+                self.target.len()
+            )));
+        }
+        if let Some(i) = self.target.iter().position(|t| !t.is_finite()) {
+            return Err(fault::Error::degenerate(format!(
+                "target contains non-finite values (first at row {i})"
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -251,6 +282,25 @@ mod tests {
             levels: vec!["a".into(), "b".into()]
         }
         .is_constant());
+    }
+
+    #[test]
+    fn try_validate_reports_defects_as_degenerate_data() {
+        let empty = Table::new();
+        assert!(matches!(
+            empty.try_validate(),
+            Err(fault::Error::DegenerateData { .. })
+        ));
+        let mut nan_target = sample();
+        nan_target.set_target(vec![1.0, f64::NAN, 3.0, 4.0]);
+        let err = nan_target.try_validate().expect_err("NaN target");
+        assert!(err.to_string().contains("target"), "{err}");
+        let mut nan_pred = Table::new();
+        nan_pred
+            .add_numeric("a", vec![1.0, f64::INFINITY])
+            .set_target(vec![1.0, 2.0]);
+        let err = nan_pred.try_validate().expect_err("Inf predictor");
+        assert!(err.to_string().contains("'a'"), "{err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use mlmodels::nn::{Mlp, TrainConfig};
 use mlmodels::prep::{Encoding, Preprocessor};
 use mlmodels::select::{select, SelectionMethod, Thresholds};
 use mlmodels::table::Table;
+use mlmodels::{try_train, ModelKind};
 use proptest::prelude::*;
 
 /// A small random table with one numeric, one flag, one categorical
@@ -119,6 +120,63 @@ proptest! {
         prop_assert!(rmse.is_finite());
         for i in 0..x.rows() {
             prop_assert!(net.forward(x.row(i)).is_finite());
+        }
+    }
+
+    /// A constant-target table always terminates: either a typed error
+    /// (degenerate/diverged/singular) or a model whose predictions are
+    /// finite and flat around the constant — never a hang or panic.
+    #[test]
+    fn constant_target_terminates_with_flat_model_or_typed_error(
+        c in -100.0f64..100.0,
+        n in 16usize..32,
+        seed in 0u64..8,
+    ) {
+        let mut t = Table::new();
+        t.add_numeric("x", (0..n).map(|i| i as f64).collect())
+            .add_numeric("w", (0..n).map(|i| ((i * 5) % 11) as f64).collect())
+            .add_flag("f", (0..n).map(|i| i % 2 == 0).collect())
+            .set_target(vec![c; n]);
+        for kind in [ModelKind::LrE, ModelKind::LrB, ModelKind::NnQ, ModelKind::NnS] {
+            match try_train(kind, &t, seed) {
+                Ok(m) => {
+                    for p in m.predict(&t) {
+                        prop_assert!(p.is_finite(), "{}: non-finite prediction", kind.abbrev());
+                        prop_assert!(
+                            (p - c).abs() <= c.abs() * 0.5 + 10.0,
+                            "{}: prediction {p} far from constant target {c}",
+                            kind.abbrev()
+                        );
+                    }
+                }
+                Err(e) => prop_assert!(
+                    matches!(e.kind(), "degenerate" | "diverged" | "singular"),
+                    "{}: unexpected error kind {}",
+                    kind.abbrev(),
+                    e.kind()
+                ),
+            }
+        }
+    }
+
+    /// NaN anywhere — predictor or target — is a typed `DegenerateData`
+    /// for every model family.
+    #[test]
+    fn nan_rows_rejected_with_typed_error(
+        n in 12usize..24,
+        bad in 0usize..12,
+        in_target in any::<bool>(),
+    ) {
+        let mut xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+        if in_target { y[bad] = f64::NAN; } else { xs[bad] = f64::NAN; }
+        let mut t = Table::new();
+        t.add_numeric("x", xs)
+            .add_flag("f", (0..n).map(|i| i % 3 == 0).collect())
+            .set_target(y);
+        for kind in [ModelKind::LrB, ModelKind::NnS] {
+            let e = try_train(kind, &t, 1).expect_err("NaN data must be rejected");
+            prop_assert_eq!(e.kind(), "degenerate");
         }
     }
 

@@ -40,16 +40,37 @@ impl AnnouncementSet {
     }
 
     /// The chronological split the paper uses: train on `train_year`,
-    /// predict `train_year + 1`. Panics if either side is empty.
+    /// predict `train_year + 1`. Panicking wrapper over
+    /// [`AnnouncementSet::try_chronological_split`].
     pub fn chronological_split(&self, train_year: u32) -> (Vec<&Announcement>, Vec<&Announcement>) {
+        match self.try_chronological_split(train_year) {
+            Ok(split) => split,
+            Err(e) => panic!(
+                "{}: empty chronological split at {train_year}: {e}",
+                self.family.name()
+            ),
+        }
+    }
+
+    /// Fallible chronological split: either side being empty is
+    /// [`fault::Error::DegenerateData`] naming the missing year.
+    pub fn try_chronological_split(
+        &self,
+        train_year: u32,
+    ) -> fault::Result<(Vec<&Announcement>, Vec<&Announcement>)> {
         let train = self.year(train_year);
         let test = self.year(train_year + 1);
-        assert!(
-            !train.is_empty() && !test.is_empty(),
-            "{}: empty chronological split at {train_year}",
-            self.family.name()
-        );
-        (train, test)
+        if train.is_empty() || test.is_empty() {
+            return Err(fault::Error::degenerate(format!(
+                "{}: {} announcements in {train_year}, {} in {}; the chronological \
+                 protocol needs both years populated",
+                self.family.name(),
+                train.len(),
+                test.len(),
+                train_year + 1
+            )));
+        }
+        Ok((train, test))
     }
 
     /// All SPECint rates.

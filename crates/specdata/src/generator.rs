@@ -266,12 +266,17 @@ pub fn generate_family(family: ProcessorFamily, seed: u64) -> Vec<Announcement> 
         i = if i == 0 { counts.len() - 1 } else { i - 1 };
     }
     while assigned > stats.records {
-        let max = counts
+        // `counts` has one entry per year in the family's span, which is
+        // never empty; if that ever changed, stop trimming rather than
+        // looping forever.
+        let Some(max) = counts
             .iter()
             .enumerate()
             .max_by_key(|(_, &(_, c))| c)
-            .expect("nonempty years")
-            .0;
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
         counts[max].1 -= 1;
         assigned -= 1;
     }

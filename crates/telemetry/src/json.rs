@@ -257,7 +257,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar.
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                let Some(c) = rest.chars().next() else {
+                    return Err(format!("unterminated string at byte {}", *pos));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

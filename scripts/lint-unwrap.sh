@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fail on `.unwrap()` in non-test library code.
+#
+# Fallible paths use the typed `fault::Error` hierarchy; production code
+# must propagate with `?`, use a recoverable default, or `expect()` with a
+# message documenting the invariant. Test modules (everything after the
+# first `#[cfg(test)]`), `tests/` directories, and the vendored
+# `crates/compat/` tree are exempt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        { sub(/\/\/.*/, "") }          # strip line comments and doc text
+        /\.unwrap\(\)/ { print FILENAME ":" FNR ": " $0; found = 1 }
+        END { exit !found }
+    ' "$file" || true)
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        fail=1
+    fi
+done < <(find src crates/*/src -name '*.rs' -not -path 'crates/compat/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "error: .unwrap() in non-test library code — use '?', a recoverable"
+    echo "default, or expect(\"<documented invariant>\") instead."
+    exit 1
+fi
+echo "unwrap lint: clean"

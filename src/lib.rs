@@ -21,6 +21,7 @@
 //! | [`mlmodels`] | the nine Clementine models + NN-S: OLS with Enter/Forward/Backward/Stepwise selection, MLP networks with six training methods, 5×50 % cross-validation |
 //! | [`dse`] | the two workflows: sampled design-space exploration and chronological prediction, plus the *select* method |
 //! | [`telemetry`] | observability: hierarchical timed spans, rayon-safe counters, progress, console + JSON-lines run manifests |
+//! | [`error`] (crate `fault`) | typed error hierarchy, process exit codes, and resumable JSONL checkpoints shared by every fallible layer |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 
 pub use cpusim;
 pub use dse;
+pub use fault as error;
 pub use linalg;
 pub use mlmodels;
 pub use specdata;

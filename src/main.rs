@@ -18,15 +18,23 @@
 //!   rollups.
 //! * `--json` — machine-readable result on stdout (simulate / sampled /
 //!   chrono).
+//! * `--checkpoint <path>` — (sweep / sampled) append completed work to a
+//!   JSONL checkpoint and resume from it on restart; a killed run loses at
+//!   most the unit in flight.
+//!
+//! Exit codes: `0` success, `2` invalid usage/input, `3` I/O failure,
+//! `4` corrupt or mismatched checkpoint, `5` numerical failure (singular
+//! system, divergence, degenerate data, no viable model).
 
 use perfpredict::cpusim::{
-    simulate, sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
+    simulate, try_sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
 };
-use perfpredict::dse::chrono::{run_chronological, ChronoConfig};
+use perfpredict::dse::chrono::{try_run_chronological, ChronoConfig};
 use perfpredict::dse::report::{f, render_table};
-use perfpredict::dse::sampled::{run_sampled_dse, SampledConfig, SamplingStrategy};
+use perfpredict::dse::sampled::{try_run_sampled_dse, SampledConfig, SamplingStrategy};
+use perfpredict::error::{Error, Result};
 use perfpredict::mlmodels::ModelKind;
-use perfpredict::specdata::{AnnouncementSet, ProcessorFamily};
+use perfpredict::specdata::ProcessorFamily;
 use perfpredict::telemetry::{self, json::JsonObject, ConsoleLevel, TelemetryConfig};
 
 fn usage() -> ! {
@@ -42,7 +50,8 @@ fn usage() -> ! {
          options (any command):\n\
            --trace                            verbose telemetry on stderr\n\
            --metrics-out <path>               write a JSON-lines run manifest\n\
-           --json                             machine-readable result on stdout"
+           --json                             machine-readable result on stdout\n\
+           --checkpoint <path>                (sweep/sampled) resumable JSONL checkpoint"
     );
     std::process::exit(2);
 }
@@ -53,6 +62,17 @@ fn parse_flag(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parse `--flag N` with a default, rejecting unparseable values instead
+/// of silently falling back.
+fn parse_number<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T> {
+    match parse_flag(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| Error::invalid(format!("{flag} expects a number, got '{v}'"))),
+    }
+}
+
 /// Remove a boolean flag from `args`, returning whether it was present.
 fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
@@ -61,30 +81,45 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 }
 
 /// Remove a `--flag value` pair from `args`, returning the value.
-fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
     if i + 1 >= args.len() {
-        eprintln!("{flag} requires a value");
-        std::process::exit(2);
+        return Err(Error::invalid(format!("{flag} requires a value")));
     }
     let v = args.remove(i + 1);
     args.remove(i);
-    Some(v)
+    Ok(Some(v))
 }
 
-fn benchmark_arg(args: &[String]) -> Benchmark {
-    let name = args.first().unwrap_or_else(|| usage());
-    Benchmark::from_name(name).unwrap_or_else(|| {
-        eprintln!("unknown benchmark '{name}' — try `perfpredict benchmarks`");
-        std::process::exit(2);
+fn benchmark_arg(args: &[String]) -> Result<Benchmark> {
+    let name = args
+        .first()
+        .ok_or_else(|| Error::invalid("missing benchmark argument"))?;
+    Benchmark::from_name(name).ok_or_else(|| {
+        Error::invalid(format!(
+            "unknown benchmark '{name}' — try `perfpredict benchmarks`"
+        ))
     })
 }
 
 fn main() {
+    match cli() {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("perfpredict: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+fn cli() -> Result<()> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = take_switch(&mut args, "--trace");
     let json_out = take_switch(&mut args, "--json");
-    let metrics_out = take_value(&mut args, "--metrics-out");
+    let metrics_out = take_value(&mut args, "--metrics-out")?;
+    let checkpoint = take_value(&mut args, "--checkpoint")?;
     let Some(cmd) = args.first().cloned() else {
         usage()
     };
@@ -105,8 +140,11 @@ fn main() {
         match telemetry::install(tcfg) {
             Ok(h) => Some(h),
             Err(e) => {
-                eprintln!("cannot open metrics file: {e}");
-                std::process::exit(2);
+                let path = metrics_out.as_deref().unwrap_or("<none>");
+                return Err(Error::io(
+                    path,
+                    std::io::Error::other(format!("cannot open metrics file: {e}")),
+                ));
             }
         }
     } else {
@@ -141,7 +179,7 @@ fn main() {
             }
         }
         "simulate" => {
-            let b = benchmark_arg(rest);
+            let b = benchmark_arg(rest)?;
             let r = simulate(b, CpuConfig::baseline(), &SimOptions::default());
             let s = &r.stats;
             if json_out {
@@ -180,10 +218,11 @@ fn main() {
             }
         }
         "sweep" => {
-            let b = benchmark_arg(rest);
-            let step: usize = parse_flag(rest, "--step")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(16);
+            let b = benchmark_arg(rest)?;
+            let step: usize = parse_number(rest, "--step", 16)?;
+            if step == 0 {
+                return Err(Error::invalid("--step must be at least 1"));
+            }
             let space = DesignSpace::from_configs(
                 DesignSpace::table1()
                     .configs()
@@ -193,7 +232,15 @@ fn main() {
                     .collect(),
             );
             eprintln!("sweeping {} configurations…", space.len());
-            let results = sweep_design_space(&space, b, &SimOptions::default());
+            let outcome =
+                try_sweep_design_space(&space, b, &SimOptions::default(), checkpoint.as_deref())?;
+            if checkpoint.is_some() {
+                eprintln!(
+                    "checkpoint: {} restored, {} simulated",
+                    outcome.restored, outcome.simulated
+                );
+            }
+            let results = outcome.results;
             let summary = perfpredict::cpusim::runner::summarize_sweep(&results);
             let mut by_cycles: Vec<_> = results.iter().collect();
             by_cycles.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
@@ -219,10 +266,8 @@ fn main() {
             }
         }
         "sampled" => {
-            let b = benchmark_arg(rest);
-            let rate: f64 = parse_flag(rest, "--rate")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(2.0);
+            let b = benchmark_arg(rest)?;
+            let rate: f64 = parse_number(rest, "--rate", 2.0)?;
             let space = DesignSpace::from_configs(
                 DesignSpace::table1()
                     .configs()
@@ -244,7 +289,16 @@ fn main() {
                 b.name(),
                 space.len()
             );
-            let run = run_sampled_dse(b, &space, &cfg, None);
+            let run = try_run_sampled_dse(b, &space, &cfg, None, checkpoint.as_deref())?;
+            for d in &run.dropped {
+                eprintln!(
+                    "dropped {} at {:.0}%: {} ({})",
+                    d.model.abbrev(),
+                    d.rate * 100.0,
+                    d.reason,
+                    d.detail
+                );
+            }
             if json_out {
                 let points: Vec<String> = run
                     .points
@@ -282,7 +336,9 @@ fn main() {
                         vec![
                             p.model.abbrev().to_string(),
                             f(p.true_error, 2),
-                            f(p.estimated.expect("estimated").max, 2),
+                            p.estimated
+                                .map(|est| f(est.max, 2))
+                                .unwrap_or_else(|| "-".to_string()),
                         ]
                     })
                     .collect();
@@ -296,20 +352,15 @@ fn main() {
             }
         }
         "chrono" => {
-            let name = rest.first().unwrap_or_else(|| usage());
-            let fam = ProcessorFamily::from_name(name).unwrap_or_else(|| {
-                eprintln!("unknown family '{name}' — try `perfpredict families`");
-                std::process::exit(2);
-            });
-            let year: u32 = parse_flag(rest, "--year")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(2005);
-            // Guard: the split must exist.
-            let probe = AnnouncementSet::generate(fam, 42);
-            if probe.year(year).is_empty() || probe.year(year + 1).is_empty() {
-                eprintln!("family {} has no {}->{} split", fam.name(), year, year + 1);
-                std::process::exit(2);
-            }
+            let name = rest
+                .first()
+                .ok_or_else(|| Error::invalid("missing family argument"))?;
+            let fam = ProcessorFamily::from_name(name).ok_or_else(|| {
+                Error::invalid(format!(
+                    "unknown family '{name}' — try `perfpredict families`"
+                ))
+            })?;
+            let year: u32 = parse_number(rest, "--year", 2005)?;
             let cfg = ChronoConfig {
                 train_year: year,
                 models: ModelKind::FIGURE7_ORDER.to_vec(),
@@ -317,7 +368,10 @@ fn main() {
                 seed: 42,
                 estimate_errors: false,
             };
-            let r = run_chronological(fam, &cfg);
+            let r = try_run_chronological(fam, &cfg)?;
+            for d in &r.dropped {
+                eprintln!("dropped {}: {} ({})", d.kind.abbrev(), d.reason, d.detail);
+            }
             if json_out {
                 let points: Vec<String> = r
                     .points
@@ -375,4 +429,5 @@ fn main() {
             eprintln!("{} (manifest: {path})", summary.one_line());
         }
     }
+    Ok(())
 }
