@@ -1,0 +1,137 @@
+//! Selection-solver cost: incremental normal-equations engine vs the
+//! from-scratch reference drivers, plus the cross-validated error
+//! estimate that dominates the §3.3 model-selection protocol.
+//!
+//! The incremental path must be *bit-identical* in its decisions: before
+//! any timing, every method's active set is asserted equal between the
+//! two drivers and the coefficients equal to 1e-10, so the speedup
+//! reported here is never bought with a different answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::Matrix;
+use mlmodels::select::{self, SelectionMethod, Thresholds};
+use mlmodels::{crossval, ModelKind, Table};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Rows in the synthetic selection problem (~3 % sample of the paper's
+/// full 2900-point space).
+const ROWS: usize = 120;
+/// Predictor count, matching the paper's ~24-parameter design space.
+const COLS: usize = 24;
+
+/// Deterministic design matrix with a handful of truly predictive
+/// columns, several correlated shadows, and noise columns — enough
+/// structure that stepwise runs multiple add/reconsider rounds.
+fn design() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(ROWS, COLS, |i, j| {
+        let base = (((i * 13 + j * 7 + 3) % 31) as f64) / 31.0;
+        if j % 5 == 4 {
+            // Shadow column: correlated with its neighbour but not
+            // collinear, to exercise the pivot guard.
+            let prev = (((i * 13 + (j - 1) * 7 + 3) % 31) as f64) / 31.0;
+            0.7 * prev + 0.3 * base
+        } else {
+            base
+        }
+    });
+    let y: Vec<f64> = (0..ROWS)
+        .map(|i| {
+            2.0 + 1.5 * x[(i, 0)] - 0.8 * x[(i, 3)] + 0.4 * x[(i, 7)] + 0.2 * x[(i, 12)]
+                - 0.1 * x[(i, 19)]
+                + 0.05 * ((((i * 17 + 5) % 23) as f64) / 23.0 - 0.5)
+        })
+        .collect();
+    (x, y)
+}
+
+/// Training table for the cross-validation benchmark.
+fn cv_table() -> Table {
+    let (x, y) = design();
+    let mut t = Table::new();
+    for j in 0..COLS {
+        t.add_numeric(format!("p{j}"), (0..ROWS).map(|i| x[(i, j)]).collect());
+    }
+    t.set_target(y);
+    t
+}
+
+/// Assert the incremental driver's answers are bit-identical to the
+/// reference, and record one representative timing per driver into
+/// telemetry counters (visible in `--metrics-out` manifests).
+fn assert_equivalence_and_record(x: &Matrix, y: &[f64]) {
+    for (name, method) in [
+        ("forward", SelectionMethod::Forward),
+        ("backward", SelectionMethod::Backward),
+        ("stepwise", SelectionMethod::Stepwise),
+    ] {
+        let t0 = Instant::now();
+        let fast = select::try_select(x, y, method, Thresholds::default()).expect("incremental");
+        let fast_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let refr =
+            select::reference::try_select(x, y, method, Thresholds::default()).expect("reference");
+        let ref_ns = t1.elapsed().as_nanos() as u64;
+        assert_eq!(fast.active, refr.active, "{name}: active sets diverged");
+        let tol = 1e-10 * (1.0 + fast.intercept.abs());
+        assert!(
+            (fast.intercept - refr.intercept).abs() <= tol,
+            "{name}: intercept diverged"
+        );
+        for (a, b) in fast.coefs.iter().zip(&refr.coefs) {
+            assert!(
+                (a - b).abs() <= 1e-10 * (1.0 + a.abs()),
+                "{name}: coefficient diverged"
+            );
+        }
+        telemetry::counter_add(&format!("bench/select_{name}_incremental_ns"), fast_ns);
+        telemetry::counter_add(&format!("bench/select_{name}_reference_ns"), ref_ns);
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (x, y) = design();
+    assert_equivalence_and_record(&x, &y);
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, method) in [
+        ("forward", SelectionMethod::Forward),
+        ("backward", SelectionMethod::Backward),
+        ("stepwise", SelectionMethod::Stepwise),
+    ] {
+        group.bench_function(format!("{name}_incremental"), |b| {
+            b.iter(|| black_box(select::try_select(&x, &y, method, Thresholds::default())))
+        });
+        group.bench_function(format!("{name}_reference"), |b| {
+            b.iter(|| {
+                black_box(select::reference::try_select(
+                    &x,
+                    &y,
+                    method,
+                    Thresholds::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cv(c: &mut Criterion) {
+    let table = cv_table();
+    let mut group = c.benchmark_group("cv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [ModelKind::LrS, ModelKind::LrB] {
+        group.bench_function(format!("estimate_{}", kind.abbrev()), |b| {
+            b.iter(|| black_box(crossval::try_estimate_error(kind, &table, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_cv);
+criterion_main!(benches);

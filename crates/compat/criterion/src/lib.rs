@@ -12,9 +12,25 @@
 //!
 //! `--bench` and benchmark-name filter arguments passed by `cargo bench`
 //! are accepted; a filter restricts which benchmarks run, as upstream.
+//!
+//! Two environment hooks support scripted runs (`scripts/bench.sh`):
+//!
+//! - `CRITERION_QUICK` (set to anything but `0`): clamp every group's
+//!   warm-up, measurement budget, and sample count to smoke-test values
+//!   so a full bench binary finishes in seconds — for CI, where only
+//!   "did it run without panicking" matters, not timing fidelity.
+//! - `CRITERION_JSON_LINES=<path>`: append one JSON object per finished
+//!   benchmark (`bench`, `mean_ns`, `median_ns`, `samples`,
+//!   `iters_per_sample`) to `<path>`, alongside the human-readable line.
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// True when `CRITERION_QUICK` requests smoke-test timing budgets.
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Top-level harness state, mirroring `criterion::Criterion`.
 pub struct Criterion {
@@ -145,13 +161,24 @@ impl BenchmarkGroup<'_> {
                 return;
             }
         }
+        // Quick mode overrides whatever the group configured: the goal is
+        // a bounded-wall-clock smoke pass, so clamps beat setters.
+        let (sample_size, warm_up_time, measurement_time) = if quick_mode() {
+            (
+                self.sample_size.min(5),
+                self.warm_up_time.min(Duration::from_millis(50)),
+                self.measurement_time.min(Duration::from_millis(150)),
+            )
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
         let mut b = Bencher {
             mode: Mode::WarmUp {
-                until: Instant::now() + self.warm_up_time,
+                until: Instant::now() + warm_up_time,
             },
             samples: Vec::new(),
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
+            sample_size,
+            measurement_time,
         };
         f(&mut b);
         b.report(&full, self.throughput);
@@ -246,7 +273,42 @@ impl Bencher {
             "{name:<40} mean {mean:>12.3?}  median {median:>12.3?}  ({} samples x {per_sample} iters){rate}",
             self.samples.len(),
         );
+        if let Some(path) = std::env::var_os("CRITERION_JSON_LINES") {
+            let line = format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{},\"median_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}\n",
+                json_escape(name),
+                mean.as_nanos(),
+                median.as_nanos(),
+                self.samples.len(),
+                per_sample,
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = written {
+                eprintln!(
+                    "criterion: cannot append to {}: {e}",
+                    path.to_string_lossy()
+                );
+            }
+        }
     }
+}
+
+/// Escape a benchmark name for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Collect benchmark functions into a runnable group, as upstream.
@@ -289,6 +351,44 @@ mod tests {
         });
         group.finish();
         assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn quick_mode_and_json_lines_emit_records() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-jsonl-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_QUICK", "1");
+        std::env::set_var("CRITERION_JSON_LINES", &path);
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("jsonl");
+        // Quick mode must clamp even a deliberately long configuration.
+        group.measurement_time(Duration::from_secs(60));
+        group.warm_up_time(Duration::from_secs(60));
+        group.sample_size(50);
+        let started = Instant::now();
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        std::env::remove_var("CRITERION_QUICK");
+        std::env::remove_var("CRITERION_JSON_LINES");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "quick mode ignored"
+        );
+        let body = std::fs::read_to_string(&path).expect("json-lines file written");
+        let line = body
+            .lines()
+            .find(|l| l.contains("\"bench\":\"jsonl/spin\""))
+            .expect("record for jsonl/spin");
+        assert!(line.contains("\"mean_ns\":"), "missing mean: {line}");
+        assert!(line.contains("\"median_ns\":"), "missing median: {line}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

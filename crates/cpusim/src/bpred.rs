@@ -79,7 +79,10 @@ pub struct Bimodal {
 impl Bimodal {
     /// `entries` must be a power of two (SimpleScalar default 2048).
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two());
+        assert!(
+            entries.is_power_of_two(),
+            "bimodal entries must be a power of two"
+        );
         Bimodal {
             table: vec![1; entries], // weakly not-taken
             mask: entries as u32 - 1,
@@ -173,7 +176,10 @@ pub struct Combination {
 impl Combination {
     /// Build with SimpleScalar-like sizing.
     pub fn new(chooser_entries: usize, bimodal_entries: usize, history_bits: u32) -> Self {
-        assert!(chooser_entries.is_power_of_two());
+        assert!(
+            chooser_entries.is_power_of_two(),
+            "chooser entries must be a power of two"
+        );
         Combination {
             bimodal: Bimodal::new(bimodal_entries),
             gshare: TwoLevel::new(history_bits),

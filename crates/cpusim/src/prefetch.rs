@@ -67,7 +67,7 @@ pub struct NextLinePrefetcher {
 impl NextLinePrefetcher {
     /// `line_b` must match the L1 line size.
     pub fn new(line_b: u32) -> Self {
-        assert!(line_b.is_power_of_two());
+        assert!(line_b.is_power_of_two(), "line size must be a power of two");
         NextLinePrefetcher {
             line_shift: line_b.trailing_zeros(),
             issued: 0,
@@ -113,8 +113,11 @@ pub struct StridePrefetcher {
 impl StridePrefetcher {
     /// `entries` must be a power of two; `degree` = how many strides ahead.
     pub fn new(entries: usize, degree: u64) -> Self {
-        assert!(entries.is_power_of_two());
-        assert!(degree >= 1);
+        assert!(
+            entries.is_power_of_two(),
+            "RPT entries must be a power of two"
+        );
+        assert!(degree >= 1, "prefetch degree must be at least 1");
         StridePrefetcher {
             table: vec![RptEntry::default(); entries],
             mask: entries as u32 - 1,

@@ -199,7 +199,7 @@ pub fn analyze(
     interval_len: u64,
     max_k: usize,
 ) -> SimPointAnalysis {
-    assert!(n_intervals >= 1);
+    assert!(n_intervals >= 1, "need at least one interval");
     let bbvs = collect_bbvs(benchmark, seed, n_intervals, interval_len);
     let max_k = max_k.min(n_intervals).max(1);
 

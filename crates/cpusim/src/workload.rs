@@ -641,19 +641,31 @@ impl WorkloadProfile {
         let bm = &self.branch_mix;
         let t = bm.biased + bm.patterned + bm.random;
         assert!((t - 1.0).abs() < 1e-9, "BranchMix must sum to 1, got {t}");
-        assert!((0.0..=1.0).contains(&bm.random_taken_p));
-        assert!((0.0..=1.0).contains(&self.data_randomness));
-        assert!((0.0..=1.0).contains(&self.dependent_load_frac));
-        assert!(self.data_footprint > 0);
-        assert!(self.code_blocks > 0);
-        assert!(self.mean_dep_distance >= 1.0);
+        assert!(
+            (0.0..=1.0).contains(&bm.random_taken_p),
+            "random_taken_p must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.data_randomness),
+            "data_randomness must be a fraction in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.dependent_load_frac),
+            "dependent_load_frac must be a fraction in [0, 1]"
+        );
+        assert!(self.data_footprint > 0, "data_footprint must be nonzero");
+        assert!(self.code_blocks > 0, "code_blocks must be nonzero");
+        assert!(
+            self.mean_dep_distance >= 1.0,
+            "mean_dep_distance below 1 instruction"
+        );
         assert!(!self.phases.is_empty(), "profile needs at least one phase");
         let w: f64 = self.phases.iter().map(|p| p.weight).sum();
         assert!(
             (w - 1.0).abs() < 1e-9,
             "phase weights must sum to 1, got {w}"
         );
-        assert!(self.phase_len > 0);
+        assert!(self.phase_len > 0, "phase_len must be nonzero");
     }
 }
 

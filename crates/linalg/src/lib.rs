@@ -19,6 +19,7 @@
 //! `serde` for dataset persistence); no external BLAS or ML crates are used.
 
 pub mod dist;
+pub mod gram;
 pub mod matrix;
 pub mod solve;
 pub mod special;

@@ -5,9 +5,19 @@
 //! contiguous `Vec<f64>` storage, bounds-checked accessors, and cache-friendly
 //! `i-k-j` multiplication loops (the perf-book idiom for naive GEMM).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Output rows per tile in the parallel matrix kernels. Each tile is an
+/// independent unit of work; 64 rows keeps the per-tile working set inside
+/// L2 for the design-matrix widths this workspace sees.
+const TILE_ROWS: usize = 64;
+
+/// Multiply–add count below which the tiled kernels stay serial: thread
+/// spawn costs more than the arithmetic saves on small operands.
+const PAR_MIN_FLOPS: usize = 1 << 16;
 
 /// Dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -128,28 +138,91 @@ impl Matrix {
     }
 
     /// Matrix product `self * other` using the cache-friendly i-k-j loop
-    /// order (streams through rows of both operands).
+    /// order (streams through rows of both operands). Large products are
+    /// split into independent row tiles evaluated on rayon workers; each
+    /// output element accumulates in the same k-ascending order either
+    /// way, so the result is bit-identical to the serial loop.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
+        let flops = self.rows * self.cols * other.cols;
+        row_tiled(self.rows, other.cols, flops, |r0, buf| {
+            let out_cols = other.cols;
+            for (ti, i) in (r0..).zip(0..buf.len() / out_cols) {
+                let a_row = self.row(ti);
+                let o_row = &mut buf[i * out_cols..(i + 1) * out_cols];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in o_row.iter_mut().zip(other.row(k)) {
+                        *o += a_ik * b;
+                    }
                 }
             }
-        }
-        out
+        })
+    }
+
+    /// `selfᵀ * other` without materializing the transpose: both operands
+    /// are streamed row by row, accumulating rank-one contributions in
+    /// row-index-ascending order — the exact order a per-sample gradient
+    /// loop accumulates, which keeps batched backprop bit-identical to the
+    /// scalar oracle. Tiled over *output* rows for parallelism.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: row counts differ ({}x{} vs {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let flops = self.rows * self.cols * other.cols;
+        row_tiled(self.cols, other.cols, flops, |r0, buf| {
+            let out_cols = other.cols;
+            let tile_rows = buf.len() / out_cols;
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = other.row(i);
+                for t in 0..tile_rows {
+                    let a_io = a_row[r0 + t];
+                    let o_row = &mut buf[t * out_cols..(t + 1) * out_cols];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a_io * b;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Batched affine layer map: `out[i][o] = bias[o] + Σ_k self[i][k] *
+    /// w[o][k]`, with the sum folded *starting from the bias* in
+    /// k-ascending order — the same floating-point grouping as the scalar
+    /// per-sample forward pass (`s = b; s += w·a`), so batching a network
+    /// forward through this kernel changes nothing in the low bits. `w` is
+    /// `outputs x inputs`, matching layer weight storage.
+    pub fn affine_nt(&self, w: &Matrix, bias: &[f64]) -> Matrix {
+        assert_eq!(
+            self.cols, w.cols,
+            "affine_nt: input widths differ ({}x{} vs {}x{})",
+            self.rows, self.cols, w.rows, w.cols
+        );
+        assert_eq!(w.rows, bias.len(), "affine_nt: bias length mismatch");
+        let flops = self.rows * self.cols * w.rows;
+        row_tiled(self.rows, w.rows, flops, |r0, buf| {
+            let out_cols = w.rows;
+            for (ti, i) in (r0..).zip(0..buf.len() / out_cols) {
+                let a_row = self.row(ti);
+                let o_row = &mut buf[i * out_cols..(i + 1) * out_cols];
+                for (o, out) in o_row.iter_mut().enumerate() {
+                    let mut s = bias[o];
+                    for (&a, &wv) in a_row.iter().zip(w.row(o)) {
+                        s += wv * a;
+                    }
+                    *out = s;
+                }
+            }
+        })
     }
 
     /// Matrix–vector product `self * v`.
@@ -283,6 +356,46 @@ impl fmt::Debug for Matrix {
     }
 }
 
+/// Evaluate a matrix kernel over independent tiles of output rows.
+///
+/// `fill(r0, buf)` must write output rows `r0 .. r0 + buf.len() / out_cols`
+/// into the zero-initialized row-major `buf`. Small jobs (under
+/// [`PAR_MIN_FLOPS`] multiply–adds) run as one serial tile; large ones fan
+/// out one tile per [`TILE_ROWS`] rows across rayon workers and stitch the
+/// buffers back in order. Tiling never changes any output element's
+/// accumulation order, only which thread computes it.
+fn row_tiled(
+    out_rows: usize,
+    out_cols: usize,
+    flops: usize,
+    fill: impl Fn(usize, &mut [f64]) + Sync,
+) -> Matrix {
+    if out_rows == 0 || out_cols == 0 {
+        return Matrix::zeros(out_rows, out_cols);
+    }
+    if flops < PAR_MIN_FLOPS || out_rows <= TILE_ROWS {
+        let mut data = vec![0.0; out_rows * out_cols];
+        fill(0, &mut data);
+        return Matrix::from_vec(out_rows, out_cols, data);
+    }
+    let n_tiles = out_rows.div_ceil(TILE_ROWS);
+    let tiles: Vec<Vec<f64>> = (0..n_tiles)
+        .into_par_iter()
+        .map(|t| {
+            let r0 = t * TILE_ROWS;
+            let r1 = ((t + 1) * TILE_ROWS).min(out_rows);
+            let mut buf = vec![0.0; (r1 - r0) * out_cols];
+            fill(r0, &mut buf);
+            buf
+        })
+        .collect();
+    let mut data = Vec::with_capacity(out_rows * out_cols);
+    for tile in tiles {
+        data.extend_from_slice(&tile);
+    }
+    Matrix::from_vec(out_rows, out_cols, data)
+}
+
 /// Dot product of two equal-length slices.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -403,5 +516,93 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Serial reference for `matmul` with the identical ikj accumulation
+    /// order, used to pin the tiled kernels bit-for-bit.
+    fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for (k, &a_ik) in a.row(i).iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += a_ik * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_matmul_is_bit_identical_to_serial() {
+        // 200x80 * 80x70 = 1.12M flops: crosses PAR_MIN_FLOPS and
+        // TILE_ROWS, so the rayon path actually runs.
+        let a = Matrix::from_fn(200, 80, |i, j| ((i * 31 + j * 7) as f64).sin());
+        let b = Matrix::from_fn(80, 70, |i, j| ((i * 13 + j * 3) as f64).cos());
+        let fast = a.matmul(&b);
+        let slow = matmul_serial(&a, &b);
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_bitwise() {
+        let a = Matrix::from_fn(150, 90, |i, j| ((i * 17 + j * 5) as f64).sin());
+        let b = Matrix::from_fn(150, 60, |i, j| ((i * 11 + j * 2) as f64).cos());
+        let fast = a.matmul_tn(&b);
+        // Row-ascending rank-one reference: the order a per-sample
+        // gradient loop uses.
+        let mut slow = Matrix::zeros(90, 60);
+        for i in 0..150 {
+            for o in 0..90 {
+                let a_io = a[(i, o)];
+                for j in 0..60 {
+                    slow[(o, j)] += a_io * b[(i, j)];
+                }
+            }
+        }
+        assert_eq!(fast.as_slice(), slow.as_slice());
+        // And numerically it is selfᵀ·other.
+        let direct = a.transpose().matmul(&b);
+        for i in 0..90 {
+            for j in 0..60 {
+                assert!((fast[(i, j)] - direct[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn affine_nt_matches_scalar_forward_bitwise() {
+        let x = Matrix::from_fn(130, 40, |i, j| ((i * 3 + j * 19) as f64).sin());
+        let w = Matrix::from_fn(25, 40, |i, j| ((i * 7 + j) as f64).cos() * 0.3);
+        let bias: Vec<f64> = (0..25).map(|o| (o as f64) * 0.01 - 0.1).collect();
+        let fast = x.affine_nt(&w, &bias);
+        for i in 0..130 {
+            for o in 0..25 {
+                // The scalar network forward: start at the bias, add
+                // weight·activation terms in input order.
+                let mut s = bias[o];
+                for k in 0..40 {
+                    s += w[(o, k)] * x[(i, k)];
+                }
+                assert!(
+                    fast[(i, o)].to_bits() == s.to_bits(),
+                    "({i},{o}): {} vs {s}",
+                    fast[(i, o)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_kernels_handle_empty_operands() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(0, 3);
+        assert_eq!(a.matmul_tn(&b).rows(), 5);
+        assert_eq!(a.matmul_tn(&b).cols(), 3);
+        let w = Matrix::zeros(4, 5);
+        let out = a.affine_nt(&w, &[0.0; 4]);
+        assert_eq!((out.rows(), out.cols()), (0, 4));
     }
 }

@@ -123,7 +123,7 @@ pub fn solve_qr(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let m = a.rows();
     let n = a.cols();
     assert!(m >= n, "solve_qr: need rows >= cols ({m} < {n})");
-    assert_eq!(b.len(), m);
+    assert_eq!(b.len(), m, "solve_qr: rhs length must match rows");
     // Work on copies; r becomes R in-place, qtb becomes Qᵀb.
     let mut r = a.clone();
     let mut qtb = b.to_vec();

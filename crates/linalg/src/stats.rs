@@ -88,7 +88,7 @@ pub fn mape(predicted: &[f64], actual: &[f64]) -> (f64, f64) {
 
 /// Pearson correlation coefficient.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
-    assert_eq!(xs.len(), ys.len());
+    assert_eq!(xs.len(), ys.len(), "pearson: series length mismatch");
     let n = xs.len();
     if n < 2 {
         return 0.0;

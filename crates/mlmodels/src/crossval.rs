@@ -8,7 +8,8 @@
 //! these data sets, as well as the maximum of the error. … in general
 //! maximum gives a closer estimate."
 
-use crate::model::{train, try_train, ModelKind};
+use crate::gramcache::LrGramCache;
+use crate::model::{try_train_cached, ModelKind};
 use crate::table::Table;
 use fault::{Error, Result};
 use linalg::dist::{child_seed, permutation, seeded_rng};
@@ -65,6 +66,14 @@ pub fn try_estimate_error(kind: ModelKind, table: &Table, seed: u64) -> Result<E
             "need at least 8 rows for 50% cross-validation, got {n}"
         )));
     }
+    // One unscaled full-table Gram shared by every split: each fold's
+    // statistics are derived by held-out-row subtraction + rescaling
+    // instead of re-accumulating from the fold's rows.
+    let cache = if kind.is_linear() {
+        LrGramCache::new(table)
+    } else {
+        None
+    };
     let errors: Vec<Result<f64>> = (0..N_SPLITS)
         .into_par_iter()
         .map(|s| {
@@ -77,7 +86,13 @@ pub fn try_estimate_error(kind: ModelKind, table: &Table, seed: u64) -> Result<E
             let test_rows = &perm[half..];
             let tr = table.select_rows(train_rows);
             let te = table.select_rows(test_rows);
-            let model = try_train(kind, &tr, child_seed(split_seed, 1))?;
+            let model = try_train_cached(
+                kind,
+                &tr,
+                child_seed(split_seed, 1),
+                cache.as_ref(),
+                test_rows,
+            )?;
             let preds = model.predict(&te);
             let (m, _) = mape(&preds, te.target());
             Ok(m)
@@ -202,13 +217,41 @@ pub fn try_select_best(estimates: &[(ModelKind, ErrorEstimate)]) -> Result<Model
 /// Generalized k-fold cross-validation (an extension of the paper's fixed
 /// 2-fold×5-repeat protocol): partition the rows into `k` folds, train on
 /// k−1, test on the held-out fold, and average the mean percentage errors.
+///
+/// Infallible-signature wrapper over [`try_kfold_error`]; panics on its
+/// error paths (invalid `k`, too few rows, failed fold fits). Pipeline
+/// code uses the fallible form.
 pub fn kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> f64 {
+    match try_kfold_error(kind, table, k, seed) {
+        Ok(err) => err,
+        Err(e) => panic!("kfold_error {}: {e}", kind.abbrev()),
+    }
+}
+
+/// Fallible k-fold cross-validation. Precondition violations surface as
+/// [`Error::InvalidInput`] instead of panicking; a failed fold fit
+/// propagates its typed error. Linear folds score candidates against the
+/// shared full-table Gram ([`LrGramCache`]) — each fold holds out only
+/// `n/k` rows, so deriving its statistics by subtraction is ~k× cheaper
+/// than re-accumulating them.
+pub fn try_kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> Result<f64> {
     let n = table.n_rows();
-    assert!(k >= 2, "k-fold needs k >= 2");
-    assert!(n >= 2 * k, "need at least 2 rows per fold");
+    if k < 2 {
+        return Err(Error::invalid(format!("k-fold needs k >= 2, got {k}")));
+    }
+    if n < 2 * k {
+        return Err(Error::invalid(format!(
+            "k-fold needs at least 2 rows per fold: {n} rows for k = {k}"
+        )));
+    }
+    let cache = if kind.is_linear() {
+        LrGramCache::new(table)
+    } else {
+        None
+    };
     let mut rng = seeded_rng(child_seed(seed, 0xF0_1D));
     let perm = permutation(&mut rng, n);
-    let errors: Vec<f64> = (0..k)
+    let errors: Vec<Result<f64>> = (0..k)
         .into_par_iter()
         .map(|fold| {
             let _span = telemetry::span!("fold", model = kind.abbrev(), fold = fold, k = k);
@@ -226,12 +269,19 @@ pub fn kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> f64 {
                 .collect();
             let tr = table.select_rows(&train_rows);
             let te = table.select_rows(&test_rows);
-            let model = train(kind, &tr, child_seed(seed, fold as u64));
+            let model = try_train_cached(
+                kind,
+                &tr,
+                child_seed(seed, fold as u64),
+                cache.as_ref(),
+                &test_rows,
+            )?;
             let (m, _) = mape(&model.predict(&te), te.target());
-            m
+            Ok(m)
         })
         .collect();
-    linalg::stats::mean(&errors)
+    let errors = errors.into_iter().collect::<Result<Vec<f64>>>()?;
+    Ok(linalg::stats::mean(&errors))
 }
 
 #[cfg(test)]
@@ -354,6 +404,58 @@ mod tests {
     fn kfold_rejects_k1() {
         let t = table(60);
         let _ = kfold_error(ModelKind::LrE, &t, 1, 0);
+    }
+
+    #[test]
+    fn try_kfold_reports_invalid_input_instead_of_panicking() {
+        let t = table(60);
+        match try_kfold_error(ModelKind::LrE, &t, 1, 0) {
+            Err(fault::Error::InvalidInput { detail }) => {
+                assert!(detail.contains("k >= 2"), "{detail}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let tiny = table(7);
+        match try_kfold_error(ModelKind::LrE, &tiny, 4, 0) {
+            Err(fault::Error::InvalidInput { detail }) => {
+                assert!(detail.contains("2 rows per fold"), "{detail}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    /// The shared-Gram fold statistics must not change what CV measures:
+    /// every fold model equals one trained directly on the fold's rows.
+    #[test]
+    fn cached_folds_match_direct_training() {
+        use crate::model::try_train;
+        use linalg::dist::{child_seed, permutation, seeded_rng};
+        let t = table(80);
+        for kind in [ModelKind::LrS, ModelKind::LrF, ModelKind::LrB] {
+            let seed = 11;
+            let est = try_estimate_error(kind, &t, seed).expect("estimate");
+            // Re-run the split protocol without the cache.
+            let n = t.n_rows();
+            let mut errors = Vec::new();
+            for s in 0..N_SPLITS {
+                let split_seed = child_seed(seed, 0xCE + s as u64);
+                let mut rng = seeded_rng(split_seed);
+                let perm = permutation(&mut rng, n);
+                let half = n / 2;
+                let tr = t.select_rows(&perm[..half]);
+                let te = t.select_rows(&perm[half..]);
+                let model = try_train(kind, &tr, child_seed(split_seed, 1)).expect("direct train");
+                let (m, _) = mape(&model.predict(&te), te.target());
+                errors.push(m);
+            }
+            let direct_max = errors.iter().cloned().fold(0.0f64, f64::max);
+            assert!(
+                (est.max - direct_max).abs() <= 1e-9 * (1.0 + direct_max),
+                "{}: cached {} vs direct {direct_max}",
+                kind.abbrev(),
+                est.max
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! that carries its own preprocessing.
 
 pub mod crossval;
+pub mod gramcache;
 pub mod importance;
 pub mod linreg;
 pub mod methods;

@@ -162,7 +162,7 @@ pub fn try_train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Res
     }
 
     const METHOD_RETRIES: u64 = 2;
-    let mut last_loss = f64::NAN;
+    let mut last_err: Option<Error> = None;
     for attempt in 0..=METHOD_RETRIES {
         // Attempt 0 uses the caller's seed verbatim so the no-fault path
         // reproduces historical results bit-for-bit.
@@ -171,26 +171,45 @@ pub fn try_train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Res
         } else {
             child_seed(seed, 0x7E00 + attempt)
         };
-        let net = train_nn_inner(method, x, y01, mseed);
-        let rmse = net.rmse(x, y01);
-        if rmse.is_finite() {
-            return Ok(net);
+        match train_nn_inner(method, x, y01, mseed) {
+            Ok(net) => {
+                let rmse = net.rmse(x, y01);
+                if rmse.is_finite() {
+                    return Ok(net);
+                }
+                last_err = Some(Error::Diverged {
+                    epoch: 0,
+                    loss: rmse,
+                });
+                telemetry::point!(
+                    "train/retry",
+                    method = method.abbrev(),
+                    attempt = attempt + 1,
+                    loss = rmse
+                );
+            }
+            // Candidate-set exhaustion is retryable exactly like
+            // divergence: a reseeded driver may well find viable
+            // candidates. Anything else (degenerate data) is final.
+            Err(e @ (Error::NoViableModel { .. } | Error::Diverged { .. })) => {
+                telemetry::point!(
+                    "train/retry",
+                    method = method.abbrev(),
+                    attempt = attempt + 1,
+                    loss = f64::NAN
+                );
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
         }
-        last_loss = rmse;
-        telemetry::point!(
-            "train/retry",
-            method = method.abbrev(),
-            attempt = attempt + 1,
-            loss = rmse
-        );
     }
-    Err(Error::Diverged {
+    Err(last_err.unwrap_or(Error::Diverged {
         epoch: 0,
-        loss: last_loss,
-    })
+        loss: f64::NAN,
+    }))
 }
 
-fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
+fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Result<Mlp> {
     let _span = telemetry::span!("train_nn", method = method.abbrev());
     let n = x.rows();
     let p = x.cols();
@@ -214,7 +233,7 @@ fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
             };
             let mut net = Mlp::new(p, &[hidden], seed);
             net.train(x, y01, &cfg);
-            net
+            Ok(net)
         }
         NnMethod::Quick => {
             let hidden = p.div_ceil(2).clamp(3, 20);
@@ -225,7 +244,7 @@ fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
             };
             let mut net = Mlp::new(p, &[hidden], seed);
             net.train(x, y01, &cfg);
-            net
+            Ok(net)
         }
         NnMethod::Dynamic => {
             // Grow the hidden layer while validation improves.
@@ -235,13 +254,14 @@ fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 ..Default::default()
             };
             let cap = (2 * p).clamp(4, 24);
-            let mut best: Option<(Mlp, f64)> = None;
+            let mut best: Option<(Mlp, f64, u64)> = None;
+            let mut reasons: Vec<(String, String)> = Vec::new();
             let mut h = 2;
             while h <= cap {
                 let mut c = cfg;
                 c.seed = child_seed(seed, h as u64);
                 let (net, val) = fit_candidate(&[h], &xt, &yt, &xv, &yv, &c);
-                let improved = best.as_ref().is_none_or(|(_, bv)| val < bv * 0.98);
+                let improved = best.as_ref().is_none_or(|(_, bv, _)| val < bv * 0.98);
                 telemetry::point!(
                     "grow/hidden",
                     hidden = h,
@@ -249,25 +269,35 @@ fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                     improved = improved
                 );
                 let done = !improved;
-                if best.as_ref().is_none_or(|(_, bv)| val < *bv) {
-                    best = Some((net, val));
+                // A diverged candidate must never become the prototype: it
+                // would be finalized into a useless network. Record it and
+                // keep growing.
+                if val.is_finite() {
+                    if best.as_ref().is_none_or(|(_, bv, _)| val < *bv) {
+                        best = Some((net, val, c.seed));
+                    }
+                } else {
+                    reasons.push((format!("hidden={h}"), format!("validation RMSE {val}")));
                 }
                 if done {
                     break;
                 }
                 h += 2;
             }
-            let (proto, _) = best.expect("at least one candidate");
-            finalize(
+            let (proto, _, cseed) = best.ok_or(Error::NoViableModel { reasons })?;
+            // Retrain under the *winning candidate's* seed: the topology
+            // was selected for how it trained under that seed, so the
+            // final fit must descend from it, not from the base seed.
+            Ok(finalize(
                 &proto,
                 x,
                 y01,
                 &TrainConfig {
                     epochs: 400,
-                    seed,
+                    seed: cseed,
                     ..Default::default()
                 },
-            )
+            ))
         }
         NnMethod::Multiple => {
             // Parallel multi-start across topologies.
@@ -280,27 +310,41 @@ fn train_nn_inner(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
                 seed,
                 ..Default::default()
             };
-            let best = topologies
+            let cands: Vec<(Mlp, f64, u64)> = topologies
                 .par_iter()
                 .enumerate()
                 .map(|(k, h)| {
                     let mut c = cfg;
                     c.seed = child_seed(seed, k as u64);
                     let (net, val) = fit_candidate(h, &xt, &yt, &xv, &yv, &c);
-                    (net, val)
+                    (net, val, c.seed)
                 })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("at least one topology");
-            finalize(
-                &best.0,
+                .collect();
+            let mut best: Option<(Mlp, f64, u64)> = None;
+            let mut reasons: Vec<(String, String)> = Vec::new();
+            for (k, (net, val, cseed)) in cands.into_iter().enumerate() {
+                if val.is_finite() {
+                    if best.as_ref().is_none_or(|(_, bv, _)| val < *bv) {
+                        best = Some((net, val, cseed));
+                    }
+                } else {
+                    reasons.push((
+                        format!("topology {:?}", topologies[k]),
+                        format!("validation RMSE {val}"),
+                    ));
+                }
+            }
+            let (proto, _, cseed) = best.ok_or(Error::NoViableModel { reasons })?;
+            Ok(finalize(
+                &proto,
                 x,
                 y01,
                 &TrainConfig {
                     epochs: 400,
-                    seed,
+                    seed: cseed,
                     ..Default::default()
                 },
-            )
+            ))
         }
         NnMethod::Prune => prune_driver(x, y01, &xt, &yt, &xv, &yv, seed, false),
         NnMethod::ExhaustivePrune => prune_driver(x, y01, &xt, &yt, &xv, &yv, seed, true),
@@ -318,7 +362,7 @@ fn prune_driver(
     yv: &[f64],
     seed: u64,
     exhaustive: bool,
-) -> Mlp {
+) -> Result<Mlp> {
     let p = x.cols();
     let (start_h, epochs, retrain_epochs, restarts, tolerance) = if exhaustive {
         ((3 * p / 2).clamp(8, 32), 500, 150, 3, 1.005)
@@ -326,7 +370,7 @@ fn prune_driver(
         (p.clamp(6, 24), 350, 80, 1, 1.01)
     };
 
-    let attempts: Vec<Mlp> = (0..restarts)
+    let attempts: Vec<(u64, Option<Mlp>)> = (0..restarts)
         .into_par_iter()
         .map(|r| {
             let rseed = restart_seed(seed, r as u64);
@@ -342,15 +386,21 @@ fn prune_driver(
             } else {
                 vec![start_h]
             };
-            let (mut net, mut best_val) = starts
-                .iter()
-                .map(|&h| {
-                    let mut c = cfg;
-                    c.seed = child_seed(rseed, h as u64);
-                    fit_candidate(&[h], xt, yt, xv, yv, &c)
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("at least one start");
+            // Only starts that reached a finite validation RMSE may seed
+            // the pruning loop; a restart where every start diverged
+            // yields no candidate instead of a poisoned one.
+            let mut seeded: Option<(Mlp, f64)> = None;
+            for &h in &starts {
+                let mut c = cfg;
+                c.seed = child_seed(rseed, h as u64);
+                let (net, val) = fit_candidate(&[h], xt, yt, xv, yv, &c);
+                if val.is_finite() && seeded.as_ref().is_none_or(|(_, bv)| val < *bv) {
+                    seeded = Some((net, val));
+                }
+            }
+            let Some((mut net, mut best_val)) = seeded else {
+                return (rseed, None);
+            };
             let retrain_cfg = TrainConfig {
                 epochs: retrain_epochs,
                 seed: child_seed(rseed, 1),
@@ -426,27 +476,45 @@ fn prune_driver(
                     break;
                 }
             }
-            net
+            (rseed, Some(net))
         })
         .collect();
 
     // Keep the restart with the best validation error, then retrain on all
-    // rows.
-    let proto = attempts
-        .into_iter()
-        .min_by(|a, b| a.rmse(xv, yv).total_cmp(&b.rmse(xv, yv)))
-        .expect("at least one restart");
+    // rows under that restart's seed — the pruned topology was shaped by
+    // that seed's trajectory, so the final fit descends from it.
+    let mut best: Option<(Mlp, f64, u64)> = None;
+    let mut reasons: Vec<(String, String)> = Vec::new();
+    for (r, (rseed, attempt)) in attempts.into_iter().enumerate() {
+        match attempt {
+            Some(net) => {
+                let val = net.rmse(xv, yv);
+                if val.is_finite() {
+                    if best.as_ref().is_none_or(|(_, bv, _)| val < *bv) {
+                        best = Some((net, val, rseed));
+                    }
+                } else {
+                    reasons.push((format!("restart {r}"), format!("validation RMSE {val}")));
+                }
+            }
+            None => reasons.push((
+                format!("restart {r}"),
+                "every starting topology diverged".into(),
+            )),
+        }
+    }
+    let (proto, _, rseed) = best.ok_or(Error::NoViableModel { reasons })?;
     let final_epochs = if exhaustive { 600 } else { 400 };
-    finalize(
+    Ok(finalize(
         &proto,
         x,
         y01,
         &TrainConfig {
             epochs: final_epochs,
-            seed,
+            seed: rseed,
             ..Default::default()
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -524,6 +592,55 @@ mod tests {
         // Not guaranteed, but the network must keep at least the two real
         // inputs live.
         assert!(net.live_inputs() >= 2);
+    }
+
+    #[test]
+    fn finalize_descends_from_winning_candidate_seed() {
+        let (x, y) = data();
+        let seed = 23;
+        let trained = train_nn(NnMethod::Multiple, &x, &y, seed);
+        // Replay the NN-M driver by hand to recover the winning candidate
+        // and its child seed; the shipped model must be the finalize of
+        // that (topology, seed) pair, not a base-seed finalize.
+        let (ti, vi) = split_half(x.rows(), child_seed(seed, 0x51));
+        let xt = rows_of(&x, &ti);
+        let yt = targets_of(&y, &ti);
+        let xv = rows_of(&x, &vi);
+        let yv = targets_of(&y, &vi);
+        let p = x.cols();
+        let mut topologies: Vec<Vec<usize>> = vec![vec![2], vec![4], vec![8], vec![12], vec![16]];
+        topologies.push(vec![p.clamp(2, 24)]);
+        topologies.push(vec![8, 4]);
+        let cfg = TrainConfig {
+            epochs: 350,
+            seed,
+            ..Default::default()
+        };
+        let mut best: Option<(Mlp, f64, u64)> = None;
+        for (k, h) in topologies.iter().enumerate() {
+            let mut c = cfg;
+            c.seed = child_seed(seed, k as u64);
+            let (net, val) = fit_candidate(h, &xt, &yt, &xv, &yv, &c);
+            if val.is_finite() && best.as_ref().is_none_or(|(_, bv, _)| val < *bv) {
+                best = Some((net, val, c.seed));
+            }
+        }
+        let (proto, _, cseed) = best.expect("clean data must yield a finite candidate");
+        assert_ne!(cseed, seed, "the winner trains under a child seed");
+        let fcfg = |s| TrainConfig {
+            epochs: 400,
+            seed: s,
+            ..Default::default()
+        };
+        let expected = finalize(&proto, &x, &y, &fcfg(cseed));
+        let wrong = finalize(&proto, &x, &y, &fcfg(seed));
+        let probe = x.row(0);
+        assert_eq!(trained.forward(probe), expected.forward(probe));
+        assert_ne!(
+            expected.forward(probe),
+            wrong.forward(probe),
+            "regression: finalize ran under the base seed, not the winner's"
+        );
     }
 
     #[test]

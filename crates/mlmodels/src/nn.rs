@@ -15,6 +15,15 @@ use linalg::Matrix;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+/// When `PERFPREDICT_NN_SCALAR=1`, prediction and the full-batch gradient
+/// run the historical per-sample scalar loops instead of the batched
+/// matrix kernels. The two paths are bit-identical by construction (tests
+/// pin this); the flag exists as the equivalence oracle and as the
+/// baseline side of the NN benchmarks.
+fn scalar_oracle() -> bool {
+    std::env::var_os("PERFPREDICT_NN_SCALAR").is_some_and(|v| v == "1")
+}
+
 /// Training algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrainAlgo {
@@ -175,18 +184,60 @@ impl Mlp {
         act[0]
     }
 
-    /// Predict every row of a design matrix.
+    /// Batched forward pass over every row at once. Returns the per-layer
+    /// activation matrices: `acts[0]` is the (dead-input-masked) input,
+    /// `acts[l]` the output of layer `l-1`, `acts.last()` the `n x 1`
+    /// prediction column. Each element accumulates bias-first in input
+    /// order via [`Matrix::affine_nt`], so every value is bit-identical to
+    /// the scalar [`Mlp::forward`] on the same row.
+    fn forward_batch(&self, x: &Matrix) -> Vec<Matrix> {
+        debug_assert_eq!(x.cols(), self.inputs());
+        let mut a0 = x.clone();
+        if self.dead_inputs.iter().any(|&d| d) {
+            for i in 0..a0.rows() {
+                for (v, &d) in a0.row_mut(i).iter_mut().zip(&self.dead_inputs) {
+                    if d {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let mut acts: Vec<Matrix> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(a0);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let last = li == self.layers.len() - 1;
+            let w = Matrix::from_rows(&layer.w);
+            let mut z = acts[li].affine_nt(&w, &layer.b);
+            if !last {
+                for v in z.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Predict every row of a design matrix (batched kernels; the scalar
+    /// per-row path behind `PERFPREDICT_NN_SCALAR=1` is bit-identical).
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.forward(x.row(i))).collect()
+        if scalar_oracle() {
+            return (0..x.rows()).map(|i| self.forward(x.row(i))).collect();
+        }
+        let out = self.forward_batch(x).pop().expect("output layer");
+        out.as_slice().to_vec()
     }
 
     /// Root-mean-square error on (x, y).
     pub fn rmse(&self, x: &Matrix, y: &[f64]) -> f64 {
         let n = x.rows();
-        assert_eq!(n, y.len());
-        let se: f64 = (0..n)
-            .map(|i| {
-                let e = self.forward(x.row(i)) - y[i];
+        assert_eq!(n, y.len(), "rmse: design/target length mismatch");
+        let se: f64 = self
+            .predict(x)
+            .iter()
+            .zip(y)
+            .map(|(p, t)| {
+                let e = p - t;
                 e * e
             })
             .sum();
@@ -271,8 +322,68 @@ impl Mlp {
     }
 
     /// Accumulate the full-batch squared-error gradient. Returns
-    /// per-layer (dW, db) in the same shapes as the weights.
+    /// per-layer (dW, db) in the same shapes as the weights. Dispatches
+    /// to the batched matrix-kernel path unless the scalar oracle flag is
+    /// set; both produce bit-identical gradients.
     fn batch_gradient(&self, x: &Matrix, y: &[f64]) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
+        if scalar_oracle() {
+            self.batch_gradient_scalar(x, y)
+        } else {
+            self.batch_gradient_batched(x, y)
+        }
+    }
+
+    /// Matrix-form full-batch gradient: one batched forward, then per
+    /// layer a `deltaᵀ·activations` product ([`Matrix::matmul_tn`]) for
+    /// dW, a column sum for db, and a `delta·W` product for the upstream
+    /// delta. Every kernel accumulates in row-ascending order — exactly
+    /// the order [`Mlp::batch_gradient_scalar`] adds per-sample
+    /// contributions — so the results match the oracle bit for bit.
+    fn batch_gradient_batched(&self, x: &Matrix, y: &[f64]) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
+        let n = x.rows() as f64;
+        let acts = self.forward_batch(x);
+        let y_hat = acts.last().expect("output layer");
+        let mut delta = Matrix::from_fn(x.rows(), 1, |i, _| (y_hat[(i, 0)] - y[i]) / n);
+        let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let prev = &acts[li];
+            let dw = delta.matmul_tn(prev);
+            let db: Vec<f64> = (0..layer.outputs())
+                .map(|o| {
+                    let mut s = 0.0;
+                    for i in 0..delta.rows() {
+                        s += delta[(i, o)];
+                    }
+                    s
+                })
+                .collect();
+            grads[li] = (
+                (0..layer.outputs()).map(|o| dw.row(o).to_vec()).collect(),
+                db,
+            );
+            if li > 0 {
+                let w = Matrix::from_rows(&layer.w);
+                let mut pd = delta.matmul(&w);
+                for i in 0..pd.rows() {
+                    // tanh' = 1 - a².
+                    for (v, &a) in pd.row_mut(i).iter_mut().zip(prev.row(i)) {
+                        *v *= 1.0 - a * a;
+                    }
+                }
+                delta = pd;
+            }
+        }
+        grads
+    }
+
+    /// Per-sample scalar gradient accumulation — the historical hot loop,
+    /// kept verbatim as the equivalence oracle for the batched path.
+    fn batch_gradient_scalar(&self, x: &Matrix, y: &[f64]) -> Vec<(Vec<Vec<f64>>, Vec<f64>)> {
         let mut grads: Vec<(Vec<Vec<f64>>, Vec<f64>)> = self
             .layers
             .iter()
@@ -769,6 +880,48 @@ mod tests {
         ));
         // The guard must fire before any weight update corrupts the net.
         assert!(net.forward(&[0.3, 0.3]).is_finite());
+    }
+
+    #[test]
+    fn batched_gradient_matches_scalar_oracle_bitwise() {
+        let (x, y) = nonlinear_data(90);
+        for hidden in [vec![6], vec![8, 4]] {
+            let mut net = Mlp::new(2, &hidden, 21);
+            net.prune_input(1); // exercise the dead-input mask too
+            let fast = net.batch_gradient_batched(&x, &y);
+            let slow = net.batch_gradient_scalar(&x, &y);
+            assert_eq!(fast.len(), slow.len());
+            for (li, ((fw, fb), (sw, sb))) in fast.iter().zip(&slow).enumerate() {
+                for (o, (fr, sr)) in fw.iter().zip(sw).enumerate() {
+                    for (j, (a, b)) in fr.iter().zip(sr).enumerate() {
+                        assert!(a.to_bits() == b.to_bits(), "dW[{li}][{o}][{j}]: {a} vs {b}");
+                    }
+                }
+                for (o, (a, b)) in fb.iter().zip(sb).enumerate() {
+                    assert!(a.to_bits() == b.to_bits(), "db[{li}][{o}]: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_predict_matches_scalar_forward_bitwise() {
+        let (x, y) = nonlinear_data(70);
+        let mut net = Mlp::new(2, &[7, 3], 31);
+        net.train(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
+        let batched = net.predict(&x);
+        for (i, &p) in batched.iter().enumerate() {
+            let s = net.forward(x.row(i));
+            assert!(p.to_bits() == s.to_bits(), "row {i}: {p} vs {s}");
+        }
+        assert_eq!(net.predict(&Matrix::zeros(0, 2)), Vec::<f64>::new());
     }
 
     #[test]

@@ -184,8 +184,10 @@ impl Preprocessor {
         self.encoding
     }
 
-    /// Encode without scaling (internal; used to fit min/max).
-    fn encode_unscaled(&self, table: &Table) -> Matrix {
+    /// Encode without scaling (used to fit min/max, and by the CV Gram
+    /// cache, which accumulates unscaled statistics once and applies each
+    /// fold's min/max as an affine transform).
+    pub(crate) fn encode_unscaled(&self, table: &Table) -> Matrix {
         let n = table.n_rows();
         let p = self.plan.len();
         let cols = table.columns();

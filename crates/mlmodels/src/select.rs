@@ -8,9 +8,20 @@
 //! the removal threshold; Stepwise alternates (after every addition it
 //! reconsiders removals). Thresholds follow the SPSS defaults:
 //! p-to-enter 0.05, p-to-remove 0.10.
+//!
+//! Candidate scoring is incremental: the drivers build the augmented
+//! Gram matrix once ([`linalg::gram::NormalEq`]) and score each add/drop
+//! with a rank-one Cholesky update/downdate
+//! ([`linalg::gram::ActiveCholesky`]) in O(k²) instead of refitting from
+//! the n-row design (O(n·k²)). Ambiguous pivots (near-collinear
+//! candidates) and near-exact fits defer to the from-scratch oracle so
+//! the selected active sets are identical to the pre-incremental
+//! implementation, which survives in [`reference`] as the equivalence
+//! oracle for tests and benchmarks.
 
 use crate::linreg::LinearFit;
 use fault::{Error, Result};
+use linalg::gram::{ActiveCholesky, AddScore, NormalEq};
 use linalg::special::f_sf;
 use linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -44,6 +55,23 @@ impl Default for Thresholds {
             p_remove: 0.10,
         }
     }
+}
+
+/// Relative RSS floor below which the Gram-derived residual is dominated
+/// by cancellation (`rss = yᵀy − ‖z‖²` with both terms nearly equal);
+/// such candidates are re-scored by the from-scratch oracle, whose
+/// explicit residual pass is exact.
+const RSS_TRUST_REL: f64 = 1e-9;
+
+/// p-value of the partial-F test between nested models differing by one
+/// predictor, computed from sufficient statistics. Mirrors
+/// `LinearFit::partial_f_vs` + `df_residual` exactly: `k_big` is the
+/// larger model's active-set size, `q = 1`.
+fn partial_p(n: usize, k_big: usize, rss_big: f64, rss_small: f64) -> f64 {
+    let df = (n - k_big - 1).max(1) as f64;
+    let denom = (rss_big / df).max(1e-30);
+    let f = ((rss_small - rss_big) / denom).max(0.0);
+    f_sf(f, 1.0, df)
 }
 
 /// p-value for adding/removing exactly one predictor between nested fits.
@@ -83,19 +111,54 @@ pub fn try_select(
     method: SelectionMethod,
     thresholds: Thresholds,
 ) -> Result<LinearFit> {
+    try_select_with(x, y, None, method, thresholds)
+}
+
+/// [`try_select`] with an optional precomputed [`NormalEq`] for `x`/`y`.
+///
+/// Cross-validation reuses one full-table Gram across folds (deriving
+/// each fold's statistics by row subtraction and rescaling) instead of
+/// re-accumulating it per fold; the statistics must describe exactly the
+/// rows of `x`/`y`.
+pub fn try_select_with(
+    x: &Matrix,
+    y: &[f64],
+    ne: Option<&NormalEq>,
+    method: SelectionMethod,
+    thresholds: Thresholds,
+) -> Result<LinearFit> {
     let p = x.cols();
     // Guard against under-determined fits: never use more predictors than
     // observations allow.
     let max_active = x.rows().saturating_sub(2).min(p);
-    let all: Vec<usize> = (0..p).collect();
-    match method {
-        SelectionMethod::Enter => {
-            let active: Vec<usize> = all.into_iter().take(max_active).collect();
-            LinearFit::try_fit_ridge(x, y, &active)
+    if method == SelectionMethod::Enter {
+        // One fit, no candidate loop: the Gram engine buys nothing.
+        let active: Vec<usize> = (0..p).take(max_active).collect();
+        return LinearFit::try_fit_ridge(x, y, &active);
+    }
+    let owned;
+    let ne = match ne {
+        Some(shared) => shared,
+        None => {
+            owned = NormalEq::try_from_design(x, y)?;
+            &owned
         }
-        SelectionMethod::Forward => forward(x, y, thresholds, max_active, false),
-        SelectionMethod::Stepwise => forward(x, y, thresholds, max_active, true),
-        SelectionMethod::Backward => backward(x, y, thresholds, max_active),
+    };
+    let active = match method {
+        SelectionMethod::Enter => unreachable!("handled above"),
+        SelectionMethod::Forward => forward(x, y, ne, thresholds, max_active, false)?,
+        SelectionMethod::Stepwise => forward(x, y, ne, thresholds, max_active, true)?,
+        SelectionMethod::Backward => backward(x, y, ne, thresholds, max_active)?,
+    };
+    // The returned model is always a from-scratch fit of the chosen active
+    // set: coefficients, diagnostics, and RSS come from the explicit
+    // residual pass, never from the (cancellation-prone) Gram identity.
+    match LinearFit::try_fit(x, y, &active) {
+        Ok(fit) => Ok(fit),
+        // Only reachable when backward's ridge start could not trim the
+        // design to full rank; match its all-else-failed semantics.
+        Err(Error::SingularSystem { .. }) => LinearFit::try_fit_ridge(x, y, &active),
+        Err(other) => Err(other),
     }
 }
 
@@ -112,44 +175,162 @@ fn trial_fit(x: &Matrix, y: &[f64], active: &[usize]) -> Result<Option<LinearFit
     }
 }
 
+/// True when a Gram-derived RSS is large enough (relative to `yᵀy`) to be
+/// trusted; near-exact fits fall back to the oracle's residual pass.
+fn trusted(rss: f64, ne: &NormalEq) -> bool {
+    rss > RSS_TRUST_REL * ne.yty().max(f64::MIN_POSITIVE)
+}
+
+/// Factor the given active set from scratch against the Gram. `None`
+/// when any pivot fails (collinear set) — callers stay on the oracle.
+fn build_engine<'a>(ne: &'a NormalEq, active: &[usize]) -> Option<ActiveCholesky<'a>> {
+    let mut eng = ActiveCholesky::new(ne).ok()?;
+    for &j in active {
+        eng.push(j).ok()?;
+    }
+    Some(eng)
+}
+
+/// RSS of `active + cand`, via the engine when its pivot and residual are
+/// trustworthy, else via the from-scratch oracle. `None` skips the
+/// candidate (singular either way).
+fn add_rss(
+    x: &Matrix,
+    y: &[f64],
+    ne: &NormalEq,
+    eng: Option<&ActiveCholesky<'_>>,
+    active: &[usize],
+    cand: usize,
+) -> Result<Option<f64>> {
+    if let Some(e) = eng {
+        if let AddScore::Ok { rss, .. } = e.score_add(cand) {
+            if trusted(rss, ne) {
+                telemetry::counter_add("select/cand_fast", 1);
+                return Ok(Some(rss));
+            }
+        }
+    }
+    telemetry::counter_add("select/cand_oracle", 1);
+    let mut trial = active.to_vec();
+    trial.push(cand);
+    Ok(trial_fit(x, y, &trial)?.map(|f| f.rss))
+}
+
+/// RSS of `active` minus the predictor at `pos`, engine-first like
+/// [`add_rss`].
+fn drop_rss(
+    x: &Matrix,
+    y: &[f64],
+    ne: &NormalEq,
+    eng: Option<&ActiveCholesky<'_>>,
+    active: &[usize],
+    pos: usize,
+) -> Result<Option<f64>> {
+    if let Some(e) = eng {
+        if let Some(rss) = e.score_drop(pos) {
+            if trusted(rss, ne) {
+                telemetry::counter_add("select/cand_fast", 1);
+                return Ok(Some(rss));
+            }
+        }
+    }
+    telemetry::counter_add("select/cand_oracle", 1);
+    let mut reduced = active.to_vec();
+    reduced.remove(pos);
+    Ok(trial_fit(x, y, &reduced)?.map(|f| f.rss))
+}
+
+/// RSS of the current active set for the next round of p-values: engine
+/// value when trustworthy, else an explicit residual pass.
+fn current_rss(
+    x: &Matrix,
+    y: &[f64],
+    ne: &NormalEq,
+    eng: Option<&ActiveCholesky<'_>>,
+    active: &[usize],
+) -> Result<f64> {
+    if let Some(e) = eng {
+        let rss = e.rss();
+        if trusted(rss, ne) {
+            return Ok(rss);
+        }
+    }
+    // Strict refit; fall back to ridge on the collinear sets only the
+    // backward ridge start can produce.
+    match LinearFit::try_fit(x, y, active) {
+        Ok(fit) => Ok(fit.rss),
+        Err(Error::SingularSystem { .. }) => Ok(LinearFit::try_fit_ridge(x, y, active)?.rss),
+        Err(other) => Err(other),
+    }
+}
+
+/// One sweep over removal candidates: `(position, p-value)` of the least
+/// significant predictor, or `None` when every reduced fit is singular.
+fn worst_removal(
+    x: &Matrix,
+    y: &[f64],
+    ne: &NormalEq,
+    eng: Option<&ActiveCholesky<'_>>,
+    active: &[usize],
+    rss_current: f64,
+) -> Result<Option<(usize, f64)>> {
+    let n = x.rows();
+    let mut worst: Option<(usize, f64)> = None;
+    for pos in 0..active.len() {
+        let Some(rss_small) = drop_rss(x, y, ne, eng, active, pos)? else {
+            continue;
+        };
+        let pv = partial_p(n, active.len(), rss_current, rss_small);
+        if worst.is_none_or(|(_, wpv)| pv > wpv) {
+            worst = Some((pos, pv));
+        }
+    }
+    Ok(worst)
+}
+
 /// Forward selection; with `reconsider` it becomes stepwise (after each
-/// addition, removals are re-evaluated).
+/// addition, removals are re-evaluated). Returns the chosen active set.
 fn forward(
     x: &Matrix,
     y: &[f64],
+    ne: &NormalEq,
     th: Thresholds,
     max_active: usize,
     reconsider: bool,
-) -> Result<LinearFit> {
-    let p = x.cols();
+) -> Result<Vec<usize>> {
+    let (n, p) = (x.rows(), x.cols());
     let mut active: Vec<usize> = Vec::new();
     // The intercept-only fit cannot be singular; failure here means the
     // data itself is unusable, which must propagate.
-    let mut current = LinearFit::try_fit(x, y, &active)?;
+    let mut rss_cur = LinearFit::try_fit(x, y, &active)?.rss;
+    let mut eng = ActiveCholesky::new(ne).ok();
     loop {
         if active.len() >= max_active {
             break;
         }
         // Best candidate to add; singular candidates are skipped.
-        let mut best: Option<(usize, f64, LinearFit)> = None;
+        let mut best: Option<(usize, f64)> = None;
         for cand in 0..p {
             if active.contains(&cand) {
                 continue;
             }
-            let mut trial_active = active.clone();
-            trial_active.push(cand);
-            let Some(trial) = trial_fit(x, y, &trial_active)? else {
+            let Some(rss_big) = add_rss(x, y, ne, eng.as_ref(), &active, cand)? else {
                 continue;
             };
-            let pv = step_p_value(&trial, &current);
-            if best.as_ref().is_none_or(|(_, bpv, _)| pv < *bpv) {
-                best = Some((cand, pv, trial));
+            let pv = partial_p(n, active.len() + 1, rss_big, rss_cur);
+            if best.is_none_or(|(_, bpv)| pv < bpv) {
+                best = Some((cand, pv));
             }
         }
         match best {
-            Some((cand, pv, trial)) if pv < th.p_enter => {
+            Some((cand, pv)) if pv < th.p_enter => {
                 active.push(cand);
-                current = trial;
+                if let Some(e) = eng.as_mut() {
+                    if e.push(cand).is_err() {
+                        eng = None;
+                    }
+                }
+                rss_cur = current_rss(x, y, ne, eng.as_ref(), &active)?;
             }
             _ => break,
         }
@@ -157,71 +338,198 @@ fn forward(
         if reconsider {
             // Stepwise: drop any predictor whose removal p-value exceeds
             // the removal threshold (most insignificant first).
-            loop {
-                if active.len() <= 1 {
-                    break;
-                }
-                let mut worst: Option<(usize, f64, LinearFit)> = None;
-                for (pos, _) in active.iter().enumerate() {
-                    let mut reduced = active.clone();
-                    reduced.remove(pos);
-                    let Some(small) = trial_fit(x, y, &reduced)? else {
-                        continue;
-                    };
-                    let pv = step_p_value(&current, &small);
-                    if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
-                        worst = Some((pos, pv, small));
-                    }
-                }
-                match worst {
-                    Some((pos, pv, small)) if pv > th.p_remove => {
+            while active.len() > 1 {
+                match worst_removal(x, y, ne, eng.as_ref(), &active, rss_cur)? {
+                    Some((pos, pv)) if pv > th.p_remove => {
                         active.remove(pos);
-                        current = small;
+                        if let Some(e) = eng.as_mut() {
+                            if e.remove(pos).is_err() {
+                                eng = None;
+                            }
+                        }
+                        rss_cur = current_rss(x, y, ne, eng.as_ref(), &active)?;
                     }
                     _ => break,
                 }
             }
         }
     }
-    Ok(current)
+    Ok(active)
 }
 
-/// Backward elimination.
-fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> Result<LinearFit> {
+/// Backward elimination. Returns the chosen active set.
+fn backward(
+    x: &Matrix,
+    y: &[f64],
+    ne: &NormalEq,
+    th: Thresholds,
+    max_active: usize,
+) -> Result<Vec<usize>> {
     let mut active: Vec<usize> = (0..x.cols()).take(max_active).collect();
     // The full starting model may legitimately be collinear; begin from a
     // ridge-stabilized fit in that case and let elimination trim it.
-    let mut current = match LinearFit::try_fit(x, y, &active) {
-        Ok(fit) => fit,
+    let mut rss_cur = match LinearFit::try_fit(x, y, &active) {
+        Ok(fit) => fit.rss,
         Err(Error::SingularSystem { .. }) => {
             telemetry::point!("select/backward_ridge_start", active = active.len());
-            LinearFit::try_fit_ridge(x, y, &active)?
+            LinearFit::try_fit_ridge(x, y, &active)?.rss
         }
         Err(other) => return Err(other),
     };
+    let mut eng = build_engine(ne, &active);
     while active.len() > 1 {
-        // Find the least significant predictor (largest removal p-value).
-        let mut worst: Option<(usize, f64, LinearFit)> = None;
-        for (pos, _) in active.iter().enumerate() {
-            let mut reduced = active.clone();
-            reduced.remove(pos);
-            let Some(small) = trial_fit(x, y, &reduced)? else {
-                continue;
-            };
-            let pv = step_p_value(&current, &small);
-            if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
-                worst = Some((pos, pv, small));
-            }
-        }
-        match worst {
-            Some((pos, pv, small)) if pv > th.p_remove => {
+        match worst_removal(x, y, ne, eng.as_ref(), &active, rss_cur)? {
+            Some((pos, pv)) if pv > th.p_remove => {
                 active.remove(pos);
-                current = small;
+                if let Some(e) = eng.as_mut() {
+                    if e.remove(pos).is_err() {
+                        eng = None;
+                    }
+                }
+                if eng.is_none() {
+                    // A ridge start (or failed downdate) forced the oracle
+                    // path; elimination may since have restored full rank,
+                    // making the O(k²) scorer viable again.
+                    eng = build_engine(ne, &active);
+                }
+                rss_cur = current_rss(x, y, ne, eng.as_ref(), &active)?;
             }
             _ => break,
         }
     }
-    Ok(current)
+    Ok(active)
+}
+
+/// The pre-incremental from-scratch drivers, verbatim: every candidate is
+/// scored by refitting from the design matrix. Retained as the
+/// equivalence oracle — proptests and the selection benchmark compare
+/// [`try_select`] against this module — and exercised nowhere on the hot
+/// path.
+pub mod reference {
+    use super::*;
+
+    /// From-scratch selection with semantics identical to
+    /// [`super::try_select`].
+    pub fn try_select(
+        x: &Matrix,
+        y: &[f64],
+        method: SelectionMethod,
+        thresholds: Thresholds,
+    ) -> Result<LinearFit> {
+        let p = x.cols();
+        let max_active = x.rows().saturating_sub(2).min(p);
+        let all: Vec<usize> = (0..p).collect();
+        match method {
+            SelectionMethod::Enter => {
+                let active: Vec<usize> = all.into_iter().take(max_active).collect();
+                LinearFit::try_fit_ridge(x, y, &active)
+            }
+            SelectionMethod::Forward => forward(x, y, thresholds, max_active, false),
+            SelectionMethod::Stepwise => forward(x, y, thresholds, max_active, true),
+            SelectionMethod::Backward => backward(x, y, thresholds, max_active),
+        }
+    }
+
+    fn forward(
+        x: &Matrix,
+        y: &[f64],
+        th: Thresholds,
+        max_active: usize,
+        reconsider: bool,
+    ) -> Result<LinearFit> {
+        let p = x.cols();
+        let mut active: Vec<usize> = Vec::new();
+        let mut current = LinearFit::try_fit(x, y, &active)?;
+        loop {
+            if active.len() >= max_active {
+                break;
+            }
+            let mut best: Option<(usize, f64, LinearFit)> = None;
+            for cand in 0..p {
+                if active.contains(&cand) {
+                    continue;
+                }
+                let mut trial_active = active.clone();
+                trial_active.push(cand);
+                let Some(trial) = trial_fit(x, y, &trial_active)? else {
+                    continue;
+                };
+                let pv = step_p_value(&trial, &current);
+                if best.as_ref().is_none_or(|(_, bpv, _)| pv < *bpv) {
+                    best = Some((cand, pv, trial));
+                }
+            }
+            match best {
+                Some((cand, pv, trial)) if pv < th.p_enter => {
+                    active.push(cand);
+                    current = trial;
+                }
+                _ => break,
+            }
+
+            if reconsider {
+                loop {
+                    if active.len() <= 1 {
+                        break;
+                    }
+                    let mut worst: Option<(usize, f64, LinearFit)> = None;
+                    for (pos, _) in active.iter().enumerate() {
+                        let mut reduced = active.clone();
+                        reduced.remove(pos);
+                        let Some(small) = trial_fit(x, y, &reduced)? else {
+                            continue;
+                        };
+                        let pv = step_p_value(&current, &small);
+                        if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
+                            worst = Some((pos, pv, small));
+                        }
+                    }
+                    match worst {
+                        Some((pos, pv, small)) if pv > th.p_remove => {
+                            active.remove(pos);
+                            current = small;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        Ok(current)
+    }
+
+    fn backward(x: &Matrix, y: &[f64], th: Thresholds, max_active: usize) -> Result<LinearFit> {
+        let mut active: Vec<usize> = (0..x.cols()).take(max_active).collect();
+        let mut current = match LinearFit::try_fit(x, y, &active) {
+            Ok(fit) => fit,
+            Err(Error::SingularSystem { .. }) => {
+                telemetry::point!("select/backward_ridge_start", active = active.len());
+                LinearFit::try_fit_ridge(x, y, &active)?
+            }
+            Err(other) => return Err(other),
+        };
+        while active.len() > 1 {
+            let mut worst: Option<(usize, f64, LinearFit)> = None;
+            for (pos, _) in active.iter().enumerate() {
+                let mut reduced = active.clone();
+                reduced.remove(pos);
+                let Some(small) = trial_fit(x, y, &reduced)? else {
+                    continue;
+                };
+                let pv = step_p_value(&current, &small);
+                if worst.as_ref().is_none_or(|(_, wpv, _)| pv > *wpv) {
+                    worst = Some((pos, pv, small));
+                }
+            }
+            match worst {
+                Some((pos, pv, small)) if pv > th.p_remove => {
+                    active.remove(pos);
+                    current = small;
+                }
+                _ => break,
+            }
+        }
+        Ok(current)
+    }
 }
 
 #[cfg(test)]
@@ -367,5 +675,49 @@ mod tests {
         let x = Matrix::from_rows(&rows);
         let fit = select(&x, &y, SelectionMethod::Enter, Thresholds::default());
         assert!(fit.active.len() <= 2);
+    }
+
+    /// The acceptance contract of the incremental engine: active sets
+    /// identical to the from-scratch reference, coefficients to 1e-10.
+    #[test]
+    fn incremental_matches_reference_drivers() {
+        for (x, y) in [data(), data_with_duplicate_column()] {
+            for m in [
+                SelectionMethod::Enter,
+                SelectionMethod::Forward,
+                SelectionMethod::Backward,
+                SelectionMethod::Stepwise,
+            ] {
+                let inc = try_select(&x, &y, m, Thresholds::default()).expect("incremental");
+                let oracle =
+                    reference::try_select(&x, &y, m, Thresholds::default()).expect("reference");
+                assert_eq!(inc.active, oracle.active, "{m:?}: active sets differ");
+                assert!(
+                    (inc.intercept - oracle.intercept).abs()
+                        <= 1e-10 * (1.0 + oracle.intercept.abs())
+                );
+                for (a, b) in inc.coefs.iter().zip(oracle.coefs.iter()) {
+                    assert!(
+                        (a - b).abs() <= 1e-10 * (1.0 + b.abs()),
+                        "{m:?}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// When CV hands the driver a precomputed Gram, the result must match
+    /// the build-it-yourself path bit for bit.
+    #[test]
+    fn precomputed_normal_eq_changes_nothing() {
+        let (x, y) = data();
+        let ne = NormalEq::from_design(&x, &y);
+        for m in [SelectionMethod::Forward, SelectionMethod::Stepwise] {
+            let direct = try_select(&x, &y, m, Thresholds::default()).expect("direct");
+            let shared =
+                try_select_with(&x, &y, Some(&ne), m, Thresholds::default()).expect("shared");
+            assert_eq!(direct.active, shared.active);
+            assert_eq!(direct.coefs, shared.coefs);
+        }
     }
 }

@@ -31,7 +31,7 @@ pub fn rating_from_ratios(ratios: &[f64]) -> f64 {
 /// mean-centred in log space so the rating identity holds to rounding.
 pub fn synthesize_ratios(rate: f64, n_apps: usize, spread: f64, rng: &mut impl Rng) -> Vec<f64> {
     assert!(rate > 0.0, "rate must be positive");
-    assert!(n_apps > 0);
+    assert!(n_apps > 0, "need at least one application");
     let mut logs: Vec<f64> = (0..n_apps)
         .map(|_| linalg::dist::sample_normal(rng, 0.0, spread))
         .collect();
@@ -44,7 +44,10 @@ pub fn synthesize_ratios(rate: f64, n_apps: usize, spread: f64, rng: &mut impl R
 
 /// Normalized ratio of one run: reference time / measured time.
 pub fn ratio(reference_seconds: f64, measured_seconds: f64) -> f64 {
-    assert!(reference_seconds > 0.0 && measured_seconds > 0.0);
+    assert!(
+        reference_seconds > 0.0 && measured_seconds > 0.0,
+        "run times must be positive"
+    );
     reference_seconds / measured_seconds
 }
 
@@ -65,7 +68,10 @@ pub fn synthesize_structured_ratios(
     noise: f64,
     rng: &mut impl Rng,
 ) -> Vec<f64> {
-    assert!(rate > 0.0 && n_apps > 0);
+    assert!(
+        rate > 0.0 && n_apps > 0,
+        "rate must be positive and apps nonzero"
+    );
     // Fixed per-(app, trait) sensitivities derived from a hash so every
     // record agrees on each application's character.
     let coef = |app: usize, tr: usize| -> f64 {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the kernel-level criterion benchmarks and assemble their JSON-lines
+# output into BENCH_selection.json / BENCH_nn.json / BENCH_dse.json at the
+# repo root.
+#
+# Usage:
+#   scripts/bench.sh            # full timing budgets (minutes)
+#   scripts/bench.sh --quick    # CRITERION_QUICK smoke budgets (seconds),
+#                               # for CI and local sanity checks
+#
+# Each BENCH_*.json is a JSON document:
+#   { "mode": "quick"|"full", "results": [ {bench, mean_ns, ...}, ... ] }
+# The per-bench records come verbatim from the compat criterion harness
+# (CRITERION_JSON_LINES); equivalence between the incremental/batched and
+# reference/scalar paths is asserted inside the bench binaries themselves,
+# so a completed run certifies bit-identical answers, not just speed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=full
+if [ "${1:-}" = "--quick" ]; then
+    mode=quick
+    export CRITERION_QUICK=1
+fi
+
+for bench in selection nn dse; do
+    lines=$(mktemp)
+    trap 'rm -f "$lines"' EXIT
+    CRITERION_JSON_LINES="$lines" cargo bench -p bench --bench "$bench"
+    if [ ! -s "$lines" ]; then
+        echo "error: bench '$bench' emitted no results" >&2
+        exit 1
+    fi
+    {
+        printf '{"mode":"%s","results":[\n' "$mode"
+        # JSON-lines -> comma-separated array elements.
+        sed '$!s/$/,/' "$lines"
+        printf ']}\n'
+    } > "BENCH_${bench}.json"
+    rm -f "$lines"
+    trap - EXIT
+    echo "wrote BENCH_${bench}.json ($(grep -c '"bench"' "BENCH_${bench}.json") results)"
+done

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Fail on `.unwrap()` in non-test library code.
+# Fail on `.unwrap()` and message-less `assert!` in non-test library code.
 #
 # Fallible paths use the typed `fault::Error` hierarchy; production code
 # must propagate with `?`, use a recoverable default, or `expect()` with a
-# message documenting the invariant. Test modules (everything after the
-# first `#[cfg(test)]`), `tests/` directories, and the vendored
-# `crates/compat/` tree are exempt.
+# message documenting the invariant. Asserts that *do* belong in library
+# code (true invariants) must carry a message so the panic names what was
+# violated. The message check is a single-line heuristic: a complete
+# `assert!(..);` / `assert_eq!(..);` / `assert_ne!(..);` with no string
+# literal on the line is flagged (`debug_assert!` and `prop_assert!` are
+# exempt, as are multi-line asserts — put the message on the first line).
+# Test modules (everything after the first `#[cfg(test)]`), `tests/`
+# directories, and the vendored `crates/compat/` tree are exempt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +19,10 @@ while IFS= read -r file; do
     hits=$(awk '
         /#\[cfg\(test\)\]/ { exit }
         { sub(/\/\/.*/, "") }          # strip line comments and doc text
-        /\.unwrap\(\)/ { print FILENAME ":" FNR ": " $0; found = 1 }
+        /\.unwrap\(\)/ { print FILENAME ":" FNR ": unwrap: " $0; found = 1 }
+        /(^|[^_a-zA-Z])assert(_eq|_ne)?!\(/ && /\);/ && !/"/ {
+            print FILENAME ":" FNR ": bare assert: " $0; found = 1
+        }
         END { exit !found }
     ' "$file" || true)
     if [ -n "$hits" ]; then
@@ -25,8 +33,9 @@ done < <(find src crates/*/src -name '*.rs' -not -path 'crates/compat/*')
 
 if [ "$fail" -ne 0 ]; then
     echo
-    echo "error: .unwrap() in non-test library code — use '?', a recoverable"
-    echo "default, or expect(\"<documented invariant>\") instead."
+    echo "error: .unwrap() or message-less assert! in non-test library code —"
+    echo "use '?', a recoverable default, expect(\"<documented invariant>\"),"
+    echo "or give the assert a message naming the violated invariant."
     exit 1
 fi
 echo "unwrap lint: clean"
