@@ -24,6 +24,7 @@ fn config(sim: cpusim::SimOptions, models: Vec<ModelKind>) -> SampledConfig {
         sim,
         seed: 0xD5E,
         estimate_errors: true,
+        export_models: None,
     }
 }
 

@@ -1,0 +1,128 @@
+//! Serving-layer throughput: JSONL replay through the batched prediction
+//! engine (DESIGN.md §9) against pre-trained artifacts.
+//!
+//! Training and workload synthesis happen once outside the timed region,
+//! so the numbers are pure serve cost — parse, cache probe, batch
+//! assembly, matrix-form predict, ordered emit. Two stream shapes per
+//! model: `cached` (2 000 requests over 32 distinct configs, the
+//! steady-state surrogate-query case) and `cold` (cache disabled, every
+//! request pays a prediction). Before timing, the harness asserts the
+//! replay is byte-identical across 1 and 4 worker threads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlmodels::table::Table;
+use mlmodels::{try_train, ModelArtifact, ModelKind};
+use serve::{generate_requests, serve_jsonl, ServeConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const REQUESTS: usize = 2_000;
+const DISTINCT: usize = 32;
+
+/// Deterministic training table shaped like the paper's design space:
+/// numeric lattice columns, a flag, a categorical, linear-ish target.
+fn training_table() -> Table {
+    let n = 256;
+    let l1 = [8.0, 16.0, 32.0, 64.0];
+    let l2 = [256.0, 512.0, 1024.0, 2048.0];
+    let width = [2.0, 4.0, 8.0];
+    let xs1: Vec<f64> = (0..n).map(|i| l1[i % l1.len()]).collect();
+    let xs2: Vec<f64> = (0..n).map(|i| l2[(i / 4) % l2.len()]).collect();
+    let xs3: Vec<f64> = (0..n).map(|i| width[(i / 16) % width.len()]).collect();
+    let flags: Vec<bool> = (0..n).map(|i| (i / 48) % 2 == 0).collect();
+    let codes: Vec<u32> = (0..n).map(|i| ((i / 96) % 3) as u32).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            1e6 / (xs1[i].log2() + 0.01 * xs2[i].sqrt() + xs3[i])
+                + if flags[i] { -2e4 } else { 0.0 }
+                + codes[i] as f64 * 1e4
+        })
+        .collect();
+    let mut t = Table::new();
+    t.add_numeric("l1_kb", xs1)
+        .add_numeric("l2_kb", xs2)
+        .add_numeric("width", xs3)
+        .add_flag("wrong_path", flags)
+        .add_categorical(
+            "bpred",
+            codes,
+            vec!["Bimodal".into(), "TwoLevel".into(), "Perfect".into()],
+        )
+        .set_target(y);
+    t
+}
+
+fn config(cache_cap: usize, workers: usize) -> ServeConfig {
+    ServeConfig {
+        cache_cap,
+        workers,
+        ..ServeConfig::default()
+    }
+}
+
+/// Replay once per worker count and assert byte-identical output, then
+/// record one representative timing into telemetry counters.
+fn assert_equivalence_and_record(artifact: &ModelArtifact, stream: &str, tag: &str) {
+    let t0 = Instant::now();
+    let (base, stats) = serve_jsonl(artifact.clone(), config(4096, 1), stream).expect("replay");
+    telemetry::counter_add(
+        &format!("bench/serve_{tag}_2k_ns"),
+        t0.elapsed().as_nanos() as u64,
+    );
+    assert_eq!(stats.requests as usize, REQUESTS, "every request answered");
+    assert!(stats.cache_hits > 0, "cache-heavy stream must hit");
+    for workers in [2, 4] {
+        let (out, _) = serve_jsonl(artifact.clone(), config(4096, workers), stream)
+            .expect("multi-worker replay");
+        assert_eq!(base, out, "{tag}: output differs at {workers} workers");
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let table = training_table();
+    let artifacts: Vec<(&str, ModelArtifact)> = [("lrb", ModelKind::LrB), ("nnq", ModelKind::NnQ)]
+        .into_iter()
+        .map(|(tag, kind)| {
+            let model = try_train(kind, &table, 0x5E2).expect("training");
+            (tag, ModelArtifact::from_training(model, &table))
+        })
+        .collect();
+    let stream =
+        generate_requests(&artifacts[0].1.schema, REQUESTS, DISTINCT, 0x5E2).expect("workload");
+    for (tag, artifact) in &artifacts {
+        assert_equivalence_and_record(artifact, &stream, tag);
+    }
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (tag, artifact) in &artifacts {
+        // Steady state: 32 distinct configs, ~98% of requests hit the LRU.
+        group.bench_function(format!("replay_cached_{tag}"), |b| {
+            b.iter_batched(
+                || artifact.clone(),
+                |a| black_box(serve_jsonl(a, config(4096, 2), &stream)),
+                BatchSize::LargeInput,
+            )
+        });
+        // Cache disabled: every request pays parse + batch + predict.
+        group.bench_function(format!("replay_cold_{tag}"), |b| {
+            b.iter_batched(
+                || artifact.clone(),
+                |a| black_box(serve_jsonl(a, config(0, 2), &stream)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    // Artifact decode path: bytes -> validated model, the per-process
+    // startup cost of a serve worker.
+    let bytes = artifacts[1].1.to_bytes().expect("serialize");
+    group.bench_function("artifact_load_nnq", |b| {
+        b.iter(|| black_box(ModelArtifact::from_bytes("<bench>", black_box(&bytes))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -39,6 +39,7 @@ fn main() {
             sim,
             seed,
             estimate_errors: false,
+            export_models: None,
         };
         let run = run_sampled_dse(Benchmark::Gcc, &space, &cfg, Some(sweep.clone()));
         // A fit that failed is dropped from the run, not fatal: render "-".

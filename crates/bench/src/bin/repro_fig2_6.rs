@@ -84,6 +84,7 @@ fn main() {
         sim,
         seed,
         estimate_errors: true,
+        export_models: None,
     };
 
     let benches: Vec<Benchmark> = if all {

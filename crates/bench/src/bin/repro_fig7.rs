@@ -26,6 +26,7 @@ fn main() {
             data_seed: seed,
             seed,
             estimate_errors: false,
+            export_models: None,
         };
         let r = run_chronological(fam, &cfg);
         println!(

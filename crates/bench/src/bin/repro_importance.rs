@@ -25,6 +25,7 @@ fn main() {
             data_seed: seed,
             seed,
             estimate_errors: false,
+            export_models: None,
         };
         let r = run_chronological(fam, &cfg);
         println!("{} — top predictors:", fam.name());

@@ -40,6 +40,7 @@ fn main() {
                 data_seed: seed,
                 seed,
                 estimate_errors: false,
+                export_models: None,
             };
             let r = run_chronological(fam, &cfg);
             let err = |m: ModelKind| {

@@ -34,6 +34,7 @@ fn main() {
             data_seed: seed,
             seed,
             estimate_errors: false,
+            export_models: None,
         };
         let r = run_chronological(fam, &cfg);
         let (_, best_err) = r.best();

@@ -34,6 +34,7 @@ fn main() {
         sim,
         seed,
         estimate_errors: true,
+        export_models: None,
     };
 
     // Accumulate true errors per (model, rate) and the select method.

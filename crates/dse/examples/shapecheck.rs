@@ -21,6 +21,7 @@ fn main() {
             },
             seed: 11,
             estimate_errors: true,
+            export_models: None,
         };
         let run = run_sampled_dse(b, &sub, &cfg, None);
         println!(

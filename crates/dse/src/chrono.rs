@@ -7,7 +7,7 @@
 //! SMPs, and everything within ~2 % on Pentium D's short, homogeneous
 //! history.
 
-use crate::data::table_from_announcements;
+use crate::data::try_table_from_announcements;
 use fault::{Error, Result};
 use linalg::dist::child_seed;
 use linalg::stats::mape;
@@ -31,6 +31,9 @@ pub struct ChronoConfig {
     pub seed: u64,
     /// Whether to run §3.3 error estimation on the training year.
     pub estimate_errors: bool,
+    /// Directory to export every successfully trained model into as a
+    /// `.ppmodel` artifact (`None` disables export).
+    pub export_models: Option<String>,
 }
 
 impl Default for ChronoConfig {
@@ -41,6 +44,7 @@ impl Default for ChronoConfig {
             data_seed: 42,
             seed: 0xC4,
             estimate_errors: false,
+            export_models: None,
         }
     }
 }
@@ -157,11 +161,15 @@ pub fn try_run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> Res
     );
     let set = AnnouncementSet::generate(family, cfg.data_seed);
     let (train_recs, test_recs) = set.try_chronological_split(cfg.train_year)?;
-    let train_table = table_from_announcements(&train_recs);
-    let test_table = table_from_announcements(&test_recs);
+    let train_table = try_table_from_announcements(&train_recs)?;
+    let test_table = try_table_from_announcements(&test_recs)?;
+    if let Some(dir) = &cfg.export_models {
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir.clone(), e))?;
+    }
 
     let progress = telemetry::Progress::new("chronological", cfg.models.len() as u64);
-    let outcomes: Vec<std::result::Result<ChronoPoint, Dropped>> = cfg
+    type Outcome = std::result::Result<(ChronoPoint, Option<mlmodels::TrainedModel>), Dropped>;
+    let outcomes: Vec<Outcome> = cfg
         .models
         .par_iter()
         .enumerate()
@@ -209,13 +217,17 @@ pub fn try_run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> Res
             };
             progress.inc();
             let imp = importance(&model, &train_table);
-            Ok(ChronoPoint {
-                model: kind,
-                error_mean,
-                error_std,
-                estimated,
-                importance: imp,
-            })
+            let keep_model = cfg.export_models.is_some();
+            Ok((
+                ChronoPoint {
+                    model: kind,
+                    error_mean,
+                    error_std,
+                    estimated,
+                    importance: imp,
+                },
+                keep_model.then_some(model),
+            ))
         })
         .collect();
 
@@ -223,7 +235,19 @@ pub fn try_run_chronological(family: ProcessorFamily, cfg: &ChronoConfig) -> Res
     let mut dropped = Vec::new();
     for outcome in outcomes {
         match outcome {
-            Ok(p) => points.push(p),
+            Ok((p, model)) => {
+                if let (Some(dir), Some(model)) = (&cfg.export_models, model) {
+                    let path = format!(
+                        "{dir}/{}_{}_y{}.ppmodel",
+                        family.name(),
+                        p.model.abbrev(),
+                        cfg.train_year
+                    );
+                    mlmodels::ModelArtifact::from_training(model, &train_table).save(&path)?;
+                    telemetry::point!("chrono/export", model = p.model.abbrev(), path = path);
+                }
+                points.push(p);
+            }
             Err(d) => dropped.push(d),
         }
     }
@@ -331,6 +355,30 @@ mod tests {
         };
         let err = try_run_chronological(ProcessorFamily::Opteron, &cfg).expect_err("no 1980 data");
         assert_eq!(err.kind(), "degenerate");
+    }
+
+    #[test]
+    fn export_models_writes_loadable_artifacts() {
+        let dir = std::env::temp_dir().join("perfpredict-chrono-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ChronoConfig {
+            models: vec![ModelKind::LrE, ModelKind::NnS],
+            export_models: Some(dir.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let r = run_chronological(ProcessorFamily::Opteron, &cfg);
+        assert_eq!(r.points.len(), 2);
+        let mut exported: Vec<_> = std::fs::read_dir(&dir)
+            .expect("export dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        exported.sort();
+        assert_eq!(exported.len(), 2, "{exported:?}");
+        for path in &exported {
+            let art = mlmodels::ModelArtifact::load(&path.to_string_lossy()).expect("loadable");
+            assert_eq!(art.schema.columns.len(), 32, "announcement parameter count");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

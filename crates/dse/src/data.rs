@@ -1,26 +1,51 @@
 //! Adapters: simulator sweeps and SPEC announcements → model tables.
+//!
+//! The `try_` builders are the library path: every defect — an empty
+//! sweep, a categorical vocabulary too large for its code type, a table
+//! that fails validation — propagates as a typed [`fault::Error`]
+//! instead of panicking. The un-prefixed wrappers keep the historical
+//! panicking signatures for test and bench harnesses.
+
+use std::collections::HashMap;
 
 use cpusim::config::CpuConfig;
 use cpusim::runner::SimResult;
+use fault::{Error, Result};
 use mlmodels::Table;
 use specdata::Announcement;
 
 /// Build the sampled-DSE table from sweep results: the 24 Table-1
 /// parameters as predictors (branch predictor categorical, wrong-path a
 /// flag, the rest numeric), simulated cycles as the target.
+///
+/// Panicking wrapper over [`try_table_from_sweep`].
 pub fn table_from_sweep(results: &[SimResult]) -> Table {
-    assert!(!results.is_empty(), "empty sweep");
+    match try_table_from_sweep(results) {
+        Ok(t) => t,
+        Err(e) => panic!("sweep table: {e}"),
+    }
+}
+
+/// Fallible sweep-table builder. An empty sweep or a feature list
+/// missing the wrong-path flag is [`Error::DegenerateData`]; the built
+/// table is validated before it is returned.
+pub fn try_table_from_sweep(results: &[SimResult]) -> Result<Table> {
+    if results.is_empty() {
+        return Err(Error::degenerate("empty sweep"));
+    }
     let mut numeric: Vec<(usize, Vec<f64>)> = Vec::new();
     let names = CpuConfig::feature_names();
 
     // All numeric features except the categorical bpred and the flag
-    // issue_wrong_path.
-    // Invariant: `CpuConfig::feature_names()` is a compile-time constant
-    // list that includes "issue_wrong_path"; a unit test in cpusim pins it.
+    // issue_wrong_path. `CpuConfig::feature_names()` is a compile-time
+    // constant list that includes "issue_wrong_path" (a unit test in
+    // cpusim pins it), but a missing entry degrades to a typed error.
     let flag_idx = names
         .iter()
         .position(|&n| n == "issue_wrong_path")
-        .expect("issue_wrong_path is a fixed CpuConfig feature");
+        .ok_or_else(|| {
+            Error::degenerate("CpuConfig feature list has no issue_wrong_path column")
+        })?;
     for (j, _) in names.iter().enumerate() {
         if j == CpuConfig::BPRED_FEATURE_INDEX || j == flag_idx {
             continue;
@@ -49,17 +74,33 @@ pub fn table_from_sweep(results: &[SimResult]) -> Table {
             .collect(),
     );
     t.set_target(results.iter().map(|r| r.cycles).collect());
-    t.validate();
-    t
+    t.try_validate()?;
+    Ok(t)
 }
 
 /// Build a chronological-modelling table from announcements: all 32
 /// parameters typed as §3.4 expects, SPECint rate as the target.
+///
+/// Panicking wrapper over [`try_table_from_announcements`].
 pub fn table_from_announcements(records: &[&Announcement]) -> Table {
-    assert!(!records.is_empty(), "empty announcement set");
+    match try_table_from_announcements(records) {
+        Ok(t) => t,
+        Err(e) => panic!("announcement table: {e}"),
+    }
+}
+
+/// Fallible announcement-table builder. An empty record set is
+/// [`Error::DegenerateData`], and a categorical vocabulary too large for
+/// the `u32` code space is reported instead of silently truncated.
+pub fn try_table_from_announcements(records: &[&Announcement]) -> Result<Table> {
+    if records.is_empty() {
+        return Err(Error::degenerate("empty announcement set"));
+    }
 
     let mut t = Table::new();
-    // The three identifier fields are categorical.
+    // The three identifier fields are categorical: sort-dedup the values
+    // into a level vocabulary, then code each row through a map built
+    // alongside it — no positional search, no unchecked narrowing.
     for (name, get) in [
         ("company", 0usize),
         ("system_name", 1),
@@ -72,17 +113,26 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
         let mut levels: Vec<String> = values.clone();
         levels.sort();
         levels.dedup();
+        let mut code_of: HashMap<&str, u32> = HashMap::with_capacity(levels.len());
+        for (i, level) in levels.iter().enumerate() {
+            let code = u32::try_from(i).map_err(|_| {
+                Error::degenerate(format!(
+                    "categorical '{name}' has {} levels, exceeding the u32 code space",
+                    levels.len()
+                ))
+            })?;
+            code_of.insert(level.as_str(), code);
+        }
         let codes: Vec<u32> = values
             .iter()
-            // Invariant: `levels` is the dedup of `values`, so every
-            // value is present by construction.
             .map(|v| {
-                levels
-                    .iter()
-                    .position(|l| l == v)
-                    .expect("level from values") as u32
+                code_of.get(v.as_str()).copied().ok_or_else(|| {
+                    Error::degenerate(format!(
+                        "categorical '{name}': value '{v}' missing from its own level vocabulary"
+                    ))
+                })
             })
-            .collect();
+            .collect::<Result<_>>()?;
         t.add_categorical(name, codes, levels);
     }
 
@@ -127,8 +177,8 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
     t.add_numeric("extra_components", num(|r| r.extra_components as f64));
 
     t.set_target(records.iter().map(|r| r.specint_rate).collect());
-    t.validate();
-    t
+    t.try_validate()?;
+    Ok(t)
 }
 
 /// Like [`table_from_announcements`] but targeting the SPECfp2000 rate —
@@ -139,6 +189,14 @@ pub fn table_from_announcements_fp(records: &[&Announcement]) -> Table {
     t.set_target(records.iter().map(|r| r.specfp_rate).collect());
     t.validate();
     t
+}
+
+/// Fallible variant of [`table_from_announcements_fp`].
+pub fn try_table_from_announcements_fp(records: &[&Announcement]) -> Result<Table> {
+    let mut t = try_table_from_announcements(records)?;
+    t.set_target(records.iter().map(|r| r.specfp_rate).collect());
+    t.try_validate()?;
+    Ok(t)
 }
 
 /// Like [`table_from_announcements`] but targeting one *individual*
@@ -205,6 +263,36 @@ mod tests {
         for (y, rec) in t.target().iter().zip(&set.records) {
             assert_eq!(*y, rec.app_ratios[3]);
         }
+    }
+
+    #[test]
+    fn empty_inputs_are_typed_degenerate_errors() {
+        assert_eq!(
+            try_table_from_sweep(&[]).expect_err("empty sweep").kind(),
+            "degenerate"
+        );
+        assert_eq!(
+            try_table_from_announcements(&[])
+                .expect_err("empty set")
+                .kind(),
+            "degenerate"
+        );
+        assert_eq!(
+            try_table_from_announcements_fp(&[])
+                .expect_err("empty set")
+                .kind(),
+            "degenerate"
+        );
+    }
+
+    #[test]
+    fn try_builders_match_panicking_wrappers() {
+        let set = AnnouncementSet::generate(ProcessorFamily::Opteron, 42);
+        let refs: Vec<&Announcement> = set.records.iter().collect();
+        assert_eq!(
+            try_table_from_announcements(&refs).expect("valid"),
+            table_from_announcements(&refs)
+        );
     }
 
     #[test]

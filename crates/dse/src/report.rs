@@ -6,9 +6,35 @@
 
 /// Render an aligned text table. `header` and every row must have equal
 /// lengths.
+///
+/// Panicking wrapper over [`try_render_table`] for the reproduction
+/// harnesses, whose shapes are static.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
-    assert!(rows.iter().all(|r| r.len() == header.len()), "ragged table");
+    match try_render_table(header, rows) {
+        Ok(s) => s,
+        Err(e) => panic!("ragged table: {e}"),
+    }
+}
+
+/// Fallible table renderer. A ragged row (length differing from the
+/// header) is [`fault::Error::InvalidInput`]; an empty header renders as
+/// an empty string rather than underflowing the separator-width
+/// arithmetic (`2 * (ncol - 1)` wraps for `ncol == 0`).
+pub fn try_render_table(header: &[String], rows: &[Vec<String>]) -> fault::Result<String> {
     let ncol = header.len();
+    if ncol == 0 {
+        return if rows.iter().all(|r| r.is_empty()) {
+            Ok(String::new())
+        } else {
+            Err(fault::Error::invalid("table has rows but an empty header"))
+        };
+    }
+    if let Some((i, row)) = rows.iter().enumerate().find(|(_, r)| r.len() != ncol) {
+        return Err(fault::Error::invalid(format!(
+            "ragged table: row {i} has {} cells for {ncol} columns",
+            row.len()
+        )));
+    }
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {
@@ -34,7 +60,7 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
     }
-    out
+    Ok(out)
 }
 
 /// Format a float with fixed decimals.
@@ -160,5 +186,36 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         let _ = render_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn empty_header_renders_empty_instead_of_underflowing() {
+        // Regression: `2 * (ncol - 1)` wrapped for ncol == 0 and panicked
+        // in release-checked / debug builds.
+        assert_eq!(try_render_table(&[], &[]).expect("empty table"), "");
+        assert_eq!(render_table(&[], &[]), "");
+        // Zero columns with rows of zero cells is still a zero-column table.
+        assert_eq!(
+            try_render_table(&[], &[vec![], vec![]]).expect("no cells"),
+            ""
+        );
+        // Rows with cells but no header cannot be aligned to anything.
+        let err = try_render_table(&[], &[vec!["x".into()]]).expect_err("cells, no header");
+        assert_eq!(err.kind(), "invalid");
+    }
+
+    #[test]
+    fn ragged_rows_are_typed_errors_in_the_fallible_path() {
+        let err = try_render_table(&["a".into()], &[vec!["1".into(), "2".into()]])
+            .expect_err("ragged row");
+        assert_eq!(err.kind(), "invalid");
+        assert!(err.to_string().contains("row 0"), "{err}");
+        // Valid input still renders identically through both paths.
+        let header = vec!["m".into(), "e".into()];
+        let rows = vec![vec!["NN-E".into(), "1.8".into()]];
+        assert_eq!(
+            try_render_table(&header, &rows).expect("valid"),
+            render_table(&header, &rows)
+        );
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::data::table_from_sweep;
+use crate::data::try_table_from_sweep;
 use cpusim::runner::{
     sweep_header, sweep_header_expectations, try_sweep_design_space, SimOptions, SimResult,
 };
@@ -56,6 +56,10 @@ pub struct SampledConfig {
     /// Whether to run the §3.3 estimated-error protocol (adds 5 extra
     /// trainings per model and rate).
     pub estimate_errors: bool,
+    /// Directory to export every freshly trained model into as a
+    /// `.ppmodel` artifact (`None` disables export; fits restored from a
+    /// checkpoint are not re-exported — their models were never rebuilt).
+    pub export_models: Option<String>,
 }
 
 impl Default for SampledConfig {
@@ -67,6 +71,7 @@ impl Default for SampledConfig {
             sim: SimOptions::default(),
             seed: 0xD5E,
             estimate_errors: true,
+            export_models: None,
         }
     }
 }
@@ -130,23 +135,38 @@ impl SampledRun {
 }
 
 /// Draw `k` training rows from `n` according to the strategy.
-fn draw_sample(
+///
+/// `k` is clamped to `n` (a rounded-up sample can exceed a tiny table)
+/// and an empty population is a typed [`Error::InvalidInput`] instead of
+/// an underflow panic in the stride arithmetic below.
+pub fn draw_sample(
     strategy: SamplingStrategy,
     results: &[SimResult],
     n: usize,
     k: usize,
     seed: u64,
-) -> Vec<usize> {
+) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(Error::invalid(
+            "cannot draw a training sample from an empty design space",
+        ));
+    }
+    let k = k.min(n);
     let mut rng = seeded_rng(seed);
-    match strategy {
+    Ok(match strategy {
         SamplingStrategy::Random => sample_indices(&mut rng, n, k),
         SamplingStrategy::Systematic => {
-            // Evenly spaced with a random phase.
+            // Evenly spaced with a random phase. The final `.min(n - 1)`
+            // clamp can fold the last strides onto the same row; dedup so
+            // a fold never carries duplicate training rows (the indices
+            // are non-decreasing by construction).
             let stride = n as f64 / k as f64;
             let phase: f64 = rand::Rng::random::<f64>(&mut rng) * stride;
-            (0..k)
+            let mut rows: Vec<usize> = (0..k)
                 .map(|i| ((phase + i as f64 * stride) as usize).min(n - 1))
-                .collect()
+                .collect();
+            rows.dedup();
+            rows
         }
         SamplingStrategy::StratifiedByPredictor => {
             // Group rows by predictor kind, then sample proportionally.
@@ -171,7 +191,7 @@ fn draw_sample(
             }
             rows
         }
-    }
+    })
 }
 
 /// Evaluate one trained model's true error over the full space table.
@@ -401,8 +421,11 @@ pub fn try_run_sampled_dse(
         )));
     }
     let summary = cpusim::runner::summarize_sweep(&results);
-    let full = table_from_sweep(&results);
+    let full = try_table_from_sweep(&results)?;
     let n = full.n_rows();
+    if let Some(dir) = &cfg.export_models {
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir.clone(), e))?;
+    }
 
     let mut points = Vec::new();
     let mut dropped = Vec::new();
@@ -412,14 +435,16 @@ pub fn try_run_sampled_dse(
     );
     for (ri, &rate) in cfg.sampling_rates.iter().enumerate() {
         let _rate_span = telemetry::span!("rate", rate = rate);
-        let k = ((n as f64 * rate).round() as usize).max(8);
+        // `.max(8)` keeps tiny rates trainable; `.min(n)` keeps tiny
+        // tables from being over-indexed when the floor exceeds them.
+        let k = ((n as f64 * rate).round() as usize).max(8).min(n);
         let rows = draw_sample(
             cfg.strategy,
             &results,
             n,
             k,
             child_seed(cfg.seed, 0x5A + ri as u64),
-        );
+        )?;
         let sample = full.select_rows(&rows);
 
         for (mi, &kind) in cfg.models.iter().enumerate() {
@@ -452,6 +477,13 @@ pub fn try_run_sampled_dse(
                     dropped.push(d);
                 }
                 Ok(model) => {
+                    if let Some(dir) = &cfg.export_models {
+                        let path =
+                            format!("{dir}/{}_{}_r{ri}.ppmodel", benchmark.name(), kind.abbrev());
+                        mlmodels::ModelArtifact::from_training(model.clone(), &sample)
+                            .save(&path)?;
+                        telemetry::point!("sampled/export", model = kind.abbrev(), path = path);
+                    }
                     let (te, te_std) = true_error(&model, &full);
                     let estimated = if cfg.estimate_errors {
                         let _est_span = telemetry::span!("estimate_error", model = kind.abbrev());
@@ -472,7 +504,7 @@ pub fn try_run_sampled_dse(
                     let point = SampledPoint {
                         model: kind,
                         rate,
-                        sample_size: k,
+                        sample_size: sample.n_rows(),
                         true_error: te,
                         true_error_std: te_std,
                         estimated,
@@ -516,6 +548,7 @@ mod tests {
             sim: SimOptions::quick(),
             seed: 7,
             estimate_errors: true,
+            export_models: None,
         }
     }
 
@@ -666,6 +699,71 @@ mod tests {
             .expect("resume");
         assert_eq!(resumed.points.len(), 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sample_size_is_clamped_to_tiny_tables() {
+        // 40 usable rows: a 5 % draw wants 2 rows and floors to 8; a 97 %
+        // draw rounds to 39. Neither may exceed n on a tiny table.
+        let space =
+            DesignSpace::from_configs(DesignSpace::table1_reduced().configs()[..40].to_vec());
+        let cfg = SampledConfig {
+            sampling_rates: vec![0.05, 0.97],
+            models: vec![ModelKind::LrE],
+            estimate_errors: false,
+            ..small_cfg()
+        };
+        let run = try_run_sampled_dse(Benchmark::Applu, &space, &cfg, None, None)
+            .expect("tiny table must not over-index");
+        assert_eq!(run.space_size, 40);
+        assert!(!run.points.is_empty(), "dropped: {:?}", run.dropped);
+        for p in &run.points {
+            assert!((8..=40).contains(&p.sample_size), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn draw_sample_rejects_empty_population() {
+        let err =
+            draw_sample(SamplingStrategy::Systematic, &[], 0, 8, 1).expect_err("empty population");
+        assert_eq!(err.kind(), "invalid");
+    }
+
+    #[test]
+    fn systematic_indices_are_unique_and_in_range() {
+        for (n, k) in [(10usize, 10usize), (7, 20), (288, 15), (9, 8)] {
+            let rows = draw_sample(SamplingStrategy::Systematic, &[], n, k, 99).expect("non-empty");
+            assert!(rows.iter().all(|&r| r < n), "n={n} k={k}: {rows:?}");
+            let mut uniq = rows.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(
+                uniq.len(),
+                rows.len(),
+                "n={n} k={k}: duplicates in {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn export_models_writes_loadable_artifacts() {
+        let dir = std::env::temp_dir().join("perfpredict-sampled-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SampledConfig {
+            sampling_rates: vec![0.05],
+            models: vec![ModelKind::LrB],
+            estimate_errors: false,
+            export_models: Some(dir.to_string_lossy().into_owned()),
+            ..small_cfg()
+        };
+        let run = try_run_sampled_dse(Benchmark::Applu, &small_space(), &cfg, None, None)
+            .expect("run with export");
+        assert_eq!(run.points.len(), 1);
+        let path = dir.join("applu_LR-B_r0.ppmodel");
+        let art = mlmodels::ModelArtifact::load(&path.to_string_lossy()).expect("loadable");
+        assert_eq!(art.model.kind, ModelKind::LrB);
+        assert_eq!(art.schema.columns.len(), 24, "Table-1 parameter count");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

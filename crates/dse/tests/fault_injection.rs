@@ -42,6 +42,7 @@ fn small_cfg() -> SampledConfig {
         sim: SimOptions::quick(),
         seed: 11,
         estimate_errors: false,
+        export_models: None,
     }
 }
 
@@ -230,6 +231,7 @@ fn killed_sampled_dse_resumes_and_matches_fresh_run() {
     let space = small_space();
     let cfg = SampledConfig {
         estimate_errors: true,
+        export_models: None,
         ..small_cfg()
     };
     let path = tmp("killed-dse.jsonl");

@@ -46,6 +46,7 @@ fn sampled_run_manifest_has_all_expected_stages() {
         sim: SimOptions::quick(),
         seed: 7,
         estimate_errors: true,
+        export_models: None,
     };
     let result = run_sampled_dse(Benchmark::Mcf, &space, &cfg, None);
     assert_eq!(result.points.len(), 2);

@@ -66,6 +66,14 @@ pub enum Error {
         /// What is wrong with it.
         detail: String,
     },
+    /// A model-artifact file is unusable: truncated, checksum mismatch,
+    /// unknown format version, or structurally malformed payload.
+    Artifact {
+        /// Artifact path (or a label for in-memory sources).
+        path: String,
+        /// What is wrong with it.
+        detail: String,
+    },
     /// User-supplied input (CLI argument, configuration field) is invalid.
     InvalidInput {
         /// What was rejected and why.
@@ -109,6 +117,14 @@ impl Error {
         }
     }
 
+    /// Convenience constructor for [`Error::Artifact`].
+    pub fn artifact(path: impl Into<String>, detail: impl Into<String>) -> Error {
+        Error::Artifact {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// Attach a path to an I/O error.
     pub fn io(path: impl Into<String>, source: std::io::Error) -> Error {
         Error::Io {
@@ -123,13 +139,13 @@ impl Error {
     /// |---|---|
     /// | 2 | invalid input (bad argument, unknown benchmark/family) |
     /// | 3 | I/O failure |
-    /// | 4 | checkpoint corrupt or incompatible |
+    /// | 4 | checkpoint or model artifact corrupt or incompatible |
     /// | 5 | numeric/model failure (singular, diverged, degenerate, no viable model) |
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::InvalidInput { .. } => 2,
             Error::Io { .. } => 3,
-            Error::Checkpoint { .. } => 4,
+            Error::Checkpoint { .. } | Error::Artifact { .. } => 4,
             Error::SingularSystem { .. }
             | Error::Diverged { .. }
             | Error::DegenerateData { .. }
@@ -139,7 +155,7 @@ impl Error {
 
     /// Short machine-friendly tag for telemetry attributes and checkpoint
     /// records (`singular`, `diverged`, `degenerate`, `io`, `checkpoint`,
-    /// `invalid`, `no_viable_model`).
+    /// `artifact`, `invalid`, `no_viable_model`).
     pub fn kind(&self) -> &'static str {
         match self {
             Error::SingularSystem { .. } => "singular",
@@ -147,6 +163,7 @@ impl Error {
             Error::DegenerateData { .. } => "degenerate",
             Error::Io { .. } => "io",
             Error::Checkpoint { .. } => "checkpoint",
+            Error::Artifact { .. } => "artifact",
             Error::InvalidInput { .. } => "invalid",
             Error::NoViableModel { .. } => "no_viable_model",
         }
@@ -172,6 +189,9 @@ impl fmt::Display for Error {
             }
             Error::Checkpoint { path, detail } => {
                 write!(f, "checkpoint {path}: {detail}")
+            }
+            Error::Artifact { path, detail } => {
+                write!(f, "model artifact {path}: {detail}")
             }
             Error::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
             Error::NoViableModel { reasons } => {
@@ -212,6 +232,7 @@ mod tests {
         assert_eq!(Error::invalid("bad flag").exit_code(), 2);
         assert_eq!(Error::io("x", std::io::Error::other("e")).exit_code(), 3);
         assert_eq!(Error::checkpoint("p", "corrupt").exit_code(), 4);
+        assert_eq!(Error::artifact("m.ppm", "bad checksum").exit_code(), 4);
         assert_eq!(Error::singular("lstsq").exit_code(), 5);
         assert_eq!(
             Error::Diverged {
@@ -246,6 +267,7 @@ mod tests {
         assert_eq!(Error::singular("x").kind(), "singular");
         assert_eq!(Error::degenerate("x").kind(), "degenerate");
         assert_eq!(Error::checkpoint("p", "d").kind(), "checkpoint");
+        assert_eq!(Error::artifact("p", "d").kind(), "artifact");
     }
 
     #[test]

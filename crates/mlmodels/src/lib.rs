@@ -31,6 +31,7 @@
 //! [`model::ModelKind`] to the right pipeline and returns a trained model
 //! that carries its own preprocessing.
 
+pub mod artifact;
 pub mod crossval;
 pub mod gramcache;
 pub mod importance;
@@ -42,5 +43,6 @@ pub mod prep;
 pub mod select;
 pub mod table;
 
+pub use artifact::{ModelArtifact, TableSchema};
 pub use model::{train, try_train, ModelKind, TrainedModel};
 pub use table::{Column, Table};

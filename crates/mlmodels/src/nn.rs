@@ -73,11 +73,11 @@ impl Default for TrainConfig {
 
 /// One dense layer: `w[out][in]` weights plus biases.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Layer {
-    w: Vec<Vec<f64>>,
-    b: Vec<f64>,
-    vw: Vec<Vec<f64>>,
-    vb: Vec<f64>,
+pub(crate) struct Layer {
+    pub(crate) w: Vec<Vec<f64>>,
+    pub(crate) b: Vec<f64>,
+    pub(crate) vw: Vec<Vec<f64>>,
+    pub(crate) vb: Vec<f64>,
 }
 
 impl Layer {
@@ -107,9 +107,9 @@ impl Layer {
 /// output is linear over the 0–1-scaled target.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
-    layers: Vec<Layer>,
+    pub(crate) layers: Vec<Layer>,
     /// Inputs silenced by pruning (weights zeroed and frozen).
-    dead_inputs: Vec<bool>,
+    pub(crate) dead_inputs: Vec<bool>,
 }
 
 impl Mlp {

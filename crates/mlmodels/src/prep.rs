@@ -48,28 +48,42 @@ pub struct FeatureInfo {
 /// A fitted preprocessor: encoding plan plus training min/max per feature.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Preprocessor {
-    encoding: Encoding,
-    features: Vec<FeatureInfo>,
+    pub(crate) encoding: Encoding,
+    pub(crate) features: Vec<FeatureInfo>,
     /// Encoded-but-unscaled extractors, represented as a plan per feature.
-    plan: Vec<FeaturePlan>,
+    pub(crate) plan: Vec<FeaturePlan>,
     /// Names of dropped (constant or omitted) source columns.
-    dropped: Vec<String>,
+    pub(crate) dropped: Vec<String>,
     /// Target min/max for 0-1 target scaling.
-    target_min: f64,
-    target_max: f64,
+    pub(crate) target_min: f64,
+    pub(crate) target_max: f64,
 }
 
 /// How to compute one encoded feature from a table row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-enum FeaturePlan {
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum FeaturePlan {
     /// Numeric column value.
-    Numeric { col: usize },
+    Numeric {
+        /// Source column index.
+        col: usize,
+    },
     /// Flag column as 0/1.
-    Flag { col: usize },
+    Flag {
+        /// Source column index.
+        col: usize,
+    },
     /// Categorical level code as a number.
-    Code { col: usize },
+    Code {
+        /// Source column index.
+        col: usize,
+    },
     /// Indicator for one categorical level.
-    Indicator { col: usize, level: u32 },
+    Indicator {
+        /// Source column index.
+        col: usize,
+        /// Level code this indicator fires on.
+        level: u32,
+    },
 }
 
 impl Preprocessor {

@@ -1,0 +1,200 @@
+//! Bounded LRU surrogate cache.
+//!
+//! Design-space replays are heavily repetitive — the same few hundred
+//! candidate configurations come back again and again as outer tooling
+//! explores around optima — so the serving engine fronts the model with
+//! an LRU map from canonicalized configuration vectors to predictions.
+//!
+//! The implementation is the classic hash-map-plus-intrusive-list: a
+//! `HashMap` from key to slot index, and slots threaded on a doubly
+//! linked list (indices, not pointers) ordered by recency. All
+//! operations are O(1); eviction pops the list tail. Capacity 0 is a
+//! legal degenerate cache that stores nothing.
+
+use std::collections::HashMap;
+
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(self.slots[idx].value.clone())
+    }
+
+    /// Insert (or refresh) `key → value`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        let idx = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Reuse the LRU slot.
+            let idx = self.tail;
+            self.detach(idx);
+            self.map.remove(&self.slots[idx].key);
+            self.slots[idx].key = key.clone();
+            self.slots[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_bounded_eviction() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.put(1, "one");
+        c.put(2, "two");
+        assert_eq!(c.get(&1), Some("one"));
+        c.put(3, "three"); // evicts 2 (LRU after the get refreshed 1)
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some("one"));
+        assert_eq!(c.get(&3), Some("three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_recency_and_overwrites() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // 1 is now MRU with a new value
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.put(1, 10);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn matches_reference_model_on_random_trace() {
+        // Differential test against a naive Vec-based LRU model.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let cap = 8;
+        let mut real: LruCache<u64, u64> = LruCache::new(cap);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // front = MRU
+        for step in 0..5000u64 {
+            let key = rng.random_range(0..24u64);
+            if rng.random::<bool>() {
+                let want = model
+                    .iter()
+                    .position(|&(k, _)| k == key)
+                    .map(|i| model.remove(i))
+                    .inspect(|e| model.insert(0, *e))
+                    .map(|(_, v)| v);
+                assert_eq!(real.get(&key), want, "step {step} get {key}");
+            } else {
+                if let Some(i) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(i);
+                }
+                model.insert(0, (key, step));
+                model.truncate(cap);
+                real.put(key, step);
+            }
+            assert_eq!(real.len(), model.len(), "step {step}");
+        }
+    }
+}

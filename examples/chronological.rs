@@ -24,6 +24,7 @@ fn main() {
         data_seed: 42,
         seed: 7,
         estimate_errors: true,
+        export_models: None,
     };
     println!(
         "chronological prediction for {} (2005 -> 2006)…\n",

@@ -30,6 +30,7 @@ fn main() {
         },
         seed: 7,
         estimate_errors: true,
+        export_models: None,
     };
 
     println!(

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run the kernel-level criterion benchmarks and assemble their JSON-lines
-# output into BENCH_selection.json / BENCH_nn.json / BENCH_dse.json at the
-# repo root.
+# output into BENCH_selection.json / BENCH_nn.json / BENCH_dse.json /
+# BENCH_serve.json at the repo root.
 #
 # Usage:
 #   scripts/bench.sh            # full timing budgets (minutes)
@@ -23,7 +23,7 @@ if [ "${1:-}" = "--quick" ]; then
     export CRITERION_QUICK=1
 fi
 
-for bench in selection nn dse; do
+for bench in selection nn dse serve; do
     lines=$(mktemp)
     trap 'rm -f "$lines"' EXIT
     CRITERION_JSON_LINES="$lines" cargo bench -p bench --bench "$bench"

@@ -40,6 +40,7 @@
 //!     sim: SimOptions::default(),
 //!     seed: 42,
 //!     estimate_errors: true,
+//!     export_models: None,
 //! };
 //! let run = run_sampled_dse(Benchmark::Mcf, &space, &cfg, None);
 //! let point = run.point(ModelKind::NnE, 0.01).unwrap();
@@ -54,5 +55,6 @@ pub use dse;
 pub use fault as error;
 pub use linalg;
 pub use mlmodels;
+pub use serve;
 pub use specdata;
 pub use telemetry;

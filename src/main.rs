@@ -5,6 +5,10 @@
 //! perfpredict sweep     <benchmark> [--step N]      design-space sweep summary
 //! perfpredict sampled   <benchmark> [--rate pct]    sampled-DSE experiment
 //! perfpredict chrono    <family>    [--year Y]      chronological prediction
+//! perfpredict export-model <benchmark> [--model K]  train + save a .ppmodel artifact
+//! perfpredict predict   <model.ppmodel>             one-shot JSONL replay on stdin
+//! perfpredict serve     <model.ppmodel>             batched prediction service
+//! perfpredict gen-requests <model.ppmodel>          synthetic JSONL workload
 //! perfpredict families                              list SPEC populations
 //! perfpredict benchmarks                            list workloads
 //! ```
@@ -21,19 +25,25 @@
 //! * `--checkpoint <path>` — (sweep / sampled) append completed work to a
 //!   JSONL checkpoint and resume from it on restart; a killed run loses at
 //!   most the unit in flight.
+//! * `--export-models <dir>` — (sampled / chrono) save every freshly
+//!   trained model into `<dir>` as a versioned `.ppmodel` artifact.
 //!
 //! Exit codes: `0` success, `2` invalid usage/input, `3` I/O failure,
-//! `4` corrupt or mismatched checkpoint, `5` numerical failure (singular
-//! system, divergence, degenerate data, no viable model).
+//! `4` corrupt checkpoint or model artifact, `5` numerical failure
+//! (singular system, divergence, degenerate data, no viable model).
 
 use perfpredict::cpusim::{
     simulate, try_sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
 };
 use perfpredict::dse::chrono::{try_run_chronological, ChronoConfig};
+use perfpredict::dse::data::try_table_from_sweep;
 use perfpredict::dse::report::{f, render_table};
-use perfpredict::dse::sampled::{try_run_sampled_dse, SampledConfig, SamplingStrategy};
+use perfpredict::dse::sampled::{
+    draw_sample, try_run_sampled_dse, SampledConfig, SamplingStrategy,
+};
 use perfpredict::error::{Error, Result};
-use perfpredict::mlmodels::ModelKind;
+use perfpredict::mlmodels::{self, ModelArtifact, ModelKind};
+use perfpredict::serve::{generate_requests, serve_jsonl, Engine, ServeConfig};
 use perfpredict::specdata::ProcessorFamily;
 use perfpredict::telemetry::{self, json::JsonObject, ConsoleLevel, TelemetryConfig};
 
@@ -45,13 +55,23 @@ fn usage() -> ! {
            sweep     <benchmark> [--step N]   sweep the Table-1 space (default step 16)\n\
            sampled   <benchmark> [--rate P]   sampled DSE at P%% (default 2)\n\
            chrono    <family> [--year Y]      train year Y (default 2005), predict Y+1\n\
+           export-model <benchmark> [--model K] [--rate P] [--out F]\n\
+                                              train one model on a P%% sample, save .ppmodel\n\
+           predict   <model.ppmodel> [--input F]\n\
+                                              one-shot replay: JSONL requests -> predictions\n\
+           serve     <model.ppmodel> [--input F] [--workers N] [--window N]\n\
+                     [--queue-cap N] [--cache-cap N]\n\
+                                              batched service with LRU cache; stats on stderr\n\
+           gen-requests <model.ppmodel> [--n N] [--distinct D] [--seed S]\n\
+                                              emit a synthetic JSONL workload on stdout\n\
            families                           list SPEC processor populations\n\
            benchmarks                         list synthetic workloads\n\
          options (any command):\n\
            --trace                            verbose telemetry on stderr\n\
            --metrics-out <path>               write a JSON-lines run manifest\n\
            --json                             machine-readable result on stdout\n\
-           --checkpoint <path>                (sweep/sampled) resumable JSONL checkpoint"
+           --checkpoint <path>                (sweep/sampled) resumable JSONL checkpoint\n\
+           --export-models <dir>              (sampled/chrono) save trained models as .ppmodel"
     );
     std::process::exit(2);
 }
@@ -120,6 +140,7 @@ fn cli() -> Result<()> {
     let json_out = take_switch(&mut args, "--json");
     let metrics_out = take_value(&mut args, "--metrics-out")?;
     let checkpoint = take_value(&mut args, "--checkpoint")?;
+    let export_models = take_value(&mut args, "--export-models")?;
     let Some(cmd) = args.first().cloned() else {
         usage()
     };
@@ -283,6 +304,7 @@ fn cli() -> Result<()> {
                 sim: SimOptions::default(),
                 seed: 42,
                 estimate_errors: true,
+                export_models: export_models.clone(),
             };
             eprintln!(
                 "sampled DSE on {} ({} configs at {rate}%)…",
@@ -367,6 +389,7 @@ fn cli() -> Result<()> {
                 data_seed: 42,
                 seed: 42,
                 estimate_errors: false,
+                export_models: export_models.clone(),
             };
             let r = try_run_chronological(fam, &cfg)?;
             for d in &r.dropped {
@@ -419,6 +442,150 @@ fn cli() -> Result<()> {
                     render_table(&["model".into(), "err %".into(), "std".into()], &rows)
                 );
             }
+        }
+        "export-model" => {
+            let b = benchmark_arg(rest)?;
+            let rate: f64 = parse_number(rest, "--rate", 5.0)?;
+            if !(rate > 0.0 && rate <= 100.0) {
+                return Err(Error::invalid(format!(
+                    "--rate must be in (0, 100], got {rate}"
+                )));
+            }
+            let kind_name = parse_flag(rest, "--model").unwrap_or_else(|| "NN-E".to_string());
+            let kind = ModelKind::from_abbrev(&kind_name).ok_or_else(|| {
+                Error::invalid(format!(
+                    "unknown model '{kind_name}' — one of {}",
+                    ModelKind::ALL
+                        .iter()
+                        .map(|k| k.abbrev())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?;
+            let seed: u64 = parse_number(rest, "--seed", 42)?;
+            let out = parse_flag(rest, "--out")
+                .unwrap_or_else(|| format!("{}_{}.ppmodel", b.name(), kind.abbrev()));
+            let space = DesignSpace::from_configs(
+                DesignSpace::table1()
+                    .configs()
+                    .iter()
+                    .copied()
+                    .step_by(4)
+                    .collect(),
+            );
+            eprintln!(
+                "export-model: sweeping {} configurations of {}…",
+                space.len(),
+                b.name()
+            );
+            let outcome =
+                try_sweep_design_space(&space, b, &SimOptions::default(), checkpoint.as_deref())?;
+            let full = try_table_from_sweep(&outcome.results)?;
+            let n = full.n_rows();
+            let k = ((n as f64 * rate / 100.0).round() as usize).max(8).min(n);
+            let rows = draw_sample(SamplingStrategy::Random, &outcome.results, n, k, seed)?;
+            let sample = full.select_rows(&rows);
+            let model = mlmodels::try_train(kind, &sample, seed)?;
+            let artifact = ModelArtifact::from_training(model, &sample);
+            artifact.save(&out)?;
+            if json_out {
+                println!(
+                    "{}",
+                    JsonObject::new()
+                        .str("benchmark", b.name())
+                        .str("model", kind.abbrev())
+                        .uint("sample_size", sample.n_rows() as u64)
+                        .uint("space_size", n as u64)
+                        .str("path", &out)
+                        .finish()
+                );
+            } else {
+                println!(
+                    "trained {} on {}/{} rows of {}, saved {out}",
+                    kind.abbrev(),
+                    sample.n_rows(),
+                    n,
+                    b.name()
+                );
+            }
+        }
+        "predict" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| Error::invalid("missing model-artifact argument"))?;
+            let artifact = ModelArtifact::load(path)?;
+            let input = match parse_flag(rest, "--input") {
+                Some(p) => std::fs::read_to_string(&p).map_err(|e| Error::io(&p, e))?,
+                None => {
+                    use std::io::Read as _;
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .map_err(|e| Error::io("<stdin>", e))?;
+                    buf
+                }
+            };
+            let (responses, stats) = serve_jsonl(artifact, ServeConfig::default(), &input)?;
+            print!("{responses}");
+            eprintln!(
+                "predict: {} requests, {} predictions, {} cache hits",
+                stats.requests, stats.predictions, stats.cache_hits
+            );
+        }
+        "serve" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| Error::invalid("missing model-artifact argument"))?;
+            let artifact = ModelArtifact::load(path)?;
+            let defaults = ServeConfig::default();
+            let config = ServeConfig {
+                window: parse_number(rest, "--window", defaults.window)?,
+                queue_cap: parse_number(rest, "--queue-cap", defaults.queue_cap)?,
+                workers: parse_number(rest, "--workers", defaults.workers)?,
+                cache_cap: parse_number(rest, "--cache-cap", defaults.cache_cap)?,
+            };
+            let mut engine = Engine::new(artifact, config)?;
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            let stats = match parse_flag(rest, "--input") {
+                Some(p) => {
+                    let file = std::fs::File::open(&p).map_err(|e| Error::io(&p, e))?;
+                    engine.serve(&mut std::io::BufReader::new(file), &mut out)?
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    engine.serve(&mut stdin.lock(), &mut out)?
+                }
+            };
+            use std::io::Write as _;
+            out.flush().map_err(|e| Error::io("<stdout>", e))?;
+            if json_out {
+                eprintln!("{}", stats.to_json());
+            } else {
+                eprintln!(
+                    "serve: {} requests in {} batches, {} predictions, \
+                     {} hits / {} misses, p50 {:.3} ms, p95 {:.3} ms, {:.0} req/s",
+                    stats.requests,
+                    stats.batches,
+                    stats.predictions,
+                    stats.cache_hits,
+                    stats.cache_misses,
+                    stats.p50_ms,
+                    stats.p95_ms,
+                    stats.requests_per_sec
+                );
+            }
+        }
+        "gen-requests" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| Error::invalid("missing model-artifact argument"))?;
+            let artifact = ModelArtifact::load(path)?;
+            let n: usize = parse_number(rest, "--n", 1000)?;
+            let distinct: usize = parse_number(rest, "--distinct", 32)?;
+            let seed: u64 = parse_number(rest, "--seed", 42)?;
+            let lines = generate_requests(&artifact.schema, n, distinct, seed)?;
+            print!("{lines}");
         }
         _ => usage(),
     }

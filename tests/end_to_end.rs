@@ -35,6 +35,7 @@ fn sampled_dse_pipeline_end_to_end() {
         },
         seed: 3,
         estimate_errors: true,
+        export_models: None,
     };
     let run = run_sampled_dse(Benchmark::Mesa, &space, &cfg, None);
     assert_eq!(run.space_size, 192);
@@ -64,6 +65,7 @@ fn chronological_pipeline_end_to_end() {
         data_seed: 42,
         seed: 5,
         estimate_errors: true,
+        export_models: None,
     };
     let r = run_chronological(ProcessorFamily::PentiumD, &cfg);
     assert_eq!(r.points.len(), 3);
@@ -90,6 +92,7 @@ fn linear_regression_beats_networks_chronologically() {
             data_seed: 42,
             seed: 5,
             estimate_errors: false,
+            export_models: None,
         };
         let r = run_chronological(fam, &cfg);
         let lr = r.points.iter().find(|p| p.model == ModelKind::LrE).unwrap();
