@@ -1,0 +1,245 @@
+//! `analyze` — perfpredict's workspace-native static-analysis engine.
+//!
+//! PRs 2–4 bought three hard invariants: no panicking escape hatches in
+//! library code (everything fallible returns the typed `fault::Error`),
+//! deterministic numerics (total float orderings, byte-identical serve
+//! output for any worker count), and no silent narrowing casts. This
+//! crate is what *enforces* them. It replaces the comment-blind,
+//! single-line awk heuristic in `scripts/lint-unwrap.sh` with a real
+//! lexer ([`lexer`]: raw strings, nested block comments, char vs.
+//! lifetime disambiguation, spans that exactly tile the input) plus
+//! `#[cfg(test)]` region tracking ([`regions`]), and runs six lint
+//! passes over the token stream ([`lints`]):
+//!
+//! | lint | invariant |
+//! |---|---|
+//! | `panic-policy` | no `unwrap`/`panic!`/`todo!`/`unimplemented!`/undocumented `expect` in library code |
+//! | `bare-assert` | library asserts name the violated invariant (multi-line aware) |
+//! | `float-order` | `total_cmp`, never `partial_cmp`, on floats |
+//! | `nondet-iter` | hash-map iteration order never reaches output or accumulation |
+//! | `lossy-cast` | truncating `as` casts are typed away or argued safe |
+//! | `error-policy` | exits only in `src/main.rs`; public fallible fns return `fault::Error` |
+//!
+//! Findings render as `file:line:col` diagnostics with a source excerpt,
+//! or as JSONL (`--format json`) in the telemetry-manifest line shape.
+//! Deliberate exceptions live in `analyze.toml` ([`waiver`]): each entry
+//! carries a one-line justification and the flagged line's content hash,
+//! so a waiver goes stale — and fails the run — the moment the code
+//! under it changes. The analyzer is self-hosting: CI runs it over this
+//! workspace (including this crate) with zero unwaived findings.
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod lints;
+pub mod regions;
+pub mod source;
+pub mod waiver;
+pub mod walk;
+
+use diagnostics::Diagnostic;
+use fault::{Error, Result};
+use lints::{FileCx, LINTS};
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+use waiver::Waiver;
+
+/// Outcome of analyzing a set of files.
+pub struct Report {
+    /// Unwaived findings plus stale-waiver diagnostics, in file order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a valid waiver.
+    pub waived: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when nothing is wrong: no findings, no stale waivers.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Run every lint pass over one in-memory file. The building block for
+/// both the driver and the fixture tests.
+pub fn analyze_source(file: &SourceFile, is_main: bool) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(&file.text);
+    let cx = FileCx::new(file, &tokens, is_main);
+    let mut out = Vec::new();
+    for (_, pass) in LINTS {
+        pass(&cx, &mut out);
+    }
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Analyze `files` (paths under `root`), applying `waivers`.
+///
+/// Waiver semantics: a waiver matches every finding with the same
+/// `(lint, path, line)` whose content hash agrees. A hash mismatch or
+/// a waiver matching no finding is *stale* and produces a
+/// `stale-waiver` diagnostic — both directions fail, so waivers track
+/// the code they excuse or die.
+pub fn analyze_files(root: &Path, files: &[PathBuf], waivers: &[Waiver]) -> Result<Report> {
+    let mut diagnostics = Vec::new();
+    let mut waived = 0usize;
+    let mut used = vec![false; waivers.len()];
+    for path in files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+        let rel = relative_path(root, path);
+        // Binary entry points (src/main.rs and src/bin/*.rs) own their
+        // process and may call `std::process::exit`.
+        let is_main = rel.ends_with("src/main.rs") || rel.contains("src/bin/");
+        let file = SourceFile::new(rel, text);
+        for d in analyze_source(&file, is_main) {
+            match match_waiver(waivers, &d) {
+                WaiverMatch::Valid(i) => {
+                    used[i] = true;
+                    waived += 1;
+                }
+                WaiverMatch::Stale(i) => {
+                    used[i] = true; // stale, but reported as such below
+                    diagnostics.push(stale_waiver_diag(
+                        &waivers[i],
+                        format!(
+                            "waiver hash {} no longer matches the code at {}:{} (now {}) — \
+                             the line changed; re-justify or fix the finding",
+                            waivers[i].hash, d.path, d.line, d.hash
+                        ),
+                    ));
+                    diagnostics.push(d);
+                }
+                WaiverMatch::None => diagnostics.push(d),
+            }
+        }
+    }
+    for (i, w) in waivers.iter().enumerate() {
+        if !used[i] {
+            diagnostics.push(stale_waiver_diag(
+                w,
+                format!(
+                    "waiver matches no finding ({} at {}:{}) — the code it excused moved or \
+                     was fixed; delete the entry",
+                    w.lint, w.path, w.line
+                ),
+            ));
+        }
+    }
+    Ok(Report {
+        diagnostics,
+        waived,
+        files: files.len(),
+    })
+}
+
+/// Convenience: discover the workspace's lint roots under `root`, load
+/// `<root>/analyze.toml` if present, and analyze everything.
+pub fn analyze_workspace(root: &Path) -> Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let waiver_path = root.join("analyze.toml");
+    let waivers = if waiver_path.is_file() {
+        let text = std::fs::read_to_string(&waiver_path)
+            .map_err(|e| Error::io(waiver_path.display().to_string(), e))?;
+        waiver::parse(&text, "analyze.toml")?
+    } else {
+        Vec::new()
+    };
+    analyze_files(root, &files, &waivers)
+}
+
+enum WaiverMatch {
+    Valid(usize),
+    Stale(usize),
+    None,
+}
+
+fn match_waiver(waivers: &[Waiver], d: &Diagnostic) -> WaiverMatch {
+    for (i, w) in waivers.iter().enumerate() {
+        if w.lint == d.lint && w.path == d.path && w.line == d.line {
+            return if w.hash == d.hash {
+                WaiverMatch::Valid(i)
+            } else {
+                WaiverMatch::Stale(i)
+            };
+        }
+    }
+    WaiverMatch::None
+}
+
+fn stale_waiver_diag(w: &Waiver, message: String) -> Diagnostic {
+    Diagnostic {
+        lint: "stale-waiver",
+        path: "analyze.toml".into(),
+        line: w.defined_at,
+        col: 1,
+        len: 10, // the `[[waiver]]` header
+        message,
+        excerpt: "[[waiver]]".into(),
+        hash: w.hash.clone(),
+    }
+}
+
+/// Workspace-relative path with `/` separators.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(text: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), text.into())
+    }
+
+    #[test]
+    fn passes_compose_over_one_file() {
+        let src = "\
+pub fn f(m: &std::collections::HashMap<u32, f64>, n: usize) -> f64 {
+    let k = n as u32;
+    for (_, v) in m {
+        assert!(*v > 0.0);
+    }
+    k as f64
+}
+";
+        let out = analyze_source(&lib_file(src), false);
+        let lints: Vec<&str> = out.iter().map(|d| d.lint).collect();
+        assert!(lints.contains(&"lossy-cast"), "{lints:?}");
+        assert!(lints.contains(&"nondet-iter"), "{lints:?}");
+        assert!(lints.contains(&"bare-assert"), "{lints:?}");
+    }
+
+    #[test]
+    fn waiver_matching_is_hash_pinned() {
+        let src = "pub fn f(n: usize) -> u32 {\n    n as u32\n}\n";
+        let file = lib_file(src);
+        let d = &analyze_source(&file, false)[0];
+        let good = Waiver {
+            lint: "lossy-cast".into(),
+            path: d.path.clone(),
+            line: d.line,
+            hash: d.hash.clone(),
+            reason: "test".into(),
+            defined_at: 1,
+        };
+        assert!(matches!(
+            match_waiver(std::slice::from_ref(&good), d),
+            WaiverMatch::Valid(0)
+        ));
+        let stale = Waiver {
+            hash: "0000000000000000".into(),
+            ..good
+        };
+        assert!(matches!(match_waiver(&[stale], d), WaiverMatch::Stale(0)));
+    }
+}

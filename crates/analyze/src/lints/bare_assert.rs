@@ -1,0 +1,56 @@
+//! `bare-assert` — library asserts must name the violated invariant.
+//!
+//! An `assert!` that does belong in library code is a true invariant;
+//! when it fires in production the message is all the operator gets,
+//! so a bare condition is not acceptable. This pass flags
+//! `assert!`/`assert_eq!`/`assert_ne!` invocations in non-test code
+//! whose argument list contains no string literal.
+//!
+//! Unlike the awk heuristic this replaces, the scan is multi-line:
+//! the macro's delimiters are matched over the token stream, so a
+//! message on line three of a wrapped assert counts, and a genuinely
+//! message-less multi-line assert no longer slips through.
+//! `debug_assert*` and `prop_assert*` stay exempt (debug-only and
+//! test-only respectively).
+
+use super::FileCx;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if !matches!(cx.text(i), "assert" | "assert_eq" | "assert_ne") {
+            continue;
+        }
+        if !cx.is(i + 1, "!") {
+            continue;
+        }
+        let open = i + 2;
+        if open >= cx.code.len() || !matches!(cx.text(open), "(" | "[" | "{") {
+            continue;
+        }
+        let Some(close) = cx.matching_close(open) else {
+            continue; // unbalanced — the file will not compile anyway
+        };
+        let has_message = (open + 1..close).any(|j| {
+            matches!(cx.kind(j), TokenKind::Str | TokenKind::RawStr)
+                && cx.text(j).contains(|c: char| c.is_alphanumeric())
+        });
+        if !has_message {
+            cx.emit(
+                out,
+                "bare-assert",
+                i,
+                i + 1,
+                format!(
+                    "`{}!` without a message — name the violated invariant so the \
+                     panic is actionable",
+                    cx.text(i)
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! `error-policy` — failures leave the workspace only as typed errors.
+//!
+//! Two rules:
+//!
+//! * `std::process::exit` belongs in `src/main.rs` and nowhere else.
+//!   The CLI maps `fault::Error` to the documented exit codes (2/3/4/5)
+//!   in exactly one place; a library that exits directly bypasses both
+//!   the mapping and every caller's cleanup (checkpoint flushes,
+//!   telemetry sinks).
+//! * A `pub fn` that returns a two-parameter `Result<_, E>` must use an
+//!   error type whose name is `Error` (in practice `fault::Error`; a
+//!   crate-local re-export keeps the name). Single-parameter `Result<T>`
+//!   is assumed to be the `fault::Result` alias. Stringly-typed or
+//!   ad-hoc error enums in public signatures fragment the exit-code
+//!   mapping and are flagged; genuinely foreign signatures (trait
+//!   impls constrained elsewhere) can be waived.
+//!
+//! `pub(crate)`/`pub(super)` functions are internal API and exempt.
+
+use super::FileCx;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        match cx.text(i) {
+            "process"
+                if !cx.is_main
+                    && cx.is(i + 1, ":")
+                    && cx.is(i + 2, ":")
+                    && cx.is(i + 3, "exit") =>
+            {
+                cx.emit(
+                    out,
+                    "error-policy",
+                    i,
+                    i + 3,
+                    "`std::process::exit` outside `src/main.rs` — return a typed \
+                     `fault::Error` and let the binary map it to an exit code"
+                        .into(),
+                );
+            }
+            "pub" if cx.is(i + 1, "fn") => {
+                check_signature(cx, i, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Inspect one `pub fn` signature starting at the `pub` token.
+fn check_signature(cx: &FileCx<'_>, pub_idx: usize, out: &mut Vec<Diagnostic>) {
+    let name_idx = pub_idx + 2;
+    if name_idx >= cx.code.len() {
+        return;
+    }
+    // Find the parameter list `(`, skipping generics. `<`/`>` depth
+    // tracking must ignore `->` arrows inside Fn-trait bounds.
+    let mut j = name_idx + 1;
+    let mut angle = 0i32;
+    let params_open = loop {
+        if j >= cx.code.len() {
+            return;
+        }
+        match cx.text(j) {
+            "<" => angle += 1,
+            ">" if !cx.is(j.wrapping_sub(1), "-") => angle -= 1,
+            "(" if angle <= 0 => break j,
+            "{" | ";" => return,
+            _ => {}
+        }
+        j += 1;
+    };
+    let Some(params_close) = cx.matching_close(params_open) else {
+        return;
+    };
+    // Return type present?
+    if !cx.is(params_close + 1, "-") || !cx.is(params_close + 2, ">") {
+        return;
+    }
+    // Collect the return-type token range up to the body/`;`/`where`.
+    let ret_start = params_close + 3;
+    let mut ret_end = ret_start;
+    while ret_end < cx.code.len() && !matches!(cx.text(ret_end), "{" | ";" | "where") {
+        ret_end += 1;
+    }
+    // Find `Result <` in the return type and isolate its second type
+    // parameter, if it has one.
+    for r in ret_start..ret_end {
+        if cx.kind(r) == TokenKind::Ident && cx.text(r) == "Result" && cx.is(r + 1, "<") {
+            if let Some(err_ident) = second_type_param(cx, r + 1, ret_end) {
+                if err_ident != "Error" {
+                    cx.emit(
+                        out,
+                        "error-policy",
+                        pub_idx,
+                        name_idx,
+                        format!(
+                            "public fallible fn `{}` returns `Result<_, {err_ident}>` — \
+                             public fallible signatures use `fault::Error` (or the \
+                             single-parameter `fault::Result` alias)",
+                            cx.text(name_idx)
+                        ),
+                    );
+                }
+            }
+            return; // only the outermost Result is policed
+        }
+    }
+}
+
+/// The final path-segment ident of the second top-level type parameter
+/// of the generic list opening at `open` (`<`), or `None` for a
+/// single-parameter `Result<T>`.
+fn second_type_param(cx: &FileCx<'_>, open: usize, limit: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut comma_at = None;
+    let mut close_at = None;
+    let mut j = open;
+    while j < limit {
+        match cx.text(j) {
+            "<" => angle += 1,
+            ">" if !cx.is(j.wrapping_sub(1), "-") => {
+                angle -= 1;
+                if angle == 0 {
+                    close_at = Some(j);
+                    break;
+                }
+            }
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "," if angle == 1 && paren == 0 && comma_at.is_none() => comma_at = Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    let close = close_at?;
+    let comma = comma_at?;
+    // Last ident token of the second parameter's tokens.
+    (comma + 1..close)
+        .rev()
+        .find(|&k| cx.kind(k) == TokenKind::Ident)
+        .map(|k| cx.text(k).to_string())
+}

@@ -1,0 +1,41 @@
+//! `float-order` — deterministic float comparisons only.
+//!
+//! The select method ranks models by cross-validated error; a
+//! `partial_cmp`-based sort is both panic-prone (the usual
+//! `.partial_cmp(..).unwrap()` idiom) and order-unstable once a NaN
+//! slips in, which silently reorders model rankings between runs.
+//! PR 2 moved every comparison to `f64::total_cmp`; this pass keeps
+//! new code on that path by flagging any use of `partial_cmp` in
+//! non-test code, whether as a method call or a path
+//! (`f64::partial_cmp`). On the rare non-float type where
+//! `partial_cmp` is the right tool, waive the site in `analyze.toml`
+//! with the justification.
+
+use super::FileCx;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if cx.text(i) != "partial_cmp" {
+            continue;
+        }
+        // Skip the definition site of a `partial_cmp` impl (`fn
+        // partial_cmp`) — only uses are flagged.
+        if i > 0 && cx.is(i - 1, "fn") {
+            continue;
+        }
+        cx.emit(
+            out,
+            "float-order",
+            i,
+            i,
+            "`partial_cmp` — use `total_cmp` for floats so ordering is total and \
+             deterministic (waive in analyze.toml if this is a non-float type)"
+                .into(),
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! `lossy-cast` — every truncating `as` cast is either typed away or
+//! argued safe in `analyze.toml`.
+//!
+//! `as` never fails: integer→integer wraps, float→integer saturates,
+//! `f64`→`f32` rounds. In a pipeline whose whole value is numeric
+//! trust, a silently wrapped row count or saturated index is the worst
+//! kind of bug — wrong *and* quiet (PR 4 found exactly this shape in
+//! `dse::data` and converted the sites to `try_into` + typed
+//! `fault::Error`). This pass flags any `as` cast in non-test code
+//! whose **target** can lose information:
+//!
+//! * all integer targets (`u8…u128`, `i8…i128`, `usize`, `isize`) —
+//!   the source may be wider, signed differently, or a float;
+//! * `f32` — halves the mantissa of anything interesting.
+//!
+//! `as f64` is deliberately exempt: the token stream cannot see source
+//! types, and in this workspace every integer that reaches arithmetic
+//! is a row/column/config count far below 2^53, where `usize → f64` is
+//! exact. That policy is documented in DESIGN.md §10; a cast whose
+//! source could exceed 2^53 must not hide behind it.
+//!
+//! Casts that are provably in range (enum codes, clamped indices,
+//! dimensions bounded by construction) carry a one-line justification
+//! in `analyze.toml`, pinned to the line's content hash so the waiver
+//! dies when the code changes.
+
+use super::{numeric_type, FileCx};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident || cx.text(i) != "as" {
+            continue;
+        }
+        // `as` must be an operator here, not `use x as y` renaming or
+        // a stray ident: the next token is the target type and must be
+        // a primitive numeric type name.
+        let Some(target) = (i + 1 < cx.code.len()).then(|| cx.text(i + 1)) else {
+            continue;
+        };
+        if !numeric_type(target) || target == "f64" {
+            continue;
+        }
+        // `use … as u8`-style renames would be bizarre but legal; rule
+        // them out by requiring the previous token to be expression-
+        // like (ident, literal, or closing delimiter).
+        if i == 0 {
+            continue;
+        }
+        let prev_ok = matches!(
+            cx.kind(i - 1),
+            TokenKind::Ident | TokenKind::Int | TokenKind::Float
+        ) || matches!(cx.text(i - 1), ")" | "]");
+        if !prev_ok {
+            continue;
+        }
+        cx.emit(
+            out,
+            "lossy-cast",
+            i,
+            i + 1,
+            format!(
+                "`as {target}` can truncate or wrap — use `try_into` with a typed \
+                 `fault::Error`, or waive with a proof the value is in range"
+            ),
+        );
+    }
+}

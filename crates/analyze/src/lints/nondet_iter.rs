@@ -1,0 +1,183 @@
+//! `nondet-iter` — hash-order must never reach output or accumulation.
+//!
+//! The serve layer promises byte-identical output for any worker
+//! count, and model selection promises identical rankings for a given
+//! seed. Both promises die silently the moment a `HashMap`/`HashSet`
+//! iteration order leaks into an output stream, a float accumulation,
+//! or a fitting path — the program stays correct-looking and merely
+//! stops being reproducible. This pass makes the guarantee structural:
+//!
+//! 1. It collects every binding, field, or parameter in the file whose
+//!    ascribed type names `HashMap`/`HashSet`, plus `let` bindings
+//!    initialised from `HashMap::…`/`HashSet::…` constructors.
+//! 2. It flags order-producing calls on those names (`iter`, `keys`,
+//!    `values`, `drain`, `into_iter`, …) and `for … in [&[mut]] name`
+//!    loops over them.
+//! 3. A site is suppressed when a sort intervenes nearby — a
+//!    `sort*` call or a `BTreeMap`/`BTreeSet` collection in the same
+//!    or the immediately following statements — because then the hash
+//!    order is laundered into a total order before anyone observes it.
+//!
+//! Keyed lookups (`get`, `entry`, `contains_key`, `insert`, `remove`)
+//! are order-free and never flagged. Sites that iterate but provably
+//! cannot leak order (e.g. re-keying into another map) are waived in
+//! `analyze.toml` with that argument spelled out.
+
+use super::FileCx;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+/// Methods on a hash collection that expose iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Idents whose presence near the iteration site launders the order.
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    let names = hash_names(cx);
+    if names.is_empty() {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if !names.contains(cx.text(i)) {
+            continue;
+        }
+        // `name.iter()` / `name.values()` / … method-chain iteration.
+        let chained = cx.is(i + 1, ".")
+            && i + 2 < cx.code.len()
+            && ITER_METHODS.contains(&cx.text(i + 2))
+            && cx.is(i + 3, "(");
+        // `for … in &name {` / `for … in name {` — the name is the last
+        // token of the loop-header expression.
+        let for_iterated = cx.is(i + 1, "{") && in_for_header(cx, i);
+        if (chained || for_iterated) && !sorted_nearby(cx, i) {
+            let to = if chained { i + 3 } else { i };
+            cx.emit(
+                out,
+                "nondet-iter",
+                i,
+                to,
+                format!(
+                    "iteration over hash collection `{}` — hash order is nondeterministic; \
+                     sort the results, use a BTreeMap/BTreeSet, or waive with the argument \
+                     that order cannot reach output",
+                    cx.text(i)
+                ),
+            );
+        }
+    }
+}
+
+/// All identifiers in this file bound to a `HashMap`/`HashSet` type,
+/// found by walking backwards from each occurrence of the type name
+/// through type-position tokens to the `name :` ascription (covers
+/// `let`, fields, and params) or through `=` to a `let name =
+/// HashMap::…` initializer.
+fn hash_names(cx: &FileCx<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..cx.code.len() {
+        if cx.kind(i) != TokenKind::Ident || !matches!(cx.text(i), "HashMap" | "HashSet") {
+            continue;
+        }
+        let mut saw_colon = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match cx.text(j) {
+                ":" => saw_colon = true,
+                "<" | "&" | "mut" | "dyn" => {}
+                "std" | "collections" => {}
+                "=" if !saw_colon => {
+                    // `name = HashMap::…` initializer form.
+                    if j > 0 && cx.kind(j - 1) == TokenKind::Ident {
+                        names.insert(cx.text(j - 1).to_string());
+                    }
+                    break;
+                }
+                _ => {
+                    if saw_colon && cx.kind(j) == TokenKind::Ident {
+                        names.insert(cx.text(j).to_string());
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Is token `i` (an ident directly followed by `{`) the tail of a
+/// `for … in …` loop-header expression? Scan back for a `for` with an
+/// `in` between, without crossing a statement boundary.
+fn in_for_header(cx: &FileCx<'_>, i: usize) -> bool {
+    let mut saw_in = false;
+    let mut j = i;
+    let lo = i.saturating_sub(40);
+    while j > lo {
+        j -= 1;
+        match cx.text(j) {
+            "in" => saw_in = true,
+            "for" => return saw_in,
+            ";" | "{" | "}" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does a sort (or B-tree collection) appear near the iteration site —
+/// inside the rest of its statement (including a loop body) or the two
+/// statements that follow at the same nesting depth? The window never
+/// escapes the enclosing scope, so a sort in the *next* function
+/// cannot launder this site's order.
+fn sorted_nearby(cx: &FileCx<'_>, i: usize) -> bool {
+    let mut semis = 0;
+    let mut depth = 0i32;
+    let window_end = cx.code.len().min(i + 150);
+    for j in i..window_end {
+        let t = cx.text(j);
+        if cx.kind(j) == TokenKind::Ident && SORTERS.contains(&t) {
+            return true;
+        }
+        match t {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return false; // left the enclosing scope
+                }
+            }
+            ";" if depth == 0 => {
+                semis += 1;
+                if semis > 2 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}

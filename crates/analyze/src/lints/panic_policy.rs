@@ -1,0 +1,69 @@
+//! `panic-policy` — no panicking escape hatches in library code.
+//!
+//! PR 2 made every fallible path return the typed `fault::Error`
+//! hierarchy; this pass keeps it that way. In non-test code it flags:
+//!
+//! * `.unwrap()` — propagate with `?`, recover, or `expect("invariant")`
+//! * `panic!`, `todo!`, `unimplemented!` — return a typed error instead
+//! * `.expect(…)` whose argument is not a non-empty string literal —
+//!   an `expect` is only acceptable when it *documents* the invariant
+//!   it relies on, so a computed or empty message defeats the point
+//!
+//! `unreachable!` is deliberately allowed: it marks arms the type
+//! system cannot rule out but logic does, and converting those to
+//! errors would invent failure paths that cannot happen.
+
+use super::FileCx;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..cx.code.len() {
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        match cx.text(i) {
+            "unwrap" if i > 0 && cx.is(i - 1, ".") && cx.is(i + 1, "(") && cx.is(i + 2, ")") => {
+                cx.emit(
+                    out,
+                    "panic-policy",
+                    i - 1,
+                    i + 2,
+                    "`.unwrap()` in library code — propagate with `?`, recover, or \
+                     `expect(\"<documented invariant>\")`"
+                        .into(),
+                );
+            }
+            name @ ("panic" | "todo" | "unimplemented") if cx.is(i + 1, "!") => {
+                cx.emit(
+                    out,
+                    "panic-policy",
+                    i,
+                    i + 1,
+                    format!("`{name}!` in library code — return a typed `fault::Error` instead"),
+                );
+            }
+            "expect" if i > 0 && cx.is(i - 1, ".") && cx.is(i + 1, "(") => {
+                // The argument must *be* a string literal (not merely
+                // contain one): a non-empty message token right after
+                // the `(`, followed by `)` or a format argument list.
+                let arg = i + 2;
+                let documented = arg < cx.code.len()
+                    && matches!(cx.kind(arg), TokenKind::Str | TokenKind::RawStr)
+                    && cx.text(arg).contains(|c: char| c.is_alphanumeric());
+                if !documented {
+                    cx.emit(
+                        out,
+                        "panic-policy",
+                        i - 1,
+                        i + 1,
+                        "`.expect()` without a literal message — the message must document \
+                         the invariant that makes this infallible"
+                            .into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

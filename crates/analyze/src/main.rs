@@ -1,0 +1,190 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p analyze --                # lint the workspace, text diagnostics
+//! cargo run -p analyze -- --format json  # JSONL (telemetry-manifest line shape)
+//! cargo run -p analyze -- crates/serve/src/engine.rs   # specific files
+//! cargo run -p analyze -- --emit-waivers # TOML skeletons for current findings
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or stale waivers, and the
+//! `fault::Error` mapping for operational failures (`2` invalid
+//! input/config, `3` I/O) — the same codes the rest of the pipeline
+//! uses, so CI and shell drivers need one vocabulary only.
+
+use analyze::{analyze_files, waiver, walk, Report};
+use fault::{Error, Result};
+use std::path::PathBuf;
+
+fn main() {
+    match run() {
+        // --help / --list-lints: informational output only, no summary.
+        Ok(None) => {}
+        Ok(Some(report)) if report.is_clean() => {
+            // Summary goes to stderr in JSON mode so stdout stays pure JSONL.
+            eprintln!(
+                "analyze: clean — {} files, {} waived finding(s)",
+                report.files, report.waived
+            );
+        }
+        Ok(Some(report)) => {
+            eprintln!(
+                "analyze: {} finding(s) in {} files ({} waived)",
+                report.diagnostics.len(),
+                report.files,
+                report.waived
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("analyze: error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    emit_waivers: bool,
+    paths: Vec<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: analyze [--root DIR] [--format text|json] [--emit-waivers] [PATH...]
+
+Lints workspace library code (root src/ + crates/*/src, compat excluded)
+for perfpredict's panic, determinism, and cast invariants. Waivers live
+in <root>/analyze.toml; see DESIGN.md \u{a7}10 for the lint catalog.
+
+  --root DIR       workspace root (default: current directory)
+  --format FMT     text (default) or json (JSONL, manifest-shaped)
+  --emit-waivers   print analyze.toml skeletons for unwaived findings
+  --list-lints     print the lint names and exit
+  PATH...          lint these files instead of discovering the workspace";
+
+fn parse_args() -> Result<Option<Options>> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        emit_waivers: false,
+        paths: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-lints" => {
+                for (name, _) in analyze::lints::LINTS {
+                    println!("{name}");
+                }
+                return Ok(None);
+            }
+            "--emit-waivers" => opts.emit_waivers = true,
+            "--root" => {
+                let dir = args
+                    .next()
+                    .ok_or_else(|| Error::invalid("--root needs a directory argument"))?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(Error::invalid(format!(
+                            "--format must be `text` or `json`, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => {
+                return Err(Error::invalid(format!("unknown flag `{flag}`\n{USAGE}")));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run() -> Result<Option<Report>> {
+    let Some(opts) = parse_args()? else {
+        return Ok(None);
+    };
+    let files = if opts.paths.is_empty() {
+        walk::workspace_files(&opts.root)?
+    } else {
+        opts.paths
+            .iter()
+            .map(|p| {
+                if p.is_absolute() {
+                    p.clone()
+                } else {
+                    opts.root.join(p)
+                }
+            })
+            .collect()
+    };
+    let waiver_path = opts.root.join("analyze.toml");
+    let waivers = if waiver_path.is_file() {
+        let text = std::fs::read_to_string(&waiver_path)
+            .map_err(|e| Error::io(waiver_path.display().to_string(), e))?;
+        waiver::parse(&text, "analyze.toml")?
+    } else {
+        Vec::new()
+    };
+    let report = analyze_files(&opts.root, &files, &waivers)?;
+
+    if opts.emit_waivers {
+        emit_waivers(&report);
+        return Ok(Some(report));
+    }
+    match opts.format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}\n", d.render_text());
+            }
+        }
+        Format::Json => {
+            for d in &report.diagnostics {
+                println!("{}", d.render_json());
+            }
+            println!(
+                "{}",
+                telemetry::json::JsonObject::new()
+                    .str("type", "summary")
+                    .uint("findings", report.diagnostics.len() as u64)
+                    .uint("waived", report.waived as u64)
+                    .uint("files", report.files as u64)
+                    .finish()
+            );
+        }
+    }
+    Ok(Some(report))
+}
+
+/// Print ready-to-edit waiver entries for each unwaived finding. The
+/// emitted `reason = "TODO"` deliberately fails validation, so a
+/// skeleton cannot be committed without a real justification.
+fn emit_waivers(report: &Report) {
+    for d in &report.diagnostics {
+        if d.lint == "stale-waiver" {
+            continue;
+        }
+        println!("[[waiver]]");
+        println!("lint = \"{}\"", d.lint);
+        println!("path = \"{}\"", d.path);
+        println!("line = {}", d.line);
+        println!("hash = \"{}\"", d.hash);
+        println!("reason = \"TODO\"  # {}", d.message.replace('\n', " "));
+        println!();
+    }
+}

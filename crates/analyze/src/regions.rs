@@ -1,0 +1,211 @@
+//! `#[cfg(test)]` / `#[test]` region tracking.
+//!
+//! The lint passes only police *library* code; anything inside a
+//! test-gated item is exempt. A region starts at the gating attribute
+//! and runs to the end of the item it gates (the matching close brace,
+//! or the terminating `;` for body-less items). This is what the old
+//! awk lint could not do: it cut each file at the first `#[cfg(test)]`
+//! and went blind from there, so code *after* a small test module was
+//! never checked.
+//!
+//! Recognised gates, scanned over the lexed token stream:
+//!
+//! * `#[cfg(test)]` and `#[cfg(any(test, …))]` — any `cfg` attribute
+//!   mentioning `test` *without* a `not`. `#[cfg(not(test))]` gates
+//!   library code and is deliberately not exempted.
+//! * `#[test]` / `#[bench]` on a function.
+//!
+//! Regions may overlap (a `#[test]` fn inside a `#[cfg(test)]` mod);
+//! membership is "inside any region".
+
+use crate::lexer::{Token, TokenKind};
+
+/// Byte ranges (half-open) of test-gated items in one file.
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// True if `offset` lies inside any test-gated item.
+    pub fn contains(&self, offset: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The detected ranges (for tests and debugging).
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+}
+
+/// Detect test regions. `tokens` is the full lexed stream for `src`.
+pub fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
+    // Work over code (non-trivia) tokens, remembering byte spans.
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text(src) == "#" && i + 1 < code.len() && code[i + 1].text(src) == "[" {
+            let attr_start = code[i].start;
+            let (attr_end_idx, gates_test) = scan_attribute(src, &code, i + 1);
+            if gates_test {
+                if let Some(region_end) = item_end(src, &code, attr_end_idx + 1) {
+                    ranges.push((attr_start, region_end));
+                }
+            }
+            i = attr_end_idx + 1;
+        } else {
+            i += 1;
+        }
+    }
+    TestRegions { ranges }
+}
+
+/// Scan one `[...]` attribute starting at the `[` token index. Returns
+/// the index of the matching `]` (or the last token if unterminated)
+/// and whether the attribute gates test-only code.
+fn scan_attribute(src: &str, code: &[&Token], open_idx: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut first_ident: Option<&str> = None;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut i = open_idx;
+    while i < code.len() {
+        let text = code[i].text(src);
+        match text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if code[i].kind == TokenKind::Ident => {
+                if first_ident.is_none() {
+                    first_ident = Some(text);
+                }
+                match text {
+                    "test" | "bench" => saw_test = true,
+                    "not" => saw_not = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let gates = match first_ident {
+        // `#[test]`, `#[bench]` directly.
+        Some("test" | "bench") => true,
+        // `#[cfg(… test …)]` unless a `not` is anywhere in it — the
+        // conservative reading keeps `#[cfg(not(test))]` code linted.
+        Some("cfg") => saw_test && !saw_not,
+        _ => false,
+    };
+    (i.min(code.len().saturating_sub(1)), gates)
+}
+
+/// Find the end (exclusive byte offset) of the item starting at token
+/// index `from`: skip further attributes, then either the matching `}`
+/// of the item's body or the first top-level `;`.
+fn item_end(src: &str, code: &[&Token], mut from: usize) -> Option<usize> {
+    // Skip any further `#[...]` attributes between the gate and the item.
+    while from + 1 < code.len() && code[from].text(src) == "#" && code[from + 1].text(src) == "[" {
+        let (end, _) = scan_attribute(src, code, from + 1);
+        from = end + 1;
+    }
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut i = from;
+    while i < code.len() {
+        match code[i].text(src) {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => {
+                if paren == 0 && bracket == 0 {
+                    // Body start: match braces to the item's close.
+                    brace = 1;
+                    i += 1;
+                    while i < code.len() && brace > 0 {
+                        match code[i].text(src) {
+                            "{" => brace += 1,
+                            "}" => brace -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    let end_tok = code.get(i.saturating_sub(1))?;
+                    return Some(end_tok.end);
+                }
+                brace += 1;
+            }
+            "}" => brace -= 1,
+            ";" if paren == 0 && bracket == 0 && brace == 0 => {
+                return Some(code[i].end);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated item: exempt to end of file (safe for lints — the
+    // file will not compile anyway).
+    Some(src.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions(src: &str) -> TestRegions {
+        test_regions(src, &lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region_and_code_after_is_not() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn lib2() { after(); }\n";
+        let r = regions(src);
+        assert_eq!(r.ranges().len(), 1);
+        let unwrap_at = src.find("unwrap").expect("fixture has unwrap");
+        let after_at = src.find("after").expect("fixture has after");
+        assert!(r.contains(unwrap_at));
+        assert!(!r.contains(after_at), "code after the test mod is linted");
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn t() { boom() }\nfn lib() {}\n";
+        let r = regions(src);
+        assert!(r.contains(src.find("boom").expect("fixture has boom")));
+        assert!(!r.contains(src.find("lib").expect("fixture has lib")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn lib() { body() }\n";
+        let r = regions(src);
+        assert!(!r.contains(src.find("body").expect("fixture has body")));
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_exempt() {
+        let src = "#[cfg(any(test, feature = \"slow\"))]\nfn helper() { h() }\n";
+        let r = regions(src);
+        assert!(r.contains(src.find("h()").expect("fixture has h()")));
+    }
+
+    #[test]
+    fn bodyless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { l() }\n";
+        let r = regions(src);
+        assert!(!r.contains(src.find("l()").expect("fixture has l()")));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_matching() {
+        let src = "#[cfg(test)]\nfn t() { let s = \"}}}\"; inner() }\nfn lib() { out() }\n";
+        let r = regions(src);
+        assert!(r.contains(src.find("inner").expect("fixture has inner")));
+        assert!(!r.contains(src.find("out").expect("fixture has out")));
+    }
+}

@@ -1,0 +1,76 @@
+//! Source-file model: text, path, line index, and excerpt rendering.
+
+/// One loaded source file plus the precomputed line index the
+/// diagnostics renderer and waiver hasher need.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes,
+    /// used verbatim in diagnostics and `analyze.toml` waivers).
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Byte offset of the start of each line (line 1 is `starts[0]`).
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    pub fn new(path: String, text: String) -> SourceFile {
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            path,
+            text,
+            line_starts,
+        }
+    }
+
+    /// 1-based `(line, column)` for a byte offset. Columns count bytes,
+    /// matching what editors and `rustc` report for ASCII source.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// The full text of a 1-based line, without its trailing newline.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e - 1)
+            .unwrap_or(self.text.len());
+        self.text[start..end.max(start)].trim_end_matches('\r')
+    }
+
+    /// Number of lines (a trailing newline does not add an empty line
+    /// for rendering purposes; offsets past the end clamp to the last).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_round_trips() {
+        let f = SourceFile::new("x.rs".into(), "ab\ncde\n\nf".into());
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(5), (2, 3));
+        assert_eq!(f.line_col(7), (3, 1));
+        assert_eq!(f.line_col(8), (4, 1));
+        assert_eq!(f.line_text(1), "ab");
+        assert_eq!(f.line_text(2), "cde");
+        assert_eq!(f.line_text(3), "");
+        assert_eq!(f.line_text(4), "f");
+    }
+}

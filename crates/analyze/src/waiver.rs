@@ -1,0 +1,226 @@
+//! `analyze.toml` — span-pinned waivers with content hashes.
+//!
+//! A waiver grants one finding at one location, and only while the
+//! flagged line's content is unchanged:
+//!
+//! ```toml
+//! [[waiver]]
+//! lint = "lossy-cast"
+//! path = "crates/linalg/src/matrix.rs"
+//! line = 42
+//! hash = "9f8e7d6c5b4a3f21"          # content hash from the diagnostic
+//! reason = "dims come from Table::shape, bounded by construction"
+//! ```
+//!
+//! All five keys are required and `reason` must be a real justification
+//! (non-empty, not a `TODO`). Staleness is two-sided and fatal:
+//!
+//! * a finding whose waiver hash no longer matches the line text means
+//!   the code changed under the waiver — the waiver is reported stale
+//!   and the finding stands;
+//! * a waiver that matches no finding at all means the code it excused
+//!   moved or disappeared — reported stale so dead waivers cannot
+//!   accumulate and silently excuse future findings.
+//!
+//! The hash comes straight off the diagnostic (`--format json` emits
+//! it, as does `--emit-waivers`), so pinning a reviewed finding is
+//! copy-paste, not archaeology.
+//!
+//! The parser is a deliberate TOML subset (`[[waiver]]` tables with
+//! string/integer scalars and `#` comments) — enough for this file
+//! format, zero dependencies, and strict about anything it does not
+//! understand.
+
+use fault::{Error, Result};
+
+/// One parsed waiver entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub lint: String,
+    pub path: String,
+    pub line: usize,
+    pub hash: String,
+    pub reason: String,
+    /// Line in `analyze.toml` where this entry starts (for messages).
+    pub defined_at: usize,
+}
+
+/// Parse the waiver file text. Strict: unknown keys, missing keys,
+/// empty/TODO reasons, and malformed lines are `Error::InvalidInput`.
+pub fn parse(text: &str, source_name: &str) -> Result<Vec<Waiver>> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<PartialWaiver> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(p) = current.take() {
+                waivers.push(p.finish(source_name)?);
+            }
+            current = Some(PartialWaiver::new(lineno));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(Error::invalid(format!(
+                "{source_name}:{lineno}: expected `key = value` or `[[waiver]]`, got `{line}`"
+            )));
+        };
+        let Some(p) = current.as_mut() else {
+            return Err(Error::invalid(format!(
+                "{source_name}:{lineno}: `{}` before the first [[waiver]] table",
+                key.trim()
+            )));
+        };
+        p.set(key.trim(), value.trim(), source_name, lineno)?;
+    }
+    if let Some(p) = current.take() {
+        waivers.push(p.finish(source_name)?);
+    }
+    Ok(waivers)
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+#[derive(Default)]
+struct PartialWaiver {
+    defined_at: usize,
+    lint: Option<String>,
+    path: Option<String>,
+    line: Option<usize>,
+    hash: Option<String>,
+    reason: Option<String>,
+}
+
+impl PartialWaiver {
+    fn new(defined_at: usize) -> PartialWaiver {
+        PartialWaiver {
+            defined_at,
+            ..PartialWaiver::default()
+        }
+    }
+
+    fn set(&mut self, key: &str, value: &str, src: &str, lineno: usize) -> Result<()> {
+        let unquote = |v: &str| -> Result<String> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    Error::invalid(format!("{src}:{lineno}: `{key}` must be a quoted string"))
+                })?;
+            Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+        };
+        match key {
+            "lint" => self.lint = Some(unquote(value)?),
+            "path" => self.path = Some(unquote(value)?),
+            "hash" => self.hash = Some(unquote(value)?),
+            "reason" => self.reason = Some(unquote(value)?),
+            "line" => {
+                self.line = Some(value.parse::<usize>().map_err(|_| {
+                    Error::invalid(format!("{src}:{lineno}: `line` must be an integer"))
+                })?)
+            }
+            other => {
+                return Err(Error::invalid(format!(
+                    "{src}:{lineno}: unknown waiver key `{other}`"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, src: &str) -> Result<Waiver> {
+        let at = self.defined_at;
+        let missing =
+            |k: &str| Error::invalid(format!("{src}:{at}: waiver is missing required key `{k}`"));
+        let w = Waiver {
+            lint: self.lint.ok_or_else(|| missing("lint"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            line: self.line.ok_or_else(|| missing("line"))?,
+            hash: self.hash.ok_or_else(|| missing("hash"))?,
+            reason: self.reason.ok_or_else(|| missing("reason"))?,
+            defined_at: at,
+        };
+        let r = w.reason.trim();
+        if r.is_empty()
+            || r.eq_ignore_ascii_case("todo")
+            || r.to_ascii_lowercase().contains("todo:")
+        {
+            return Err(Error::invalid(format!(
+                "{src}:{at}: waiver reason must be a real justification, not empty/TODO"
+            )));
+        }
+        if w.hash.len() != 16 || !w.hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(Error::invalid(format!(
+                "{src}:{at}: waiver hash must be 16 hex digits (copy it from the diagnostic)"
+            )));
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# header comment
+[[waiver]]
+lint = "lossy-cast"
+path = "crates/x/src/y.rs"
+line = 42                       # trailing comment
+hash = "0123456789abcdef"
+reason = "k is a column index, bounded by Table::width() <= 64"
+"#;
+
+    #[test]
+    fn parses_a_valid_entry() {
+        let w = parse(GOOD, "analyze.toml").expect("fixture parses");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].lint, "lossy-cast");
+        assert_eq!(w[0].line, 42);
+        assert_eq!(w[0].hash, "0123456789abcdef");
+    }
+
+    #[test]
+    fn rejects_missing_reason_and_todo_reason() {
+        let no_reason = GOOD.replace(
+            "reason = \"k is a column index, bounded by Table::width() <= 64\"",
+            "",
+        );
+        assert!(parse(&no_reason, "t").is_err(), "missing reason must fail");
+        let todo = GOOD.replace(
+            "k is a column index, bounded by Table::width() <= 64",
+            "TODO",
+        );
+        assert!(parse(&todo, "t").is_err(), "TODO reason must fail");
+    }
+
+    #[test]
+    fn rejects_bad_hash_and_unknown_keys() {
+        let bad_hash = GOOD.replace("0123456789abcdef", "xyz");
+        assert!(parse(&bad_hash, "t").is_err(), "non-hex hash must fail");
+        let unknown = GOOD.replace("line = 42", "spam = 42");
+        assert!(parse(&unknown, "t").is_err(), "unknown key must fail");
+    }
+
+    #[test]
+    fn rejects_keys_outside_a_table() {
+        assert!(parse("lint = \"x\"\n", "t").is_err());
+    }
+}

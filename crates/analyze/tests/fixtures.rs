@@ -1,0 +1,103 @@
+//! Fixture corpus: every file under `tests/fixtures/<lint>/` is lexed
+//! and linted, and its `//~ <lint>` markers are the golden expected
+//! diagnostics — one marker per expected finding on that line, repeated
+//! markers for repeated findings. A finding without a marker, or a
+//! marker without a finding, fails with a readable diff.
+
+use analyze::analyze_source;
+use analyze::source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// `(line, lint) -> count` of `//~ <lint>` markers in the fixture text.
+fn expected_markers(text: &str) -> BTreeMap<(usize, String), usize> {
+    let mut out = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~") {
+            rest = &rest[pos + 3..];
+            let lint: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!lint.is_empty(), "malformed //~ marker on line {}", i + 1);
+            *out.entry((i + 1, lint)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn fixture_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut files = Vec::new();
+    for dir in std::fs::read_dir(&root).expect("fixtures dir exists") {
+        let dir = dir.expect("readable dir entry").path();
+        if !dir.is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(&dir).expect("readable lint dir") {
+            let f = f.expect("readable file entry").path();
+            if f.extension().is_some_and(|e| e == "rs") {
+                files.push(f);
+            }
+        }
+    }
+    files.sort();
+    assert!(files.len() >= 7, "fixture corpus went missing: {files:?}");
+    files
+}
+
+#[test]
+fn fixture_corpus_matches_markers_exactly() {
+    for path in fixture_files() {
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let name = path.file_name().expect("file name").to_string_lossy();
+        // Files named main.rs are analyzed as binary entry points.
+        let is_main = name == "main.rs";
+        let rel = format!(
+            "tests/fixtures/{}/{}",
+            path.parent()
+                .and_then(|p| p.file_name())
+                .expect("lint dir")
+                .to_string_lossy(),
+            name
+        );
+        let expected = expected_markers(&text);
+        let file = SourceFile::new(rel.clone(), text);
+        let mut actual: BTreeMap<(usize, String), usize> = BTreeMap::new();
+        for d in analyze_source(&file, is_main) {
+            *actual.entry((d.line, d.lint.to_string())).or_insert(0) += 1;
+        }
+        assert_eq!(
+            actual, expected,
+            "{rel}: findings (left) disagree with //~ markers (right)"
+        );
+    }
+}
+
+#[test]
+fn fixture_rendering_is_stable() {
+    // Lock the exact text rendering against one known fixture line so a
+    // formatting regression in the diagnostic printer is caught here,
+    // not in CI logs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("tests/fixtures/lossy-cast/basic.rs");
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let file = SourceFile::new("tests/fixtures/lossy-cast/basic.rs".into(), text);
+    let diags = analyze_source(&file, false);
+    let first = diags.first().expect("lossy-cast fixture has findings");
+    let rendered = first.render_text();
+    let mut lines = rendered.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "tests/fixtures/lossy-cast/basic.rs:6:7: [lossy-cast] `as u32` can truncate or \
+             wrap — use `try_into` with a typed `fault::Error`, or waive with a proof the \
+             value is in range"
+        ),
+        "full rendering:\n{rendered}"
+    );
+    assert_eq!(lines.next(), Some("    6 |     n as u32 //~ lossy-cast"));
+    assert_eq!(lines.next(), Some("      |       ^^^^^^"));
+}

@@ -1,0 +1,28 @@
+// bare-assert fixture: library asserts must name the violated
+// invariant in a message string; the lint is multi-line aware.
+
+pub fn check(x: f64, lo: f64, hi: f64) {
+    assert!(x.is_finite()); //~ bare-assert
+    assert!(x >= lo, "x below range: {x} < {lo}"); // ok: named invariant
+    assert_eq!(lo.is_nan(), hi.is_nan()); //~ bare-assert
+    assert_ne!(lo, hi, "degenerate range"); // ok
+}
+
+pub fn multi_line(rows: &[Vec<f64>], width: usize) {
+    assert!(
+        rows.iter().all(|r| r.len() == width),
+        "ragged table: every row must have {width} columns",
+    ); // ok: message on its own line still counts
+    assert_eq!( //~ bare-assert
+        rows.len(),
+        width,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assert_bare() {
+        assert!(1 + 1 == 2); // ok: test region
+    }
+}

@@ -1,0 +1,30 @@
+// error-policy fixture: public fallible functions return the typed
+// fault::Error, and only binary entry points may exit the process.
+
+pub fn stringly() -> Result<(), String> { //~ error-policy
+    Err("nope".to_string())
+}
+
+pub fn typed() -> Result<u32, fault::Error> {
+    Ok(1) // ok: the workspace error type
+}
+
+pub fn aliased() -> fault::Result<u32> {
+    Ok(1) // ok: one-param alias defaults the error type
+}
+
+pub(crate) fn internal() -> Result<u32, String> {
+    Ok(1) // ok: not public API
+}
+
+fn private() -> Result<u32, String> {
+    Ok(1) // ok: not public API
+}
+
+pub fn infallible(x: u32) -> u32 {
+    x + 1 // ok: no Result
+}
+
+pub fn abort_everything() {
+    std::process::exit(3); //~ error-policy
+}

@@ -1,0 +1,6 @@
+// A file named main.rs is analyzed as a binary entry point: it owns
+// the process, so `std::process::exit` is allowed.
+
+fn main() {
+    std::process::exit(0); // ok: binary entry point
+}

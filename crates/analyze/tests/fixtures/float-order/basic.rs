@@ -1,0 +1,25 @@
+// float-order fixture: comparisons must use the total order.
+
+pub fn best(xs: &[f64]) -> Option<usize> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal)); //~ float-order
+    order.first().copied()
+}
+
+pub fn ranked(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.total_cmp(b)); // ok: total order
+}
+
+struct Wrapped(f64);
+
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0)) // ok: this is the trait impl, not a use
+    }
+}
+
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0).is_eq()
+    }
+}

@@ -1,0 +1,42 @@
+// lossy-cast fixture: truncating `as` casts must be typed away or
+// argued safe in analyze.toml. `as f64` is exempt by policy (all
+// counts in this workspace stay below 2^53).
+
+pub fn narrow(n: usize) -> u32 {
+    n as u32 //~ lossy-cast
+}
+
+pub fn to_float(n: usize) -> f64 {
+    n as f64 // ok: exempt by policy
+}
+
+pub fn single_precision(x: f64) -> f32 {
+    x as f32 //~ lossy-cast
+}
+
+pub fn widen_for_index(codes: &[u32], i: u16) -> u32 {
+    codes[i as usize] //~ lossy-cast
+}
+
+pub fn two_on_one_line(a: u64, b: u64) -> u32 {
+    (a as u32) ^ (b as u32) //~ lossy-cast //~ lossy-cast
+}
+
+pub fn checked(n: usize) -> Option<u32> {
+    u32::try_from(n).ok() // ok: the typed conversion the lint wants
+}
+
+pub struct CastLike;
+
+pub fn not_a_cast(as_name: u32) -> u32 {
+    // `as` in a path/use position or an ident containing "as" is not a cast.
+    as_name // ok
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        let _ = 300usize as u8; // ok: test region
+    }
+}

@@ -1,0 +1,47 @@
+// nondet-iter fixture: hash-map iteration order must not reach
+// output or accumulation without an intervening sort.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn leak(m: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in m { //~ nondet-iter
+        total += v;
+    }
+    total
+}
+
+pub fn chained(s: &HashSet<u32>) -> u32 {
+    s.iter().sum() //~ nondet-iter
+}
+
+pub fn values_leak(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum() //~ nondet-iter
+}
+
+pub fn sorted(m: &HashMap<String, f64>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect(); // ok: sorted next stmt
+    keys.sort();
+    keys
+}
+
+pub fn laundered(m: &HashMap<u32, f64>) -> BTreeMap<u32, f64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>() // ok: B-tree orders
+}
+
+pub fn keyed(m: &HashMap<u32, f64>, k: u32) -> Option<f64> {
+    m.get(&k).copied() // ok: keyed lookup is order-free
+}
+
+pub fn loop_then_sort(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() { // ok: sort follows before anyone observes the order
+        out.push(*k);
+    }
+    out.sort_unstable();
+    out
+}
+
+pub fn vec_iteration_is_fine(v: &[f64]) -> f64 {
+    v.iter().sum() // ok: slices have a defined order
+}

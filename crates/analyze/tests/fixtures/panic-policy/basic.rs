@@ -1,0 +1,60 @@
+// panic-policy fixture: library code must not reach for panicking
+// escape hatches. Expectation markers (tilde comments) name the
+// expected finding on their line; unmarked lines must stay clean.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic-policy
+}
+
+pub fn documented(v: Option<u32>) -> u32 {
+    v.expect("schema validation guarantees the column exists") // ok
+}
+
+pub fn empty_expect(v: Option<u32>) -> u32 {
+    v.expect("") //~ panic-policy
+}
+
+pub fn computed_expect(v: Option<u32>, why: &str) -> u32 {
+    v.expect(why) //~ panic-policy
+}
+
+pub fn giving_up() {
+    todo!() //~ panic-policy
+}
+
+pub fn not_done() {
+    unimplemented!("later") //~ panic-policy
+}
+
+pub fn boom(x: u32) {
+    if x > 9 {
+        panic!("x out of range: {x}"); //~ panic-policy
+    }
+}
+
+pub fn masked(x: u32) -> u32 {
+    match x & 1 {
+        0 => 0,
+        1 => 1,
+        _ => unreachable!("x is masked to one bit"), // ok: unreachable! is allowed
+    }
+}
+
+// An identifier merely *named* unwrap is not a call.
+pub fn unwrap_config(unwrap: bool) -> bool {
+    unwrap // ok
+}
+
+#[test]
+fn annotated_test_fn_may_unwrap() {
+    Some(2u32).unwrap(); // ok: #[test] fn
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_may_panic() {
+        Some(1u32).unwrap(); // ok: #[cfg(test)] region
+        panic!("even this"); // ok: #[cfg(test)] region
+    }
+}

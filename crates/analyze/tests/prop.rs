@@ -1,0 +1,113 @@
+//! Property tests for the lexer's two totality guarantees: it never
+//! panics, and its token spans exactly tile the input — every byte of
+//! every input belongs to exactly one token, with no gaps, overlaps,
+//! or out-of-bounds spans. Inputs are built from adversarial Rust
+//! fragments (raw-string openers, unbalanced quotes, nested comment
+//! markers, stray backslashes, multi-byte characters) so the generator
+//! concentrates on exactly the syntax that breaks naive lexers.
+
+use analyze::lexer::lex;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: openers without closers, prefixes that
+/// look like raw strings, comment markers inside literals, multi-byte
+/// UTF-8, and ordinary code to glue it together.
+const FRAGMENTS: &[&str] = &[
+    "r#\"",
+    "\"#",
+    "r\"",
+    "\"",
+    "'",
+    "'a",
+    "b'",
+    "b\"",
+    "br#\"",
+    "r#ident",
+    "\\",
+    "\\\"",
+    "\\'",
+    "//",
+    "/*",
+    "*/",
+    "/**/",
+    "\n",
+    " ",
+    "\t",
+    "fn main() {}",
+    "let x = 1;",
+    "0x_f",
+    "1e9",
+    "1.",
+    "1.e",
+    "0b12",
+    "'\\u{1F600}'",
+    "é",
+    "🦀",
+    "日本",
+    "#[cfg(test)]",
+    "mod t {",
+    "}",
+    "::",
+    "..=",
+    "ident",
+    "_",
+    "'static",
+    "1_000u64",
+    "r",
+    "b",
+    "br",
+    "#",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concatenations of adversarial fragments lex without panicking
+    /// and the spans tile the input exactly.
+    #[test]
+    fn lexer_is_total_over_fragment_soup(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..40),
+    ) {
+        let input: String = parts.concat();
+        let tokens = lex(&input);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor, "gap or overlap in {:?}", input);
+            prop_assert!(t.end > t.start, "empty token in {:?}", input);
+            prop_assert!(t.end <= input.len(), "span past EOF in {:?}", input);
+            // Spans land on char boundaries: slicing must not panic.
+            prop_assert!(input.is_char_boundary(t.start) && input.is_char_boundary(t.end));
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, input.len(), "tail not covered in {:?}", input);
+    }
+
+    /// Same totality over raw byte soup forced into valid UTF-8 by
+    /// lossy conversion — no structure at all.
+    #[test]
+    fn lexer_is_total_over_byte_soup(bytes in prop::collection::vec(0u32..256, 0..120)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let input = String::from_utf8_lossy(&raw).into_owned();
+        let tokens = lex(&input);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor);
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, input.len());
+    }
+
+    /// Lexing is deterministic: same input, same token stream.
+    #[test]
+    fn lexing_is_deterministic(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..24),
+    ) {
+        let input: String = parts.concat();
+        let a = lex(&input);
+        let b = lex(&input);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!((x.start, x.end), (y.start, y.end));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Self-hosting check: the analyzer, run over its own workspace with
+//! the checked-in `analyze.toml`, reports nothing. This is the test
+//! the acceptance gate leans on: re-add an `unwrap()` to library code
+//! anywhere in the workspace and this fails with the spanned finding.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_under_all_lints() {
+    let report = analyze::analyze_workspace(workspace_root()).expect("analysis runs");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render_text()).collect();
+    assert!(
+        report.is_clean(),
+        "workspace has unwaived findings or stale waivers:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned ({}) — walk roots moved?",
+        report.files
+    );
+    assert!(
+        report.waived > 100,
+        "suspiciously few waived findings ({}) — analyze.toml not loaded?",
+        report.waived
+    );
+}
+
+#[test]
+fn corrupting_a_file_is_caught_with_a_spanned_diagnostic() {
+    // The acceptance scenario, in-memory: the same source that is clean
+    // as checked in becomes a finding the moment an unwrap lands in it.
+    let root = workspace_root();
+    let path = root.join("crates/linalg/src/stats.rs");
+    let clean = std::fs::read_to_string(&path).expect("stats.rs readable");
+    let corrupted = clean.replacen(
+        "pub fn",
+        "pub fn _sneaky(v: Option<u32>) -> u32 { v.unwrap() }\npub fn",
+        1,
+    );
+    assert_ne!(
+        clean, corrupted,
+        "fixture assumption: stats.rs has a pub fn"
+    );
+    let file = analyze::source::SourceFile::new("crates/linalg/src/stats.rs".into(), corrupted);
+    let diags = analyze::analyze_source(&file, false);
+    let hit = diags
+        .iter()
+        .find(|d| d.lint == "panic-policy")
+        .expect("re-added unwrap must be flagged");
+    assert!(hit.line >= 1 && hit.col > 1, "span is resolved: {hit:?}");
+    assert!(hit.excerpt.contains("unwrap"), "excerpt shows the line");
+}

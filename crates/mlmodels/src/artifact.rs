@@ -343,11 +343,11 @@ fn get_f64(label: &str, v: &Value, key: &str) -> Result<f64> {
 fn get_usize(label: &str, v: &Value, key: &str) -> Result<usize> {
     get(label, v, key)?
         .as_u64()
-        .map(|x| x as usize)
+        .and_then(|x| usize::try_from(x).ok())
         .ok_or_else(|| {
             bad(
                 label,
-                format!("field '{key}' is not a non-negative integer"),
+                format!("field '{key}' is not a non-negative integer in range"),
             )
         })
 }
@@ -374,7 +374,7 @@ fn usize_vec(label: &str, items: &[Value], what: &str) -> Result<Vec<usize>> {
         .iter()
         .map(|v| {
             v.as_u64()
-                .map(|x| x as usize)
+                .and_then(|x| usize::try_from(x).ok())
                 .ok_or_else(|| bad(label, format!("non-integer entry in {what}")))
         })
         .collect()

@@ -281,7 +281,7 @@ impl Engine {
                 if trimmed.is_empty() {
                     continue;
                 }
-                let request = parse_request_line(&self.artifact.schema, trimmed, line_no as usize)?;
+                let request = parse_request_line(&self.artifact.schema, trimmed, line_no)?;
                 queue.push_back(Admitted {
                     index: line_no,
                     request,

@@ -58,14 +58,14 @@ impl Request {
     }
 }
 
-fn invalid(line_no: usize, detail: impl std::fmt::Display) -> Error {
+fn invalid(line_no: u64, detail: impl std::fmt::Display) -> Error {
     Error::invalid(format!("request line {line_no}: {detail}"))
 }
 
 /// Parse and validate one JSONL request line against the schema.
 /// `line_no` is 1-based and used both for error messages and as the
 /// default id.
-pub fn parse_request_line(schema: &TableSchema, line: &str, line_no: usize) -> Result<Request> {
+pub fn parse_request_line(schema: &TableSchema, line: &str, line_no: u64) -> Result<Request> {
     let value = json::parse(line).map_err(|e| invalid(line_no, format!("malformed JSON: {e}")))?;
     let Value::Obj(fields) = &value else {
         return Err(invalid(line_no, "request must be a JSON object"));
@@ -122,7 +122,15 @@ pub fn parse_request_line(schema: &TableSchema, line: &str, line_no: usize) -> R
                         ),
                     )
                 })?;
-                Cell::Code(code as u32)
+                // Level index comes from the artifact schema, which is
+                // external input: convert checked so a pathological
+                // schema cannot wrap the code.
+                Cell::Code(u32::try_from(code).map_err(|_| {
+                    invalid(
+                        line_no,
+                        format!("field '{name}': level index {code} exceeds u32 range"),
+                    )
+                })?)
             }
         };
         cells.push(cell);

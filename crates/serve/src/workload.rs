@@ -109,7 +109,7 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 50);
         for (i, l) in lines.iter().enumerate() {
-            let r = crate::request::parse_request_line(&s, l, i + 1).expect(l);
+            let r = crate::request::parse_request_line(&s, l, i as u64 + 1).expect(l);
             assert_eq!(r.id, format!("g{i}"));
         }
     }
