@@ -43,18 +43,47 @@ pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
                         .into(),
                 );
             }
-            "pub" if cx.is(i + 1, "fn") => {
-                check_signature(cx, i, out);
+            "pub" => {
+                if let Some(fn_idx) = fn_after_qualifiers(cx, i) {
+                    check_signature(cx, i, fn_idx, out);
+                }
             }
             _ => {}
         }
     }
 }
 
-/// Inspect one `pub fn` signature starting at the `pub` token.
-fn check_signature(cx: &FileCx<'_>, pub_idx: usize, out: &mut Vec<Diagnostic>) {
-    let name_idx = pub_idx + 2;
-    if name_idx >= cx.code.len() {
+/// Index of the `fn` token of a plain-`pub` function item at `pub_idx`,
+/// skipping the qualifiers Rust allows in between (`async`, `const`,
+/// `unsafe`, `extern "C"` — in any legal combination). `None` for
+/// `pub(crate)`/`pub(super)` (internal API, exempt) and for non-fn
+/// items (`pub struct`, `pub use`, `pub const NAME`, …).
+fn fn_after_qualifiers(cx: &FileCx<'_>, pub_idx: usize) -> Option<usize> {
+    let mut j = pub_idx + 1;
+    while j < cx.code.len() {
+        match cx.text(j) {
+            "fn" => return Some(j),
+            "async" | "unsafe" => j += 1,
+            // `const` is a qualifier only if a `fn` eventually follows;
+            // `pub const NAME: u32` bails at `NAME` on the next round.
+            "const" => j += 1,
+            "extern" => {
+                j += 1;
+                // Optional ABI string: `extern "C" fn`.
+                if j < cx.code.len() && matches!(cx.kind(j), TokenKind::Str | TokenKind::RawStr) {
+                    j += 1;
+                }
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Inspect one `pub … fn` signature; `fn_idx` is the `fn` token.
+fn check_signature(cx: &FileCx<'_>, pub_idx: usize, fn_idx: usize, out: &mut Vec<Diagnostic>) {
+    let name_idx = fn_idx + 1;
+    if name_idx >= cx.code.len() || cx.kind(name_idx) != TokenKind::Ident {
         return;
     }
     // Find the parameter list `(`, skipping generics. `<`/`>` depth

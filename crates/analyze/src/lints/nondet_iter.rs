@@ -13,10 +13,14 @@
 //! 2. It flags order-producing calls on those names (`iter`, `keys`,
 //!    `values`, `drain`, `into_iter`, …) and `for … in [&[mut]] name`
 //!    loops over them.
-//! 3. A site is suppressed when a sort intervenes nearby — a
-//!    `sort*` call or a `BTreeMap`/`BTreeSet` collection in the same
-//!    or the immediately following statements — because then the hash
-//!    order is laundered into a total order before anyone observes it.
+//! 3. A site is suppressed when a sort intervenes before the order can
+//!    escape: a `.sort*(…)` method call or `BTreeMap`/`BTreeSet`
+//!    collection inside the flagged statement itself (chain or loop
+//!    body), or in one of the next two statements *linked* to the
+//!    flagged one by a shared identifier — then the hash order is
+//!    laundered into a total order before anyone observes it. The link
+//!    requirement means a sort on an unrelated vector, or a binding
+//!    merely named `sort`, does not excuse a real hash-order leak.
 //!
 //! Keyed lookups (`get`, `entry`, `contains_key`, `insert`, `remove`)
 //! are order-free and never flagged. Sites that iterate but provably
@@ -41,16 +45,14 @@ const ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-/// Idents whose presence near the iteration site launders the order.
-const SORTERS: &[&str] = &[
+/// Method names that impose a total order on the receiver in place.
+const SORT_METHODS: &[&str] = &[
     "sort",
     "sort_by",
     "sort_by_key",
     "sort_unstable",
     "sort_unstable_by",
     "sort_unstable_by_key",
-    "BTreeMap",
-    "BTreeSet",
 ];
 
 pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
@@ -148,36 +150,153 @@ fn in_for_header(cx: &FileCx<'_>, i: usize) -> bool {
     false
 }
 
-/// Does a sort (or B-tree collection) appear near the iteration site —
-/// inside the rest of its statement (including a loop body) or the two
-/// statements that follow at the same nesting depth? The window never
-/// escapes the enclosing scope, so a sort in the *next* function
-/// cannot launder this site's order.
-fn sorted_nearby(cx: &FileCx<'_>, i: usize) -> bool {
-    let mut semis = 0;
-    let mut depth = 0i32;
-    let window_end = cx.code.len().min(i + 150);
-    for j in i..window_end {
-        let t = cx.text(j);
-        if cx.kind(j) == TokenKind::Ident && SORTERS.contains(&t) {
-            return true;
+/// Is token `j` a sorter in effective position: a `sort*` *method
+/// call* (`.sort_unstable()`, `.sort_by(…)`) or a `BTreeMap`/`BTreeSet`
+/// type name (ascription or `collect::<BTreeMap<_, _>>` turbofish)?
+/// A binding merely *named* `sort` is neither.
+fn sorter_at(cx: &FileCx<'_>, j: usize) -> bool {
+    if cx.kind(j) != TokenKind::Ident {
+        return false;
+    }
+    match cx.text(j) {
+        "BTreeMap" | "BTreeSet" => true,
+        t if SORT_METHODS.contains(&t) => j > 0 && cx.is(j - 1, ".") && cx.is(j + 1, "("),
+        _ => false,
+    }
+}
+
+/// Identifiers too generic to establish a link between statements —
+/// keywords and ubiquitous type names that would connect nearly any
+/// two adjacent statements.
+fn too_generic(t: &str) -> bool {
+    matches!(
+        t,
+        "let"
+            | "mut"
+            | "in"
+            | "for"
+            | "if"
+            | "else"
+            | "while"
+            | "loop"
+            | "match"
+            | "as"
+            | "ref"
+            | "move"
+            | "return"
+            | "fn"
+            | "pub"
+            | "use"
+            | "where"
+            | "self"
+            | "Self"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "Vec"
+            | "String"
+            | "str"
+    ) || crate::lints::numeric_type(t)
+}
+
+/// Start of the statement containing token `i`: the token after the
+/// nearest preceding `;`/`{`/`}`, bounded at 60 tokens back.
+fn statement_start(cx: &FileCx<'_>, i: usize) -> usize {
+    let lo = i.saturating_sub(60);
+    let mut j = i;
+    while j > lo {
+        if matches!(cx.text(j - 1), ";" | "{" | "}") {
+            return j;
         }
-        match t {
-            "{" => depth += 1,
-            "}" => {
-                depth -= 1;
-                if depth < 0 {
-                    return false; // left the enclosing scope
-                }
-            }
-            ";" if depth == 0 => {
-                semis += 1;
-                if semis > 2 {
-                    return false;
-                }
-            }
-            _ => {}
+        j -= 1;
+    }
+    j
+}
+
+/// Does a sort launder this site's order before anyone observes it?
+/// Two placements count:
+///
+/// * inside the remainder of the flagged statement — the method chain
+///   itself (`….collect::<BTreeMap<_, _>>()`) or a loop body;
+/// * in one of the next two statements at the same nesting depth,
+///   provided that statement is *linked* to the flagged one: it
+///   mentions an identifier the flagged statement bound or used
+///   (`let v: Vec<_> = m.keys().collect(); v.sort();`).
+///
+/// Only non-method-position identifiers (bindings, paths, types — not
+/// `.iter`, `.push`) establish links, and only sorters in effective
+/// position (see [`sorter_at`]) count, so an unrelated `other.sort()`
+/// or a variable named `sort` near a real leak suppresses nothing.
+/// The window never escapes the enclosing scope, so a sort in the
+/// *next* function cannot launder this site's order.
+fn sorted_nearby(cx: &FileCx<'_>, i: usize) -> bool {
+    // Link set: identifiers of the flagged statement, growing as the
+    // forward scan walks the rest of that statement (incl. loop body).
+    let mut linked: BTreeSet<&str> = BTreeSet::new();
+    for k in statement_start(cx, i)..i {
+        if cx.kind(k) == TokenKind::Ident
+            && !cx.is(k.wrapping_sub(1), ".")
+            && !too_generic(cx.text(k))
+        {
+            linked.insert(cx.text(k));
         }
     }
-    false
+    let window_end = cx.code.len().min(i + 150);
+    let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+    let mut in_flagged_stmt = true;
+    let mut boundaries = 0; // statement ends seen: flagged + 2 followers
+    let mut stmt_sorter = false;
+    let mut stmt_linked = false;
+    for j in i..window_end {
+        let t = cx.text(j);
+        if sorter_at(cx, j) {
+            if in_flagged_stmt {
+                return true;
+            }
+            stmt_sorter = true;
+        }
+        if cx.kind(j) == TokenKind::Ident && !cx.is(j.wrapping_sub(1), ".") && !too_generic(t) {
+            if in_flagged_stmt {
+                linked.insert(t);
+            } else if linked.contains(t) {
+                stmt_linked = true;
+            }
+        }
+        let mut stmt_boundary = false;
+        match t {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace < 0 {
+                    return false; // left the enclosing scope
+                }
+                // A `}` back at depth 0 closes a block statement
+                // (loop/if body) — a statement end with no `;`.
+                stmt_boundary = brace == 0 && paren <= 0 && bracket <= 0;
+            }
+            ";" if paren <= 0 && bracket <= 0 && brace == 0 => stmt_boundary = true,
+            _ => {}
+        }
+        if stmt_boundary {
+            if in_flagged_stmt {
+                in_flagged_stmt = false;
+            } else {
+                if stmt_sorter && stmt_linked {
+                    return true;
+                }
+                stmt_sorter = false;
+                stmt_linked = false;
+            }
+            boundaries += 1;
+            if boundaries > 2 {
+                return false;
+            }
+        }
+    }
+    stmt_sorter && stmt_linked
 }

@@ -34,6 +34,19 @@ pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
                         .into(),
                 );
             }
+            // UFCS/path form: `Option::unwrap(x)` / `Result::unwrap(r)`
+            // panics exactly like the method form.
+            "unwrap" if i >= 2 && cx.is(i - 1, ":") && cx.is(i - 2, ":") && cx.is(i + 1, "(") => {
+                cx.emit(
+                    out,
+                    "panic-policy",
+                    i - 2,
+                    i + 1,
+                    "path-form `unwrap(…)` in library code — propagate with `?`, recover, \
+                     or `expect(\"<documented invariant>\")`"
+                        .into(),
+                );
+            }
             name @ ("panic" | "todo" | "unimplemented") if cx.is(i + 1, "!") => {
                 cx.emit(
                     out,

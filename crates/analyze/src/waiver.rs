@@ -82,17 +82,27 @@ pub fn parse(text: &str, source_name: &str) -> Result<Vec<Waiver>> {
     Ok(waivers)
 }
 
-/// Strip a `#` comment, respecting `"…"` strings.
+/// Strip a `#` comment, respecting `"…"` strings. Escapes are tracked
+/// only inside a string, and `\\` is consumed as a complete pair, so a
+/// string ending in an escaped backslash (`"ends with \\"`) still
+/// closes and the comment after it is stripped.
 fn strip_comment(line: &str) -> &str {
     let mut in_str = false;
-    let mut prev_backslash = false;
+    let mut escaped = false;
     for (i, c) in line.char_indices() {
-        match c {
-            '"' if !prev_backslash => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
+        if in_str {
+            if escaped {
+                escaped = false; // this char is consumed by the escape
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return &line[..i];
         }
-        prev_backslash = c == '\\' && !prev_backslash;
     }
     line
 }
@@ -222,5 +232,38 @@ reason = "k is a column index, bounded by Table::width() <= 64"
     #[test]
     fn rejects_keys_outside_a_table() {
         assert!(parse("lint = \"x\"\n", "t").is_err());
+    }
+
+    #[test]
+    fn strip_comment_handles_escapes() {
+        // Escaped backslash before the closing quote: the string still
+        // closes and the trailing comment is stripped.
+        assert_eq!(
+            strip_comment(r#"reason = "ends with \\" # note"#).trim_end(),
+            r#"reason = "ends with \\""#
+        );
+        // Escaped quote stays inside the string; `#` after it strips.
+        assert_eq!(
+            strip_comment(r#"reason = "a \" b" # note"#).trim_end(),
+            r#"reason = "a \" b""#
+        );
+        // A `#` inside the string is content, not a comment.
+        assert_eq!(
+            strip_comment(r#"reason = "issue #42, see tracker""#),
+            r#"reason = "issue #42, see tracker""#
+        );
+        // Double escaped backslash pair, then a real comment.
+        assert_eq!(
+            strip_comment(r#"path = "a\\\\" # four"#).trim_end(),
+            r#"path = "a\\\\""#
+        );
+    }
+
+    #[test]
+    fn escaped_backslash_reason_round_trips() {
+        let text = "[[waiver]]\nlint = \"lossy-cast\"\npath = \"c/x.rs\"\nline = 1\n\
+                    hash = \"0123456789abcdef\"\nreason = \"ends with \\\\\" # cmt\n";
+        let w = parse(text, "t").expect("escaped backslash before closing quote parses");
+        assert_eq!(w[0].reason, "ends with \\");
     }
 }

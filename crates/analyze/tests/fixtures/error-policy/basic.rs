@@ -13,6 +13,29 @@ pub fn aliased() -> fault::Result<u32> {
     Ok(1) // ok: one-param alias defaults the error type
 }
 
+// Qualifiers between `pub` and `fn` do not exempt the signature.
+pub async fn qualified_async() -> Result<(), String> { //~ error-policy
+    Err("nope".to_string())
+}
+
+pub const fn qualified_const() -> Result<u32, String> { //~ error-policy
+    Ok(1)
+}
+
+pub unsafe fn qualified_unsafe() -> Result<u32, String> { //~ error-policy
+    Ok(1)
+}
+
+pub extern "C" fn qualified_extern() -> Result<u32, String> { //~ error-policy
+    Ok(1)
+}
+
+pub async unsafe fn qualified_stacked() -> Result<u32, fault::Error> {
+    Ok(1) // ok: typed error behind stacked qualifiers
+}
+
+pub const MAX: u32 = 64; // ok: `pub const` item, not a fn
+
 pub(crate) fn internal() -> Result<u32, String> {
     Ok(1) // ok: not public API
 }

@@ -45,3 +45,15 @@ pub fn loop_then_sort(m: &HashMap<u32, f64>) -> Vec<u32> {
 pub fn vec_iteration_is_fine(v: &[f64]) -> f64 {
     v.iter().sum() // ok: slices have a defined order
 }
+
+pub fn unrelated_sort_does_not_launder(m: &HashMap<u32, f64>, other: &mut Vec<u32>) -> f64 {
+    let total: f64 = m.values().sum(); //~ nondet-iter
+    other.sort_unstable(); // sorts a vector the iteration never touched
+    total
+}
+
+pub fn binding_named_sort_does_not_launder(m: &HashMap<u32, f64>) -> f64 {
+    let total: f64 = m.values().sum(); //~ nondet-iter
+    let sort = total; // a binding merely *named* sort launders nothing
+    sort
+}

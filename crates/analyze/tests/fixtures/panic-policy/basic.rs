@@ -40,6 +40,15 @@ pub fn masked(x: u32) -> u32 {
     }
 }
 
+// UFCS/path form panics exactly like the method form.
+pub fn path_form(v: Option<u32>) -> u32 {
+    Option::unwrap(v) //~ panic-policy
+}
+
+pub fn path_form_result(r: Result<u32, ()>) -> u32 {
+    Result::unwrap(r) //~ panic-policy
+}
+
 // An identifier merely *named* unwrap is not a call.
 pub fn unwrap_config(unwrap: bool) -> bool {
     unwrap // ok
