@@ -12,10 +12,11 @@
 //!   (default for smoke runs).
 //!
 //! Every harness also understands the observability flags: `--trace` for
-//! verbose span logging on stderr and `--metrics-out <path>` for a
-//! JSON-lines run manifest. [`banner`] installs the telemetry run and
-//! returns a [`RunGuard`] that prints a one-line wall-time/counter summary
-//! when the harness finishes.
+//! verbose span logging on stderr, `--profile` for a span-tree hot-path
+//! table, and `--metrics-out <path>` for a JSON-lines run manifest.
+//! [`banner`] installs the telemetry run and returns a [`RunGuard`] that
+//! prints a one-line wall-time/counter summary (with latency-histogram
+//! tails) when the harness finishes.
 
 use cpusim::runner::SimOptions;
 use cpusim::DesignSpace;
@@ -96,7 +97,7 @@ pub fn parse_common_args() -> (Scale, u64, Vec<String>) {
                     .parse()
                     .expect("--seed must be an integer");
             }
-            "--trace" => {}
+            "--trace" | "--profile" => {}
             "--metrics-out" => {
                 let _ = args.next().expect("--metrics-out needs a path");
             }
@@ -116,7 +117,11 @@ pub struct RunGuard {
 impl Drop for RunGuard {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
-            println!("\n{}", handle.finish().one_line());
+            let summary = handle.finish();
+            println!("\n{}", summary.one_line());
+            if !summary.profile.is_empty() {
+                print!("{}", telemetry::profile::render_table(&summary.profile));
+            }
         }
     }
 }
@@ -140,6 +145,9 @@ pub fn banner(title: &str, scale: Scale) -> RunGuard {
         .meta("args", args.join(" "));
     if args.iter().any(|a| a == "--trace") {
         cfg = cfg.console(ConsoleLevel::Debug);
+    }
+    if args.iter().any(|a| a == "--profile") {
+        cfg = cfg.profile(true);
     }
     if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
         if let Some(path) = args.get(i + 1) {

@@ -341,7 +341,11 @@ pub fn try_sweep_design_space(
             if let Some(prior) = &done[idx] {
                 return Ok(prior.clone());
             }
+            let t_sim = telemetry::enabled().then(std::time::Instant::now);
             let result = run_windows(config, benchmark, &traces, &weights, opts.seed);
+            if let Some(t) = t_sim {
+                telemetry::hist_observe_ns("sim/config_ns", t.elapsed());
+            }
             if let Some(w) = writer {
                 if result.cycles.is_finite() {
                     let line = JsonObject::new()

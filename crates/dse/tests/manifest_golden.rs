@@ -26,6 +26,7 @@ fn sampled_run_manifest_has_all_expected_stages() {
     let run = telemetry::install(
         telemetry::TelemetryConfig::new("sampled")
             .jsonl(&path)
+            .profile(true)
             .meta("seed", 7)
             .meta("scale", "test"),
     )
@@ -138,6 +139,53 @@ fn sampled_run_manifest_has_all_expected_stages() {
             .1,
         12
     );
+
+    // The timing distributions land as histogram records that decode
+    // back into the exact histograms the run accumulated.
+    let hist_names: BTreeSet<&str> = lines
+        .iter()
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("histogram"))
+        .map(|v| v.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for expected in ["sim/config_ns", "train/epoch_ns", "train/fold_fit_ns"] {
+        assert!(
+            hist_names.contains(expected),
+            "histogram '{expected}' missing; got {hist_names:?}"
+        );
+    }
+    for v in &lines {
+        if v.get("type").and_then(Value::as_str) == Some("histogram") {
+            let (name, h) = telemetry::Histogram::from_manifest(v).expect("histogram decodes");
+            let (_, run_h) = summary
+                .hists
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("summary missing histogram '{name}'"));
+            assert_eq!(&h, run_h, "{name} manifest/summary mismatch");
+            assert!(h.count() > 0, "{name} is empty");
+        }
+    }
+
+    // The profiler aggregates the span tree into profile records whose
+    // paths mirror the observed spans.
+    let profile_paths: BTreeSet<&str> = lines
+        .iter()
+        .filter(|v| v.get("type").and_then(Value::as_str) == Some("profile"))
+        .map(|v| v.get("path").unwrap().as_str().unwrap())
+        .collect();
+    assert!(
+        profile_paths.contains("sampled_dse"),
+        "profile root missing; got {profile_paths:?}"
+    );
+    assert!(profile_paths.is_subset(&span_paths));
+    for v in &lines {
+        if v.get("type").and_then(Value::as_str) == Some("profile") {
+            assert!(v.get("calls").unwrap().as_u64().unwrap() > 0);
+            let total = v.get("total_ns").unwrap().as_u64().unwrap();
+            let self_ns = v.get("self_ns").unwrap().as_u64().unwrap();
+            assert!(self_ns <= total, "self exceeds total: {v:?}");
+        }
+    }
 
     // Progress ticks for the sweep, and the closing summary line.
     assert!(lines.iter().any(|v| {

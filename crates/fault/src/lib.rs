@@ -85,6 +85,13 @@ pub enum Error {
         /// `(candidate, reason)` pairs, in candidate order.
         reasons: Vec<(String, String)>,
     },
+    /// A perf-report comparison found at least one metric regressed
+    /// beyond the threshold. The run itself succeeded — this is a
+    /// verdict, distinguished from operational failures by exit code 6.
+    Regression {
+        /// Metrics over threshold, worst first (e.g. `"serve/p99_ms 2.31x"`).
+        metrics: Vec<String>,
+    },
 }
 
 impl Error {
@@ -141,6 +148,7 @@ impl Error {
     /// | 3 | I/O failure |
     /// | 4 | checkpoint or model artifact corrupt or incompatible |
     /// | 5 | numeric/model failure (singular, diverged, degenerate, no viable model) |
+    /// | 6 | performance regression verdict from `perf-report` |
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::InvalidInput { .. } => 2,
@@ -150,12 +158,13 @@ impl Error {
             | Error::Diverged { .. }
             | Error::DegenerateData { .. }
             | Error::NoViableModel { .. } => 5,
+            Error::Regression { .. } => 6,
         }
     }
 
     /// Short machine-friendly tag for telemetry attributes and checkpoint
     /// records (`singular`, `diverged`, `degenerate`, `io`, `checkpoint`,
-    /// `artifact`, `invalid`, `no_viable_model`).
+    /// `artifact`, `invalid`, `no_viable_model`, `regression`).
     pub fn kind(&self) -> &'static str {
         match self {
             Error::SingularSystem { .. } => "singular",
@@ -166,6 +175,7 @@ impl Error {
             Error::Artifact { .. } => "artifact",
             Error::InvalidInput { .. } => "invalid",
             Error::NoViableModel { .. } => "no_viable_model",
+            Error::Regression { .. } => "regression",
         }
     }
 }
@@ -198,6 +208,13 @@ impl fmt::Display for Error {
                 write!(f, "no viable model among {} candidates:", reasons.len())?;
                 for (cand, why) in reasons {
                     write!(f, " [{cand}: {why}]")?;
+                }
+                Ok(())
+            }
+            Error::Regression { metrics } => {
+                write!(f, "performance regression in {} metric(s):", metrics.len())?;
+                for m in metrics {
+                    write!(f, " [{m}]")?;
                 }
                 Ok(())
             }
@@ -244,6 +261,7 @@ mod tests {
         );
         assert_eq!(Error::degenerate("constant target").exit_code(), 5);
         assert_eq!(Error::NoViableModel { reasons: vec![] }.exit_code(), 5);
+        assert_eq!(Error::Regression { metrics: vec![] }.exit_code(), 6);
     }
 
     #[test]
@@ -260,6 +278,11 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("NN-E") && s.contains("diverged"), "{s}");
+        let e = Error::Regression {
+            metrics: vec!["serve/p99_ms 2.31x".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("serve/p99_ms 2.31x"), "{s}");
     }
 
     #[test]
@@ -268,6 +291,7 @@ mod tests {
         assert_eq!(Error::degenerate("x").kind(), "degenerate");
         assert_eq!(Error::checkpoint("p", "d").kind(), "checkpoint");
         assert_eq!(Error::artifact("p", "d").kind(), "artifact");
+        assert_eq!(Error::Regression { metrics: vec![] }.kind(), "regression");
     }
 
     #[test]

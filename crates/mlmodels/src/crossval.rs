@@ -86,6 +86,7 @@ pub fn try_estimate_error(kind: ModelKind, table: &Table, seed: u64) -> Result<E
             let test_rows = &perm[half..];
             let tr = table.select_rows(train_rows);
             let te = table.select_rows(test_rows);
+            let t_fit = telemetry::enabled().then(std::time::Instant::now);
             let model = try_train_cached(
                 kind,
                 &tr,
@@ -93,6 +94,9 @@ pub fn try_estimate_error(kind: ModelKind, table: &Table, seed: u64) -> Result<E
                 cache.as_ref(),
                 test_rows,
             )?;
+            if let Some(t) = t_fit {
+                telemetry::hist_observe_ns("train/fold_fit_ns", t.elapsed());
+            }
             let preds = model.predict(&te);
             let (m, _) = mape(&preds, te.target());
             Ok(m)
@@ -269,6 +273,7 @@ pub fn try_kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> R
                 .collect();
             let tr = table.select_rows(&train_rows);
             let te = table.select_rows(&test_rows);
+            let t_fit = telemetry::enabled().then(std::time::Instant::now);
             let model = try_train_cached(
                 kind,
                 &tr,
@@ -276,6 +281,9 @@ pub fn try_kfold_error(kind: ModelKind, table: &Table, k: usize, seed: u64) -> R
                 cache.as_ref(),
                 &test_rows,
             )?;
+            if let Some(t) = t_fit {
+                telemetry::hist_observe_ns("train/fold_fit_ns", t.elapsed());
+            }
             let (m, _) = mape(&model.predict(&te), te.target());
             Ok(m)
         })

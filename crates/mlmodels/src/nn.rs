@@ -481,6 +481,7 @@ impl Mlp {
                     telemetry::point!("train/epoch_loss", epoch = e + 1, loss = loss);
                 }
             }
+            let t_epoch = trace.then(std::time::Instant::now);
             let mut grads = self.batch_gradient(x, y);
             // Weight decay folds into the gradient.
             if cfg.weight_decay > 0.0 {
@@ -524,6 +525,9 @@ impl Mlp {
                     layer.b[o] -= g.signum() * *step;
                     prev[li].1[o] = g;
                 }
+            }
+            if let Some(t) = t_epoch {
+                telemetry::hist_observe_ns("train/epoch_ns", t.elapsed());
             }
         }
     }
@@ -636,8 +640,12 @@ impl Mlp {
             let mut rng = seeded_rng(linalg::dist::child_seed(cfg.seed, attempt as u64));
             let mut lr = lr0;
             for e in 0..cfg.epochs {
+                let t_epoch = trace.then(std::time::Instant::now);
                 self.epoch(x, y, lr, cfg, &mut rng);
                 lr *= cfg.lr_decay;
+                if let Some(t) = t_epoch {
+                    telemetry::hist_observe_ns("train/epoch_ns", t.elapsed());
+                }
                 if trace {
                     telemetry::counter_add("train/epochs", 1);
                     // Loss curve sampled every 100 epochs — each RMSE is a

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 use telemetry::json::{self, JsonObject};
+use telemetry::Histogram;
 
 /// Engine tuning knobs. Defaults fit the CI smoke workload; the CLI maps
 /// `--window/--queue/--workers/--cache` onto them.
@@ -95,6 +96,10 @@ pub struct ServeStats {
     pub p50_ms: f64,
     /// 95th-percentile request latency, milliseconds.
     pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst single request latency, milliseconds.
+    pub max_ms: f64,
     /// End-to-end replay throughput, requests per second.
     pub requests_per_sec: f64,
 }
@@ -111,6 +116,8 @@ impl ServeStats {
             .uint("max_queue_depth", self.max_queue_depth)
             .num("p50_ms", self.p50_ms)
             .num("p95_ms", self.p95_ms)
+            .num("p99_ms", self.p99_ms)
+            .num("max_ms", self.max_ms)
             .num("requests_per_sec", self.requests_per_sec)
             .finish()
     }
@@ -190,7 +197,7 @@ impl Engine {
         window: &[Admitted],
         out: &mut dyn Write,
         stats: &mut ServeStats,
-        latencies: &mut Vec<f64>,
+        latency: &mut Histogram,
     ) -> Result<()> {
         let _span = telemetry::span!("serve/batch", rows = window.len());
         // Probe the cache; collect misses deduplicated by canonical key.
@@ -245,7 +252,7 @@ impl Engine {
             out.write_all(line.as_bytes())
                 .and_then(|()| out.write_all(b"\n"))
                 .map_err(|e| Error::io("<serve output>", e))?;
-            latencies.push(adm.admitted_at.elapsed().as_secs_f64() * 1e3);
+            latency.observe_ns(adm.admitted_at.elapsed());
             stats.requests += 1;
         }
         Ok(())
@@ -258,7 +265,7 @@ impl Engine {
         let _span = telemetry::span!("serve/replay", model = self.artifact.model.kind.abbrev());
         let started = Instant::now();
         let mut stats = ServeStats::default();
-        let mut latencies: Vec<f64> = Vec::new();
+        let mut latency = Histogram::new();
         let mut queue: std::collections::VecDeque<Admitted> =
             std::collections::VecDeque::with_capacity(self.config.queue_cap);
         let mut line = String::new();
@@ -296,19 +303,17 @@ impl Engine {
             let take = self.config.window.min(queue.len());
             let window: Vec<Admitted> = queue.drain(..take).collect();
             debug_assert!(window.windows(2).all(|w| w[0].index < w[1].index));
-            self.serve_window(&window, out, &mut stats, &mut latencies)?;
+            self.serve_window(&window, out, &mut stats, &mut latency)?;
         }
         let elapsed = started.elapsed().as_secs_f64();
-        latencies.sort_by(f64::total_cmp);
-        let pick = |q: f64| -> f64 {
-            if latencies.is_empty() {
-                0.0
-            } else {
-                latencies[((latencies.len() - 1) as f64 * q).round() as usize]
-            }
-        };
-        stats.p50_ms = pick(0.50);
-        stats.p95_ms = pick(0.95);
+        // The streaming histogram replaces the old sort-the-Vec
+        // percentile pass: O(1) memory for any replay length, and the
+        // same bucket layout the manifest and perf-report consume.
+        let ms = |ns: u64| ns as f64 / 1e6;
+        stats.p50_ms = ms(latency.quantile(0.50));
+        stats.p95_ms = ms(latency.quantile(0.95));
+        stats.p99_ms = ms(latency.quantile(0.99));
+        stats.max_ms = ms(latency.max());
         stats.requests_per_sec = if elapsed > 0.0 {
             stats.requests as f64 / elapsed
         } else {
@@ -316,7 +321,10 @@ impl Engine {
         };
         telemetry::gauge_set("serve/p50_ms", stats.p50_ms);
         telemetry::gauge_set("serve/p95_ms", stats.p95_ms);
+        telemetry::gauge_set("serve/p99_ms", stats.p99_ms);
+        telemetry::gauge_set("serve/max_ms", stats.max_ms);
         telemetry::gauge_set("serve/requests_per_sec", stats.requests_per_sec);
+        telemetry::hist_merge("serve/latency_ns", &latency);
         Ok(stats)
     }
 }
@@ -489,6 +497,20 @@ mod tests {
             "queue exceeded capacity: {stats:?}"
         );
         assert!(stats.max_queue_depth > 0);
+    }
+
+    #[test]
+    fn latency_summary_is_ordered_and_rendered() {
+        let input = requests(300, 12);
+        let (_, stats) = serve_jsonl(artifact(ModelKind::LrB), cfg(2), &input).expect("serve");
+        assert!(stats.p50_ms > 0.0, "{stats:?}");
+        assert!(stats.p95_ms >= stats.p50_ms, "{stats:?}");
+        assert!(stats.p99_ms >= stats.p95_ms, "{stats:?}");
+        assert!(stats.max_ms >= stats.p99_ms, "{stats:?}");
+        let json = stats.to_json();
+        for key in ["\"p50_ms\":", "\"p95_ms\":", "\"p99_ms\":", "\"max_ms\":"] {
+            assert!(json.contains(key), "{json}");
+        }
     }
 
     #[test]

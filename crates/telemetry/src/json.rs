@@ -350,6 +350,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_and_profile_records_round_trip() {
+        // The two PR 6 manifest record shapes: a histogram with a sparse
+        // nested bucket array, and a flat profile row.
+        let mut h = crate::hist::Histogram::new();
+        for v in [1u64, 64, 4_096, 1_000_000] {
+            h.observe(v);
+        }
+        let line = h.to_manifest_record("serve/latency_ns");
+        let v = parse(&line).expect("histogram record parses");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("histogram"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(4));
+        let Some(Value::Arr(buckets)) = v.get("buckets") else {
+            panic!("buckets must be an array: {line}");
+        };
+        assert_eq!(buckets.len(), 4);
+        let (name, back) =
+            crate::hist::Histogram::from_manifest(&v).expect("histogram record decodes");
+        assert_eq!(name, "serve/latency_ns");
+        assert_eq!(back, h);
+
+        let entry = crate::profile::ProfileEntry {
+            path: "sweep/simulate".to_string(),
+            calls: 288,
+            total_ns: 1_500_000,
+            self_ns: 1_200_000,
+        };
+        let v = parse(&entry.to_manifest_record()).expect("profile record parses");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("profile"));
+        assert_eq!(v.get("path").unwrap().as_str(), Some("sweep/simulate"));
+        assert_eq!(v.get("calls").unwrap().as_u64(), Some(288));
+        assert_eq!(v.get("total_ns").unwrap().as_u64(), Some(1_500_000));
+        assert_eq!(v.get("self_ns").unwrap().as_u64(), Some(1_200_000));
+    }
+
+    #[test]
     fn escapes_control_and_quote_characters() {
         let line = JsonObject::new().str("k", "a\"b\\c\nd\te\u{1}").finish();
         let v = parse(&line).expect("parses");

@@ -10,8 +10,14 @@
 //! A *run* is installed process-globally with [`install`]; while it is
 //! active, [`span!`] guards time hierarchical stages, [`counter_add`] /
 //! [`gauge_set`] / [`gauge_max`] accumulate named metrics (counters are
-//! sharded for rayon-parallel callers), [`point!`] records instantaneous
-//! events, and [`Progress`] throttles per-item ticks to decile updates.
+//! sharded for rayon-parallel callers), [`hist_observe_ns`] /
+//! [`hist_merge`] feed bounded-memory streaming latency histograms
+//! ([`hist`]), [`point!`] records instantaneous events, and
+//! [`Progress`] throttles per-item ticks to decile updates. With
+//! [`TelemetryConfig::profile`] enabled, closing spans also feed a
+//! per-path self/total-time profile ([`profile`]), and the
+//! [`report`] module compares a finished manifest against committed
+//! `BENCH_*.json` baselines (`perfpredict perf-report`).
 //! Every event is fanned out to the configured [`Sink`]s: a console sink
 //! whose verbosity comes from `PERFPREDICT_LOG` (or the CLI `--trace`
 //! flag) and a JSON-lines manifest sink (`--metrics-out <path>`).
@@ -40,7 +46,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
+pub mod hist;
 pub mod json;
+pub mod profile;
+pub mod report;
 
 mod counters;
 mod progress;
@@ -48,6 +57,8 @@ mod sink;
 mod span;
 
 pub use counters::{Gauge, ShardedCounter};
+pub use hist::{saturating_ns, AtomicHistogram, Histogram};
+pub use profile::ProfileEntry;
 pub use progress::Progress;
 pub use sink::{ConsoleLevel, ConsoleSink, Event, JsonlSink, RunSummary, Sink};
 pub use span::SpanGuard;
@@ -71,6 +82,8 @@ struct RunState {
     sinks: Vec<Box<dyn Sink>>,
     counters: RwLock<HashMap<String, Arc<ShardedCounter>>>,
     gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    hists: RwLock<HashMap<String, Arc<AtomicHistogram>>>,
+    profiler: Option<profile::Profiler>,
 }
 
 impl RunState {
@@ -105,6 +118,22 @@ impl RunState {
                 .or_insert_with(|| Arc::new(Gauge::new(initial))),
         )
     }
+
+    fn hist(&self, name: &str) -> Arc<AtomicHistogram> {
+        if let Some(h) = self
+            .hists
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut map = self.hists.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicHistogram::new())),
+        )
+    }
 }
 
 fn current_run() -> Option<Arc<RunState>> {
@@ -130,6 +159,9 @@ pub fn emit(event: &Event<'_>) {
     let Some(run) = current_run() else {
         return;
     };
+    if let (Some(profiler), Event::SpanClose { path, wall_ns, .. }) = (&run.profiler, event) {
+        profiler.record(path, *wall_ns);
+    }
     let t_ms = run.start.elapsed().as_secs_f64() * 1e3;
     for sink in &run.sinks {
         sink.record(t_ms, event);
@@ -163,6 +195,32 @@ pub fn gauge_max(name: &str, value: f64) {
     }
 }
 
+/// Record one observation into the named streaming histogram (no-op
+/// when disabled). Histograms are registered on first use, like
+/// counters, and emitted as `histogram` manifest records at run end.
+pub fn hist_observe(name: &str, value: u64) {
+    if let Some(run) = current_run() {
+        run.hist(name).observe(value);
+    }
+}
+
+/// Record a duration into the named histogram as saturating whole
+/// nanoseconds (no-op when disabled).
+pub fn hist_observe_ns(name: &str, d: std::time::Duration) {
+    if let Some(run) = current_run() {
+        run.hist(name).observe_ns(d);
+    }
+}
+
+/// Fold a locally-accumulated [`Histogram`] (e.g. one per worker
+/// shard) into the named registry histogram (no-op when disabled).
+/// Bucket addition commutes, so merge order never changes quantiles.
+pub fn hist_merge(name: &str, h: &Histogram) {
+    if let Some(run) = current_run() {
+        run.hist(name).merge_from(h);
+    }
+}
+
 /// Configuration for [`install`].
 #[derive(Debug, Clone)]
 pub struct TelemetryConfig {
@@ -172,6 +230,10 @@ pub struct TelemetryConfig {
     pub console: ConsoleLevel,
     /// Where to write the JSON-lines run manifest, if anywhere.
     pub jsonl_path: Option<PathBuf>,
+    /// Aggregate closing spans into a per-path self/total-time profile
+    /// (the CLI `--profile` flag), reported in the [`RunSummary`] and
+    /// as `profile` manifest records.
+    pub profile: bool,
     /// Extra key/value pairs for the manifest meta line (seed, options…).
     pub meta: Vec<(String, String)>,
 }
@@ -183,8 +245,15 @@ impl TelemetryConfig {
             label: label.into(),
             console: ConsoleLevel::from_env(),
             jsonl_path: None,
+            profile: false,
             meta: Vec::new(),
         }
+    }
+
+    /// Enable (or disable) the span profiler for this run.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
     }
 
     /// Override the console verbosity (e.g. for a `--trace` flag).
@@ -238,6 +307,8 @@ pub fn install(config: TelemetryConfig) -> io::Result<RunHandle> {
         sinks,
         counters: RwLock::new(HashMap::new()),
         gauges: RwLock::new(HashMap::new()),
+        hists: RwLock::new(HashMap::new()),
+        profiler: config.profile.then(profile::Profiler::new),
     });
     let g = global();
     *g.run.write().unwrap_or_else(|e| e.into_inner()) = Some(state);
@@ -262,6 +333,8 @@ impl RunHandle {
                 wall: std::time::Duration::ZERO,
                 counters: Vec::new(),
                 gauges: Vec::new(),
+                hists: Vec::new(),
+                profile: Vec::new(),
             };
         };
         let mut counters: Vec<(String, u64)> = run
@@ -280,11 +353,26 @@ impl RunHandle {
             .map(|(k, g)| (k.clone(), g.get()))
             .collect();
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hists: Vec<(String, Histogram)> = run
+            .hists
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        let profile = run
+            .profiler
+            .as_ref()
+            .map(|p| p.snapshot())
+            .unwrap_or_default();
         let summary = RunSummary {
             label: run.label.clone(),
             wall: run.start.elapsed(),
             counters,
             gauges,
+            hists,
+            profile,
         };
         for sink in &run.sinks {
             sink.run_end(&summary);

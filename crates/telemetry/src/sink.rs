@@ -13,7 +13,9 @@ use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, SystemTime};
 
+use crate::hist::Histogram;
 use crate::json::JsonObject;
+use crate::profile::ProfileEntry;
 
 /// Console verbosity, parsed from `PERFPREDICT_LOG`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -84,10 +86,31 @@ pub struct RunSummary {
     pub counters: Vec<(String, u64)>,
     /// Gauge values, sorted by name.
     pub gauges: Vec<(String, f64)>,
+    /// Streaming-histogram snapshots, sorted by name.
+    pub hists: Vec<(String, Histogram)>,
+    /// Span-profile rows (self time descending); empty unless the run
+    /// was installed with profiling enabled.
+    pub profile: Vec<ProfileEntry>,
+}
+
+/// Render a nanosecond quantity at a human scale (`420ns`, `3.1µs`,
+/// `2.45ms`, `1.20s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
 }
 
 impl RunSummary {
     /// Compact single-line rendering for the end of repro binaries.
+    /// Histograms report the tail the daemon SLOs care about:
+    /// `name{n=.. p50=.. p95=.. p99=..}`.
     pub fn one_line(&self) -> String {
         let mut line = format!("[{}] done in {:.2}s", self.label, self.wall.as_secs_f64());
         if !self.counters.is_empty() {
@@ -103,6 +126,22 @@ impl RunSummary {
                 .gauges
                 .iter()
                 .map(|(k, v)| format!("{k}={v:.4}"))
+                .collect();
+            line.push_str(&format!(" | {}", kv.join(" ")));
+        }
+        if !self.hists.is_empty() {
+            let kv: Vec<String> = self
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    format!(
+                        "{k}{{n={} p50={} p95={} p99={}}}",
+                        h.count(),
+                        fmt_ns(h.quantile(0.50)),
+                        fmt_ns(h.quantile(0.95)),
+                        fmt_ns(h.quantile(0.99)),
+                    )
+                })
                 .collect();
             line.push_str(&format!(" | {}", kv.join(" ")));
         }
@@ -191,8 +230,9 @@ impl Sink for ConsoleSink {
 /// JSON-lines run-manifest sink.
 ///
 /// Line types (`"type"` field): `meta`, `span`, `point`, `progress`,
-/// `counter`, `gauge`, `summary`. All timestamps are milliseconds since
-/// run start except the meta line's `unix_ms`.
+/// `counter`, `gauge`, `histogram`, `profile`, `summary`. All
+/// timestamps are milliseconds since run start except the meta line's
+/// `unix_ms`.
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
 }
@@ -209,7 +249,7 @@ impl JsonlSink {
                 "unix_ms",
                 SystemTime::now()
                     .duration_since(SystemTime::UNIX_EPOCH)
-                    .map(|d| d.as_millis() as u64)
+                    .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
                     .unwrap_or(0),
             );
         for (k, v) in meta {
@@ -296,6 +336,12 @@ impl Sink for JsonlSink {
                     .finish(),
             );
         }
+        for (name, h) in &summary.hists {
+            self.write_line(&h.to_manifest_record(name));
+        }
+        for entry in &summary.profile {
+            self.write_line(&entry.to_manifest_record());
+        }
         self.write_line(
             &JsonObject::new()
                 .str("type", "summary")
@@ -341,17 +387,28 @@ mod tests {
                 total: 10,
             },
         );
+        let mut lat = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            lat.observe(v);
+        }
         sink.run_end(&RunSummary {
             label: "unit".into(),
             wall: Duration::from_millis(250),
             counters: vec![("sim/windows".into(), 7)],
             gauges: vec![("loss".into(), 0.5)],
+            hists: vec![("serve/latency_ns".into(), lat.clone())],
+            profile: vec![ProfileEntry {
+                path: "a/b".into(),
+                calls: 2,
+                total_ns: 2_000_000,
+                self_ns: 1_500_000,
+            }],
         });
         drop(sink);
 
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 8);
         let types: Vec<String> = lines
             .iter()
             .map(|l| {
@@ -366,8 +423,22 @@ mod tests {
             .collect();
         assert_eq!(
             types,
-            ["meta", "span", "progress", "counter", "gauge", "summary"]
+            [
+                "meta",
+                "span",
+                "progress",
+                "counter",
+                "gauge",
+                "histogram",
+                "profile",
+                "summary"
+            ]
         );
+        // The histogram record round-trips through the parser.
+        let (hname, hback) =
+            Histogram::from_manifest(&parse(lines[5]).unwrap()).expect("histogram decodes");
+        assert_eq!(hname, "serve/latency_ns");
+        assert_eq!(hback, lat);
         let span = parse(lines[1]).unwrap();
         assert_eq!(span.get("path").unwrap().as_str(), Some("a/b"));
         assert_eq!(
@@ -384,9 +455,38 @@ mod tests {
             wall: Duration::from_secs(3),
             counters: vec![("train/epochs".into(), 120)],
             gauges: vec![],
+            hists: vec![],
+            profile: vec![],
         };
         let line = s.one_line();
         assert!(line.contains("repro_fig2"));
         assert!(line.contains("train/epochs=120"));
+    }
+
+    #[test]
+    fn summary_one_line_includes_histogram_tail() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v * 1_000_000); // 1..=100 ms
+        }
+        let s = RunSummary {
+            label: "serve".into(),
+            wall: Duration::from_secs(1),
+            counters: vec![],
+            gauges: vec![],
+            hists: vec![("serve/latency_ns".into(), h)],
+            profile: vec![],
+        };
+        let line = s.one_line();
+        assert!(line.contains("serve/latency_ns{n=100 p50="), "{line}");
+        assert!(line.contains("p99="), "{line}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_human_scales() {
+        assert_eq!(fmt_ns(420), "420ns");
+        assert_eq!(fmt_ns(3_100), "3.1µs");
+        assert_eq!(fmt_ns(2_450_000), "2.45ms");
+        assert_eq!(fmt_ns(1_200_000_000), "1.20s");
     }
 }

@@ -68,7 +68,7 @@ impl Drop for SpanGuard {
         let Some(active) = self.active.take() else {
             return;
         };
-        let wall_ns = active.start.elapsed().as_nanos() as u64;
+        let wall_ns = crate::hist::saturating_ns(active.start.elapsed());
         SPAN_STACK.with(|stack| {
             stack.borrow_mut().pop();
         });

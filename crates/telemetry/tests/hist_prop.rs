@@ -1,0 +1,104 @@
+//! Property tests for the streaming histogram: merging shard-local
+//! histograms in any order must be indistinguishable from observing
+//! every value into a single histogram — the determinism guarantee the
+//! sharded sweep and multi-worker serve paths rely on.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// Deterministically partition `values` into `shards` buckets keyed by
+/// a rolling assignment, then merge shard histograms in an order
+/// derived from `order_seed`.
+fn shard_and_merge(values: &[u64], shards: usize, order_seed: u64) -> Histogram {
+    let shards = shards.max(1);
+    let mut locals = vec![Histogram::new(); shards];
+    for (i, &v) in values.iter().enumerate() {
+        locals[(i + (v as usize % 3)) % shards].observe(v);
+    }
+    // Visit shards in a seed-dependent rotation/direction so distinct
+    // seeds exercise distinct merge orders.
+    let mut merged = Histogram::new();
+    let rot = (order_seed as usize) % shards;
+    let indices: Vec<usize> = (0..shards).map(|i| (i + rot) % shards).collect();
+    if order_seed.is_multiple_of(2) {
+        for &i in &indices {
+            merged.merge(&locals[i]);
+        }
+    } else {
+        for &i in indices.iter().rev() {
+            merged.merge(&locals[i]);
+        }
+    }
+    merged
+}
+
+proptest! {
+    /// merge-then-quantile ≡ observe-all-then-quantile, for every
+    /// shard count and merge order.
+    #[test]
+    fn merge_then_quantile_equals_observe_all(
+        values in prop::collection::vec(0u64..u64::MAX, 1..200),
+        shards in 1usize..9,
+        order_seed in 0u64..1000,
+    ) {
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+        let merged = shard_and_merge(&values, shards, order_seed);
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.min(), *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(merged.max(), *values.iter().max().expect("non-empty"));
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+    }
+
+    /// The quantile never under-reports: it is an upper bound for the
+    /// exact rank statistic, within one sub-bucket of relative error.
+    #[test]
+    fn quantile_bounds_exact_rank_statistic(
+        values in prop::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.observe(v);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={} got={} exact={}", q, got, exact);
+            // Upper bound of the bucket holding `exact`: within 1/32.
+            let bound = exact + exact / 32 + 1;
+            prop_assert!(got <= bound.max(h.max().min(bound)), "q={} got={} exact={}", q, got, exact);
+        }
+    }
+
+    /// Manifest encode → parse → decode is the identity on every
+    /// histogram, including quantiles. The JSONL parser represents
+    /// numbers as f64, so manifest u64 fields (including the running
+    /// `sum`) are exact only below 2^53. Values are capped at 2^45 ns
+    /// (~9.7 hours) so even 100 of them sum below that bound — real
+    /// latency totals sit far inside this domain.
+    #[test]
+    fn manifest_round_trip_is_identity(
+        values in prop::collection::vec(0u64..(1u64 << 45), 0..100),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let record = h.to_manifest_record("t/prop_ns");
+        let parsed = telemetry::json::parse(&record).expect("record parses");
+        let (name, back) = Histogram::from_manifest(&parsed).expect("record decodes");
+        prop_assert_eq!(name, "t/prop_ns".to_string());
+        prop_assert_eq!(&back, &h);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(back.quantile(q), h.quantile(q));
+        }
+    }
+}

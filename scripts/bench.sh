@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Run the kernel-level criterion benchmarks and assemble their JSON-lines
 # output into BENCH_selection.json / BENCH_nn.json / BENCH_dse.json /
-# BENCH_serve.json at the repo root.
+# BENCH_serve.json at the repo root (or under --out-dir).
 #
 # Usage:
-#   scripts/bench.sh            # full timing budgets (minutes)
-#   scripts/bench.sh --quick    # CRITERION_QUICK smoke budgets (seconds),
-#                               # for CI and local sanity checks
+#   scripts/bench.sh                  # full timing budgets (minutes)
+#   scripts/bench.sh --quick          # CRITERION_QUICK smoke budgets (seconds),
+#                                     # for CI and local sanity checks
+#   scripts/bench.sh --out-dir DIR    # write BENCH_*.json under DIR instead of
+#                                     # the repo root (e.g. a fresh run to feed
+#                                     # `perfpredict perf-report` against the
+#                                     # committed baselines)
 #
 # Each BENCH_*.json is a JSON document:
 #   { "mode": "quick"|"full", "results": [ {bench, mean_ns, ...}, ... ] }
@@ -18,10 +22,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=full
-if [ "${1:-}" = "--quick" ]; then
-    mode=quick
-    export CRITERION_QUICK=1
-fi
+out_dir=.
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick)
+            mode=quick
+            export CRITERION_QUICK=1
+            shift
+            ;;
+        --out-dir)
+            [ $# -ge 2 ] || { echo "error: --out-dir requires a path" >&2; exit 2; }
+            out_dir=$2
+            shift 2
+            ;;
+        *)
+            echo "error: unknown argument '$1' (usage: bench.sh [--quick] [--out-dir DIR])" >&2
+            exit 2
+            ;;
+    esac
+done
+mkdir -p "$out_dir"
 
 for bench in selection nn dse serve; do
     lines=$(mktemp)
@@ -31,13 +51,14 @@ for bench in selection nn dse serve; do
         echo "error: bench '$bench' emitted no results" >&2
         exit 1
     fi
+    out="$out_dir/BENCH_${bench}.json"
     {
         printf '{"mode":"%s","results":[\n' "$mode"
         # JSON-lines -> comma-separated array elements.
         sed '$!s/$/,/' "$lines"
         printf ']}\n'
-    } > "BENCH_${bench}.json"
+    } > "$out"
     rm -f "$lines"
     trap - EXIT
-    echo "wrote BENCH_${bench}.json ($(grep -c '"bench"' "BENCH_${bench}.json") results)"
+    echo "wrote $out ($(grep -c '"bench"' "$out") results)"
 done

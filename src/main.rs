@@ -9,6 +9,7 @@
 //! perfpredict predict   <model.ppmodel>             one-shot JSONL replay on stdin
 //! perfpredict serve     <model.ppmodel>             batched prediction service
 //! perfpredict gen-requests <model.ppmodel>          synthetic JSONL workload
+//! perfpredict perf-report --current <file>          compare metrics vs baselines
 //! perfpredict families                              list SPEC populations
 //! perfpredict benchmarks                            list workloads
 //! ```
@@ -17,9 +18,11 @@
 //!
 //! * `--trace` — verbose span/point logging to stderr (same as
 //!   `PERFPREDICT_LOG=debug`).
+//! * `--profile` — aggregate the span tree into a per-path self/total
+//!   hot-path table on stderr at exit.
 //! * `--metrics-out <path>` — write a JSON-lines run manifest with per-stage
-//!   wall times, per-model train/predict timings, and cache/bpred counter
-//!   rollups.
+//!   wall times, per-model train/predict timings, latency histograms, and
+//!   cache/bpred counter rollups.
 //! * `--json` — machine-readable result on stdout (simulate / sampled /
 //!   chrono).
 //! * `--checkpoint <path>` — (sweep / sampled) append completed work to a
@@ -30,7 +33,8 @@
 //!
 //! Exit codes: `0` success, `2` invalid usage/input, `3` I/O failure,
 //! `4` corrupt checkpoint or model artifact, `5` numerical failure
-//! (singular system, divergence, degenerate data, no viable model).
+//! (singular system, divergence, degenerate data, no viable model),
+//! `6` perf-report regression verdict.
 
 use perfpredict::cpusim::{
     simulate, try_sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
@@ -64,10 +68,14 @@ fn usage() -> ! {
                                               batched service with LRU cache; stats on stderr\n\
            gen-requests <model.ppmodel> [--n N] [--distinct D] [--seed S]\n\
                                               emit a synthetic JSONL workload on stdout\n\
+           perf-report [--current F]... [--baseline F]... [--threshold X]\n\
+                                              compare bench/manifest metrics against\n\
+                                              baselines; exit 6 on regression\n\
            families                           list SPEC processor populations\n\
            benchmarks                         list synthetic workloads\n\
          options (any command):\n\
            --trace                            verbose telemetry on stderr\n\
+           --profile                          span-tree hot-path table on stderr at exit\n\
            --metrics-out <path>               write a JSON-lines run manifest\n\
            --json                             machine-readable result on stdout\n\
            --checkpoint <path>                (sweep/sampled) resumable JSONL checkpoint\n\
@@ -98,6 +106,24 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     let before = args.len();
     args.retain(|a| a != flag);
     args.len() != before
+}
+
+/// Collect every value of a repeatable `--flag value` pair, in order.
+fn collect_values(args: &[String], flag: &str) -> Result<Vec<String>> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            match args.get(i + 1) {
+                Some(v) => values.push(v.clone()),
+                None => return Err(Error::invalid(format!("{flag} requires a value"))),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(values)
 }
 
 /// Remove a `--flag value` pair from `args`, returning the value.
@@ -137,6 +163,7 @@ fn main() {
 fn cli() -> Result<()> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace = take_switch(&mut args, "--trace");
+    let profile = take_switch(&mut args, "--profile");
     let json_out = take_switch(&mut args, "--json");
     let metrics_out = take_value(&mut args, "--metrics-out")?;
     let checkpoint = take_value(&mut args, "--checkpoint")?;
@@ -154,10 +181,13 @@ fn cli() -> Result<()> {
     if trace {
         tcfg = tcfg.console(ConsoleLevel::Debug);
     }
+    if profile {
+        tcfg = tcfg.profile(true);
+    }
     if let Some(path) = &metrics_out {
         tcfg = tcfg.jsonl(path);
     }
-    let run_handle = if tcfg.console > ConsoleLevel::Off || tcfg.jsonl_path.is_some() {
+    let run_handle = if tcfg.console > ConsoleLevel::Off || tcfg.jsonl_path.is_some() || profile {
         match telemetry::install(tcfg) {
             Ok(h) => Some(h),
             Err(e) => {
@@ -564,7 +594,8 @@ fn cli() -> Result<()> {
             } else {
                 eprintln!(
                     "serve: {} requests in {} batches, {} predictions, \
-                     {} hits / {} misses, p50 {:.3} ms, p95 {:.3} ms, {:.0} req/s",
+                     {} hits / {} misses, p50 {:.3} ms, p95 {:.3} ms, \
+                     p99 {:.3} ms, max {:.3} ms, {:.0} req/s",
                     stats.requests,
                     stats.batches,
                     stats.predictions,
@@ -572,8 +603,61 @@ fn cli() -> Result<()> {
                     stats.cache_misses,
                     stats.p50_ms,
                     stats.p95_ms,
+                    stats.p99_ms,
+                    stats.max_ms,
                     stats.requests_per_sec
                 );
+            }
+        }
+        "perf-report" => {
+            use std::path::Path;
+            use telemetry::report::{compare, MetricSet};
+            let currents = collect_values(rest, "--current")?;
+            if currents.is_empty() {
+                return Err(Error::invalid(
+                    "perf-report requires at least one --current <file> \
+                     (a bench BENCH_*.json or a --metrics-out manifest)",
+                ));
+            }
+            let mut baselines = collect_values(rest, "--baseline")?;
+            if baselines.is_empty() {
+                // Default to the committed bench baselines that exist.
+                baselines = ["selection", "nn", "dse", "serve"]
+                    .iter()
+                    .map(|b| format!("BENCH_{b}.json"))
+                    .filter(|p| Path::new(p).exists())
+                    .collect();
+                if baselines.is_empty() {
+                    return Err(Error::invalid(
+                        "no --baseline given and no BENCH_*.json found in the \
+                         working directory",
+                    ));
+                }
+            }
+            let threshold: f64 = parse_number(rest, "--threshold", 1.5)?;
+            let mut current = MetricSet::new();
+            for p in &currents {
+                current.load(Path::new(p)).map_err(Error::invalid)?;
+            }
+            let mut baseline = MetricSet::new();
+            for p in &baselines {
+                baseline.load(Path::new(p)).map_err(Error::invalid)?;
+            }
+            let report = compare(&current, &baseline, threshold).map_err(Error::invalid)?;
+            if json_out {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if !report.passed() {
+                let mut regressed = report.regressions();
+                regressed.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+                return Err(Error::Regression {
+                    metrics: regressed
+                        .iter()
+                        .map(|d| format!("{} {:.2}x", d.name, d.ratio))
+                        .collect(),
+                });
             }
         }
         "gen-requests" => {
@@ -594,6 +678,9 @@ fn cli() -> Result<()> {
         let summary = handle.finish();
         if let Some(path) = &metrics_out {
             eprintln!("{} (manifest: {path})", summary.one_line());
+        }
+        if profile && !summary.profile.is_empty() {
+            eprint!("{}", telemetry::profile::render_table(&summary.profile));
         }
     }
     Ok(())
