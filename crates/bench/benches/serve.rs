@@ -12,8 +12,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mlmodels::table::Table;
 use mlmodels::{try_train, ModelArtifact, ModelKind};
-use serve::{generate_requests, serve_jsonl, ServeConfig};
+use serve::{
+    generate_requests, serve_jsonl, Daemon, DaemonConfig, Registry, RegistryConfig, ServeConfig,
+};
 use std::hint::black_box;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const REQUESTS: usize = 2_000;
@@ -58,6 +61,32 @@ fn config(cache_cap: usize, workers: usize) -> ServeConfig {
         workers,
         ..ServeConfig::default()
     }
+}
+
+/// Replay `stream` through a fresh daemon instance (framed protocol,
+/// admission queue, reader thread) over in-memory transport. Saves the
+/// artifact once outside the timed region; each iteration pays daemon
+/// construction + registry routing + the full request loop, i.e. the
+/// daemon's overhead over the bare engine replay above.
+fn daemon_replay(artifact_path: &str, stream: &str) -> serve::DaemonStats {
+    let mut registry = Registry::new(RegistryConfig::default());
+    registry.load("m", artifact_path).expect("registry load");
+    let config = DaemonConfig {
+        window: 64,
+        queue_cap: 4096,
+        workers: 2,
+        deadline_ms: None,
+        max_frame_bytes: 1 << 20,
+        default_model: Some("m".to_string()),
+    };
+    let mut daemon = Daemon::new(config, registry).expect("daemon config");
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    daemon
+        .run(
+            std::io::Cursor::new(stream.as_bytes().to_vec()),
+            Arc::clone(&out),
+        )
+        .expect("daemon replay")
 }
 
 /// Replay once per worker count and assert byte-identical output, then
@@ -121,7 +150,25 @@ fn bench_serve(c: &mut Criterion) {
     group.bench_function("artifact_load_nnq", |b| {
         b.iter(|| black_box(ModelArtifact::from_bytes("<bench>", black_box(&bytes))))
     });
+
+    // Daemon mode: the same cached replay through the persistent
+    // request loop — framed protocol parse, admission queue, registry
+    // routing — measuring the daemon's overhead over the bare engine.
+    let dir = std::env::temp_dir().join(format!("perfpredict-bench-daemon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let lrb_path = dir.join("lrb.ppmodel").to_string_lossy().into_owned();
+    artifacts[0].1.save(&lrb_path).expect("save artifact");
+    let warm = daemon_replay(&lrb_path, &stream);
+    assert_eq!(
+        warm.requests as usize, REQUESTS,
+        "daemon answers every request"
+    );
+    assert_eq!(warm.shed, 0, "uncontended replay must not shed");
+    group.bench_function("daemon_replay_cached_lrb", |b| {
+        b.iter(|| black_box(daemon_replay(&lrb_path, &stream)))
+    });
     group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, bench_serve);

@@ -138,6 +138,95 @@ pub fn corrupt_line(path: &str, line_idx: usize) -> Result<()> {
     Ok(())
 }
 
+/// Flip `count` seeded-random bytes of the file at `path`, leaving its
+/// length unchanged — artifact corruption that only a checksum can
+/// catch. The serving daemon must answer this with a quarantined
+/// version, never a crash.
+pub fn corrupt_artifact_bytes(path: &str, count: usize, seed: u64) -> Result<()> {
+    let mut bytes = std::fs::read(path).map_err(|e| Error::io(path, e))?;
+    if bytes.is_empty() {
+        return Err(Error::invalid(format!(
+            "corrupt_artifact_bytes: '{path}' is empty"
+        )));
+    }
+    let mut rng = seeded_rng(seed);
+    let count = count.clamp(1, bytes.len());
+    for idx in sample_indices(&mut rng, bytes.len(), count) {
+        // XOR into the printable-ASCII range so the file stays valid
+        // UTF-8: the corruption must be caught by the artifact
+        // checksum, not accidentally by a string decoder upstream.
+        bytes[idx] = b'a' + (bytes[idx] ^ 0x15) % 26;
+    }
+    std::fs::write(path, bytes).map_err(|e| Error::io(path, e))?;
+    Ok(())
+}
+
+/// Cut the final line of a JSONL text mid-frame (no trailing newline) —
+/// the torn tail a killed producer leaves behind. The cut point is
+/// seeded within the final line so replays reproduce byte-for-byte.
+pub fn truncate_final_frame(text: &str, seed: u64) -> String {
+    let trimmed = text.trim_end_matches('\n');
+    let last_start = trimmed.rfind('\n').map_or(0, |i| i + 1);
+    let last = &trimmed[last_start..];
+    if last.len() < 2 {
+        return trimmed.to_string();
+    }
+    let mut rng = seeded_rng(seed);
+    // Keep at least one byte and drop at least one, on a char boundary.
+    let candidates: Vec<usize> = last
+        .char_indices()
+        .map(|(i, _)| i)
+        .filter(|&i| i > 0)
+        .collect();
+    let cut = candidates[sample_indices(&mut rng, candidates.len(), 1)[0]];
+    format!("{}{}", &trimmed[..last_start], &last[..cut])
+}
+
+/// One seeded garbage frame: printable ASCII that is definitely not
+/// JSON. Valid UTF-8 on purpose — it must exercise the daemon's
+/// per-frame `invalid` response, not the fatal protocol path.
+pub fn garbage_frame(seed: u64) -> String {
+    let mut rng = seeded_rng(seed);
+    let len = 8 + sample_indices(&mut rng, 24, 1)[0];
+    let mut s = String::with_capacity(len + 1);
+    s.push('<'); // never a valid JSON start
+    for idx in sample_indices(&mut rng, 94 * len, len) {
+        s.push((b' ' + (idx % 94) as u8) as char);
+    }
+    s
+}
+
+/// A writer wrapper that sleeps before every write — a slow downstream
+/// consumer. Drives the serving daemon's backpressure path: the core
+/// loop stalls on writes, the admission queue fills, and the reader
+/// must shed with typed responses instead of buffering unboundedly.
+pub struct SlowWriter<W> {
+    inner: W,
+    delay: std::time::Duration,
+}
+
+impl<W: std::io::Write> SlowWriter<W> {
+    /// Wrap `inner`, sleeping `delay` before each write call.
+    pub fn new(inner: W, delay: std::time::Duration) -> SlowWriter<W> {
+        SlowWriter { inner, delay }
+    }
+
+    /// The wrapped writer (to inspect what was written).
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for SlowWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::thread::sleep(self.delay);
+        self.inner.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +269,61 @@ mod tests {
         };
         assert_eq!(nan_rows(&a), nan_rows(&b), "same seed, same fault");
         assert_eq!(nan_rows(&a).len(), 5);
+    }
+
+    #[test]
+    fn corrupt_artifact_bytes_is_seeded_and_length_preserving() {
+        let dir = std::env::temp_dir().join("perfpredict-faultinject-corrupt");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("artifact.bin").to_string_lossy().into_owned();
+        let original = b"PPMODEL {\"checksum\":\"abc\"}\n{\"weights\":[1,2,3]}\n".to_vec();
+        std::fs::write(&path, &original).expect("write");
+        corrupt_artifact_bytes(&path, 4, 7).expect("corrupt");
+        let once = std::fs::read(&path).expect("read");
+        assert_eq!(once.len(), original.len(), "length preserved");
+        assert_ne!(once, original, "bytes actually changed");
+        assert!(String::from_utf8(once.clone()).is_ok(), "stays UTF-8");
+        std::fs::write(&path, &original).expect("rewrite");
+        corrupt_artifact_bytes(&path, 4, 7).expect("corrupt again");
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            once,
+            "same seed, same fault"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_final_frame_cuts_mid_line_deterministically() {
+        let text = "{\"id\":\"q1\",\"x\":1}\n{\"id\":\"q2\",\"x\":2}\n";
+        let cut = truncate_final_frame(text, 3);
+        assert!(cut.starts_with("{\"id\":\"q1\",\"x\":1}\n"), "{cut}");
+        assert!(!cut.ends_with('\n'), "torn tail has no newline");
+        let last = cut.lines().last().expect("tail");
+        assert!(!last.is_empty() && last.len() < "{\"id\":\"q2\",\"x\":2}".len());
+        assert_eq!(truncate_final_frame(text, 3), cut, "seeded");
+        assert_ne!(truncate_final_frame(text, 4), cut, "seed varies the cut");
+    }
+
+    #[test]
+    fn garbage_frame_is_seeded_non_json_utf8() {
+        let g = garbage_frame(11);
+        assert_eq!(garbage_frame(11), g, "seeded");
+        assert!(g.starts_with('<'), "{g}");
+        assert!(g.is_ascii());
+        assert!(telemetry::json::parse(&g).is_err(), "must not parse: {g}");
+    }
+
+    #[test]
+    fn slow_writer_delays_but_preserves_bytes() {
+        use std::io::Write as _;
+        let mut w = SlowWriter::new(Vec::new(), std::time::Duration::from_millis(1));
+        let t0 = std::time::Instant::now();
+        w.write_all(b"hello").expect("write");
+        w.write_all(b" world").expect("write");
+        w.flush().expect("flush");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
+        assert_eq!(w.inner(), b"hello world");
     }
 
     #[test]

@@ -92,6 +92,35 @@ pub enum Error {
         /// Metrics over threshold, worst first (e.g. `"serve/p99_ms 2.31x"`).
         metrics: Vec<String>,
     },
+    /// The serving daemon's bounded admission queue is full and the
+    /// request was load-shed. This is the *typed* rejection the
+    /// daemon's backpressure contract requires — a shed request always
+    /// produces one of these, never a silent drop.
+    Overloaded {
+        /// Queue depth at the moment of rejection.
+        queue_depth: usize,
+        /// Configured admission-queue capacity.
+        capacity: usize,
+    },
+    /// A request's deadline expired before the predict path reached it;
+    /// the daemon fails closed (no late prediction is served).
+    DeadlineExceeded {
+        /// How long the request waited, milliseconds.
+        waited_ms: u64,
+        /// The deadline it carried, milliseconds.
+        deadline_ms: u64,
+    },
+    /// A model version (or the whole registry) is quarantined: a reload
+    /// produced a corrupt artifact and no healthy version remains for
+    /// the route. As a daemon termination error it means *every*
+    /// registered model is quarantined — nothing left to serve.
+    Quarantined {
+        /// The model route (name or `name@version`), or `"*"` when the
+        /// whole registry is down.
+        model: String,
+        /// Why the version(s) went dark.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -140,6 +169,30 @@ impl Error {
         }
     }
 
+    /// Convenience constructor for [`Error::Overloaded`].
+    pub fn overloaded(queue_depth: usize, capacity: usize) -> Error {
+        Error::Overloaded {
+            queue_depth,
+            capacity,
+        }
+    }
+
+    /// Convenience constructor for [`Error::DeadlineExceeded`].
+    pub fn deadline(waited_ms: u64, deadline_ms: u64) -> Error {
+        Error::DeadlineExceeded {
+            waited_ms,
+            deadline_ms,
+        }
+    }
+
+    /// Convenience constructor for [`Error::Quarantined`].
+    pub fn quarantined(model: impl Into<String>, detail: impl Into<String>) -> Error {
+        Error::Quarantined {
+            model: model.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// The process exit code the CLI maps this error to:
     ///
     /// | code | meaning |
@@ -149,6 +202,8 @@ impl Error {
     /// | 4 | checkpoint or model artifact corrupt or incompatible |
     /// | 5 | numeric/model failure (singular, diverged, degenerate, no viable model) |
     /// | 6 | performance regression verdict from `perf-report` |
+    /// | 7 | service unavailable: admission queue overloaded or deadline missed |
+    /// | 8 | every registered model version is quarantined — fail-closed termination |
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::InvalidInput { .. } => 2,
@@ -159,12 +214,15 @@ impl Error {
             | Error::DegenerateData { .. }
             | Error::NoViableModel { .. } => 5,
             Error::Regression { .. } => 6,
+            Error::Overloaded { .. } | Error::DeadlineExceeded { .. } => 7,
+            Error::Quarantined { .. } => 8,
         }
     }
 
     /// Short machine-friendly tag for telemetry attributes and checkpoint
     /// records (`singular`, `diverged`, `degenerate`, `io`, `checkpoint`,
-    /// `artifact`, `invalid`, `no_viable_model`, `regression`).
+    /// `artifact`, `invalid`, `no_viable_model`, `regression`,
+    /// `overloaded`, `deadline`, `quarantined`).
     pub fn kind(&self) -> &'static str {
         match self {
             Error::SingularSystem { .. } => "singular",
@@ -176,6 +234,9 @@ impl Error {
             Error::InvalidInput { .. } => "invalid",
             Error::NoViableModel { .. } => "no_viable_model",
             Error::Regression { .. } => "regression",
+            Error::Overloaded { .. } => "overloaded",
+            Error::DeadlineExceeded { .. } => "deadline",
+            Error::Quarantined { .. } => "quarantined",
         }
     }
 }
@@ -217,6 +278,27 @@ impl fmt::Display for Error {
                     write!(f, " [{m}]")?;
                 }
                 Ok(())
+            }
+            Error::Overloaded {
+                queue_depth,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "overloaded: admission queue at {queue_depth}/{capacity}, request shed"
+                )
+            }
+            Error::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: waited {waited_ms} ms against a {deadline_ms} ms deadline"
+                )
+            }
+            Error::Quarantined { model, detail } => {
+                write!(f, "model {model} quarantined: {detail}")
             }
         }
     }
@@ -262,6 +344,12 @@ mod tests {
         assert_eq!(Error::degenerate("constant target").exit_code(), 5);
         assert_eq!(Error::NoViableModel { reasons: vec![] }.exit_code(), 5);
         assert_eq!(Error::Regression { metrics: vec![] }.exit_code(), 6);
+        assert_eq!(Error::overloaded(1024, 1024).exit_code(), 7);
+        assert_eq!(Error::deadline(120, 50).exit_code(), 7);
+        assert_eq!(
+            Error::quarantined("mcf@2", "checksum mismatch").exit_code(),
+            8
+        );
     }
 
     #[test]
@@ -292,6 +380,19 @@ mod tests {
         assert_eq!(Error::checkpoint("p", "d").kind(), "checkpoint");
         assert_eq!(Error::artifact("p", "d").kind(), "artifact");
         assert_eq!(Error::Regression { metrics: vec![] }.kind(), "regression");
+        assert_eq!(Error::overloaded(8, 8).kind(), "overloaded");
+        assert_eq!(Error::deadline(9, 5).kind(), "deadline");
+        assert_eq!(Error::quarantined("m", "d").kind(), "quarantined");
+    }
+
+    #[test]
+    fn serving_errors_carry_actionable_context() {
+        let s = Error::overloaded(512, 512).to_string();
+        assert!(s.contains("512/512") && s.contains("shed"), "{s}");
+        let s = Error::deadline(120, 50).to_string();
+        assert!(s.contains("120 ms") && s.contains("50 ms"), "{s}");
+        let s = Error::quarantined("mcf@3", "payload checksum mismatch").to_string();
+        assert!(s.contains("mcf@3") && s.contains("checksum"), "{s}");
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub struct LruCache<K, V> {
 
 impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     /// A cache holding at most `capacity` entries.
+    ///
+    /// Eviction semantics, by capacity:
+    ///
+    /// * `capacity == 0` — **the cache is disabled**: `put` is a no-op
+    ///   and `get` always misses. Never a panic, never unbounded
+    ///   growth; the serving layer maps `--cache-cap 0` onto this to
+    ///   force every request through the model.
+    /// * `capacity == 1` — a single-slot cache: each `put` of a new key
+    ///   evicts the previous resident (degenerate but valid LRU).
+    /// * otherwise — the least-recently-*used* entry is evicted when a
+    ///   `put` of a new key finds the cache full; both `get` hits and
+    ///   `put` overwrites refresh recency.
     pub fn new(capacity: usize) -> Self {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
@@ -160,11 +172,39 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_stores_nothing() {
+    fn zero_capacity_means_disabled_not_panic_or_growth() {
         let mut c: LruCache<u32, u32> = LruCache::new(0);
-        c.put(1, 10);
-        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+        assert_eq!(c.get(&1), None, "get on a disabled cache misses");
+        for i in 0..100 {
+            c.put(i, i * 10);
+            assert!(c.is_empty(), "put #{i} must be a no-op");
+            assert_eq!(c.len(), 0);
+        }
+        assert_eq!(c.get(&1), None, "nothing was ever stored");
+        // Re-putting the same key still stores nothing (the overwrite
+        // path must not bypass the capacity guard).
+        c.put(7, 70);
+        c.put(7, 71);
+        assert_eq!(c.get(&7), None);
+    }
+
+    #[test]
+    fn capacity_one_is_a_single_slot_with_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
         assert_eq!(c.get(&1), None);
+        c.put(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.len(), 1);
+        c.put(2, 20); // evicts 1, the only resident
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.len(), 1, "len never exceeds capacity 1");
+        c.put(2, 21); // overwrite in place, no eviction
+        assert_eq!(c.get(&2), Some(21));
+        c.put(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(30));
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The reusable window-predict core shared by the one-shot replay
+//! engine ([`crate::engine`]) and the long-lived daemon
+//! ([`crate::daemon`]).
+//!
+//! One call to [`predict_window`] is the whole hot path of the serving
+//! layer: probe the LRU surrogate cache, deduplicate the misses by
+//! canonical key, run one matrix-form prediction sharded across scoped
+//! worker threads, and fill every window slot. Row `i`'s arithmetic
+//! never reads any other row, so the outcome is bit-identical for any
+//! worker count — the property both the replay equivalence tests and
+//! the soak harness's 1-vs-N comparison rely on.
+//!
+//! Keeping this a pure function of `(artifact, cache, requests)` is
+//! what lets the daemon reuse it per model group while the one-shot
+//! engine reuses it per admission window, with neither knowing about
+//! the other's framing, deadlines, or degraded-mode policy.
+
+use crate::cache::LruCache;
+use crate::request::{batch_table, Request};
+use mlmodels::{ModelArtifact, TrainedModel};
+use std::collections::HashMap;
+
+/// What one window predict produced, slot-aligned with the input.
+pub(crate) struct WindowOutcome {
+    /// `(prediction, served_from_cache)` per request, in input order.
+    pub results: Vec<(f64, bool)>,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Distinct configurations actually predicted (misses after
+    /// in-window dedup).
+    pub predictions: u64,
+    /// Prediction batches run (0 when every slot hit the cache).
+    pub batches: u64,
+}
+
+/// Shard `table`'s rows across `workers` scoped threads and predict each
+/// contiguous chunk independently. Row `i`'s arithmetic never reads any
+/// other row, so the concatenated result is bit-identical to
+/// `model.predict(&table)` for every worker count.
+pub(crate) fn predict_sharded(
+    model: &TrainedModel,
+    table: &mlmodels::Table,
+    workers: usize,
+) -> Vec<f64> {
+    let n = table.n_rows();
+    let workers = workers.min(n).max(1);
+    if workers == 1 {
+        return model.predict(table);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out = vec![0.0; n];
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [f64] = &mut out;
+        let mut start = 0;
+        let mut handles = Vec::with_capacity(workers);
+        while start < n {
+            let len = chunk.min(n - start);
+            let (slot, rest) = remaining.split_at_mut(len);
+            remaining = rest;
+            let rows: Vec<usize> = (start..start + len).collect();
+            handles.push(scope.spawn(move || {
+                let sub = table.select_rows(&rows);
+                slot.copy_from_slice(&model.predict(&sub));
+            }));
+            start += len;
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    out
+}
+
+/// Serve one window of validated requests: cache probe, in-window
+/// dedup, one sharded matrix-form pass over the distinct misses, cache
+/// fill. Returns one `(prediction, cached)` pair per input slot.
+pub(crate) fn predict_window(
+    artifact: &ModelArtifact,
+    cache: &mut LruCache<Vec<u64>, f64>,
+    workers: usize,
+    requests: &[&Request],
+) -> WindowOutcome {
+    let _span = telemetry::span!("serve/batch", rows = requests.len());
+    let mut results: Vec<(f64, bool)> = vec![(0.0, false); requests.len()];
+    let mut miss_of_key: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut unique: Vec<&Request> = Vec::new();
+    let mut unique_keys: Vec<Vec<u64>> = Vec::new();
+    let mut pending: Vec<(usize, usize)> = Vec::new(); // (window slot, unique slot)
+    let mut hits = 0u64;
+    for (slot, request) in requests.iter().enumerate() {
+        let key = request.canonical_key();
+        if let Some(hit) = cache.get(&key) {
+            hits += 1;
+            results[slot] = (hit, true);
+            continue;
+        }
+        let uslot = *miss_of_key.entry(key.clone()).or_insert_with(|| {
+            unique.push(request);
+            unique_keys.push(key);
+            unique.len() - 1
+        });
+        pending.push((slot, uslot));
+    }
+    let mut predictions = 0u64;
+    let mut batches = 0u64;
+    // One matrix-form pass over the deduplicated misses.
+    if !unique.is_empty() {
+        let table = batch_table(&artifact.schema, &unique);
+        let preds = predict_sharded(&artifact.model, &table, workers);
+        predictions = preds.len() as u64;
+        batches = 1;
+        telemetry::counter_add("serve/predictions", predictions);
+        for (key, &p) in unique_keys.into_iter().zip(&preds) {
+            cache.put(key, p);
+        }
+        for &(slot, uslot) in &pending {
+            results[slot] = (preds[uslot], false);
+        }
+    }
+    telemetry::counter_add("serve/requests", requests.len() as u64);
+    telemetry::counter_add("serve/cache_hits", hits);
+    telemetry::counter_add("serve/cache_misses", requests.len() as u64 - hits);
+    WindowOutcome {
+        results,
+        hits,
+        predictions,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlmodels::{train, ModelKind, Table};
+
+    fn artifact() -> ModelArtifact {
+        let n = 48;
+        let xs: Vec<f64> = (0..n).map(|i| 100.0 + (i % 6) as f64 * 50.0).collect();
+        let y: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        let mut t = Table::new();
+        t.add_numeric("x", xs).set_target(y);
+        ModelArtifact::from_training(train(ModelKind::LrE, &t, 5), &t)
+    }
+
+    fn request(schema: &mlmodels::artifact::TableSchema, x: f64, line: u64) -> Request {
+        crate::request::parse_request_line(schema, &format!("{{\"x\":{x}}}"), line)
+            .expect("valid request")
+    }
+
+    #[test]
+    fn window_dedups_and_fills_every_slot() {
+        let art = artifact();
+        let mut cache = LruCache::new(16);
+        let reqs: Vec<Request> = [100.0, 150.0, 100.0, 200.0, 150.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| request(&art.schema, x, i as u64 + 1))
+            .collect();
+        let refs: Vec<&Request> = reqs.iter().collect();
+        let out = predict_window(&art, &mut cache, 2, &refs);
+        assert_eq!(out.results.len(), 5);
+        assert_eq!(out.predictions, 3, "three distinct configs");
+        assert_eq!(out.batches, 1);
+        assert_eq!(out.hits, 0);
+        // Duplicate slots share the deduplicated prediction bit-for-bit.
+        assert_eq!(out.results[0].0.to_bits(), out.results[2].0.to_bits());
+        assert_eq!(out.results[1].0.to_bits(), out.results[4].0.to_bits());
+        // A second pass over the same window is all cache hits.
+        let again = predict_window(&art, &mut cache, 2, &refs);
+        assert_eq!(again.hits, 5);
+        assert_eq!(again.batches, 0);
+        assert!(again.results.iter().all(|&(_, cached)| cached));
+    }
+
+    #[test]
+    fn outcome_is_identical_across_worker_counts() {
+        let art = artifact();
+        let reqs: Vec<Request> = (0..40)
+            .map(|i| request(&art.schema, 100.0 + (i % 9) as f64 * 25.0, i + 1))
+            .collect();
+        let refs: Vec<&Request> = reqs.iter().collect();
+        let mut base_cache = LruCache::new(64);
+        let base = predict_window(&art, &mut base_cache, 1, &refs);
+        for workers in [2, 3, 8] {
+            let mut cache = LruCache::new(64);
+            let out = predict_window(&art, &mut cache, workers, &refs);
+            for (slot, (a, b)) in base.results.iter().zip(&out.results).enumerate() {
+                assert_eq!(
+                    a.0.to_bits(),
+                    b.0.to_bits(),
+                    "slot {slot}, {workers} workers"
+                );
+                assert_eq!(a.1, b.1, "slot {slot} cached flag");
+            }
+        }
+    }
+}

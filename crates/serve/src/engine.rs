@@ -24,10 +24,10 @@
 //! passes, which is the economic argument of the paper made operational.
 
 use crate::cache::LruCache;
-use crate::request::{batch_table, parse_request_line, Request};
+use crate::core::predict_window;
+use crate::request::{parse_request_line, Request};
 use fault::{Error, Result};
-use mlmodels::{ModelArtifact, TrainedModel};
-use std::collections::HashMap;
+use mlmodels::ModelArtifact;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 use telemetry::json::{self, JsonObject};
@@ -90,8 +90,20 @@ pub struct ServeStats {
     pub predictions: u64,
     /// Prediction batches run.
     pub batches: u64,
-    /// Highest admission-queue depth observed.
+    /// Highest admission-queue depth observed (the queue-depth
+    /// high-water mark the soak gate reads).
     pub max_queue_depth: u64,
+    /// Requests load-shed at admission with a typed `Overloaded`
+    /// response. Always 0 for the one-shot replay engine, whose
+    /// backpressure stalls the reader instead of shedding.
+    pub shed: u64,
+    /// Admitted requests whose deadline expired before the predict path
+    /// reached them; each got a typed `DeadlineExceeded` response and
+    /// no (late) prediction — the fail-closed contract.
+    pub deadline_misses: u64,
+    /// Cache misses rejected while the daemon was in degraded
+    /// (cache-hits-only) mode, each with a typed error response.
+    pub degraded_rejects: u64,
     /// Median request latency (admission → response), milliseconds.
     pub p50_ms: f64,
     /// 95th-percentile request latency, milliseconds.
@@ -105,7 +117,11 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Render as a single JSON object (the CLI's `serve` summary line).
+    /// Render as a single JSON object (the CLI's `serve` summary line,
+    /// and the artifact the soak gate and `perf-report` both read).
+    /// Existing fields keep their exact names and rendering; the
+    /// daemon-era counters (`shed`, `deadline_misses`,
+    /// `degraded_rejects`) are appended after `max_queue_depth`.
     pub fn to_json(&self) -> String {
         JsonObject::new()
             .uint("requests", self.requests)
@@ -114,6 +130,9 @@ impl ServeStats {
             .uint("predictions", self.predictions)
             .uint("batches", self.batches)
             .uint("max_queue_depth", self.max_queue_depth)
+            .uint("shed", self.shed)
+            .uint("deadline_misses", self.deadline_misses)
+            .uint("degraded_rejects", self.degraded_rejects)
             .num("p50_ms", self.p50_ms)
             .num("p95_ms", self.p95_ms)
             .num("p99_ms", self.p99_ms)
@@ -121,42 +140,6 @@ impl ServeStats {
             .num("requests_per_sec", self.requests_per_sec)
             .finish()
     }
-}
-
-/// Shard `table`'s rows across `workers` scoped threads and predict each
-/// contiguous chunk independently. Row `i`'s arithmetic never reads any
-/// other row, so the concatenated result is bit-identical to
-/// `model.predict(&table)` for every worker count.
-fn predict_sharded(model: &TrainedModel, table: &mlmodels::Table, workers: usize) -> Vec<f64> {
-    let n = table.n_rows();
-    let workers = workers.min(n).max(1);
-    if workers == 1 {
-        return model.predict(table);
-    }
-    let chunk = n.div_ceil(workers);
-    let mut out = vec![0.0; n];
-    std::thread::scope(|scope| {
-        let mut remaining: &mut [f64] = &mut out;
-        let mut start = 0;
-        let mut handles = Vec::with_capacity(workers);
-        while start < n {
-            let len = chunk.min(n - start);
-            let (slot, rest) = remaining.split_at_mut(len);
-            remaining = rest;
-            let rows: Vec<usize> = (start..start + len).collect();
-            handles.push(scope.spawn(move || {
-                let sub = table.select_rows(&rows);
-                slot.copy_from_slice(&model.predict(&sub));
-            }));
-            start += len;
-        }
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
-            }
-        }
-    });
-    out
 }
 
 struct Admitted {
@@ -191,7 +174,9 @@ impl Engine {
     }
 
     /// Serve one window of admitted requests, appending ordered response
-    /// lines to `out`.
+    /// lines to `out`. The probe/dedup/predict work is the shared
+    /// [`crate::core::predict_window`]; this wrapper owns replay
+    /// bookkeeping and the ordered emit.
     fn serve_window(
         &mut self,
         window: &[Admitted],
@@ -199,51 +184,19 @@ impl Engine {
         stats: &mut ServeStats,
         latency: &mut Histogram,
     ) -> Result<()> {
-        let _span = telemetry::span!("serve/batch", rows = window.len());
-        // Probe the cache; collect misses deduplicated by canonical key.
-        let mut results: Vec<Option<(f64, bool)>> = vec![None; window.len()];
-        let mut miss_of_key: HashMap<Vec<u64>, usize> = HashMap::new();
-        let mut unique: Vec<&Request> = Vec::new();
-        let mut unique_keys: Vec<Vec<u64>> = Vec::new();
-        let mut pending: Vec<(usize, usize)> = Vec::new(); // (window slot, unique slot)
-        let mut window_hits = 0u64;
-        for (slot, adm) in window.iter().enumerate() {
-            let key = adm.request.canonical_key();
-            if let Some(hit) = self.cache.get(&key) {
-                stats.cache_hits += 1;
-                window_hits += 1;
-                results[slot] = Some((hit, true));
-                continue;
-            }
-            stats.cache_misses += 1;
-            let uslot = *miss_of_key.entry(key.clone()).or_insert_with(|| {
-                unique.push(&adm.request);
-                unique_keys.push(key);
-                unique.len() - 1
-            });
-            pending.push((slot, uslot));
-        }
-        // One matrix-form pass over the deduplicated misses.
-        if !unique.is_empty() {
-            let table = batch_table(&self.artifact.schema, &unique);
-            let preds = predict_sharded(&self.artifact.model, &table, self.config.workers);
-            stats.predictions += preds.len() as u64;
-            stats.batches += 1;
-            telemetry::counter_add("serve/predictions", preds.len() as u64);
-            for (key, &p) in unique_keys.into_iter().zip(&preds) {
-                self.cache.put(key, p);
-            }
-            for &(slot, uslot) in &pending {
-                results[slot] = Some((preds[uslot], false));
-            }
-        }
-        telemetry::counter_add("serve/requests", window.len() as u64);
-        telemetry::counter_add("serve/cache_hits", window_hits);
-        telemetry::counter_add("serve/cache_misses", window.len() as u64 - window_hits);
+        let requests: Vec<&Request> = window.iter().map(|adm| &adm.request).collect();
+        let outcome = predict_window(
+            &self.artifact,
+            &mut self.cache,
+            self.config.workers,
+            &requests,
+        );
+        stats.cache_hits += outcome.hits;
+        stats.cache_misses += window.len() as u64 - outcome.hits;
+        stats.predictions += outcome.predictions;
+        stats.batches += outcome.batches;
         // Emit responses in admission order.
-        for (adm, result) in window.iter().zip(results) {
-            let (prediction, cached) =
-                result.unwrap_or_else(|| unreachable!("every window slot is filled"));
+        for (adm, &(prediction, cached)) in window.iter().zip(&outcome.results) {
             let line = JsonObject::new()
                 .str("id", &adm.request.id)
                 .raw("prediction", &json::number(prediction))

@@ -26,12 +26,19 @@
 //! `serve/predictions`, and queue-depth / latency gauges alongside the
 //! [`engine::ServeStats`] it returns.
 
+pub mod admission;
 pub mod cache;
+pub(crate) mod core;
+pub mod daemon;
 pub mod engine;
+pub mod registry;
 pub mod request;
 pub mod workload;
 
+pub use admission::AdmissionQueue;
 pub use cache::LruCache;
+pub use daemon::{Daemon, DaemonConfig, DaemonStats};
 pub use engine::{serve_jsonl, Engine, ServeConfig, ServeStats};
+pub use registry::{Registry, RegistryConfig};
 pub use request::{parse_request_line, Request};
 pub use workload::generate_requests;

@@ -70,6 +70,20 @@ pub fn parse_request_line(schema: &TableSchema, line: &str, line_no: u64) -> Res
     let Value::Obj(fields) = &value else {
         return Err(invalid(line_no, "request must be a JSON object"));
     };
+    request_from_fields(schema, fields, line_no)
+}
+
+/// Validate an already-parsed field map against the schema. The daemon
+/// calls this directly after stripping its envelope keys (`op`, `model`,
+/// `deadline_ms`) from the frame, so schema validation stays identical
+/// between one-shot replay and daemon mode; [`parse_request_line`]
+/// delegates here. `line_no` is the 1-based frame number, used for error
+/// messages and the default id.
+pub fn request_from_fields(
+    schema: &TableSchema,
+    fields: &std::collections::BTreeMap<String, Value>,
+    line_no: u64,
+) -> Result<Request> {
     for key in fields.keys() {
         if key != "id" && schema.column(key).is_none() {
             return Err(invalid(

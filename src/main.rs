@@ -8,6 +8,7 @@
 //! perfpredict export-model <benchmark> [--model K]  train + save a .ppmodel artifact
 //! perfpredict predict   <model.ppmodel>             one-shot JSONL replay on stdin
 //! perfpredict serve     <model.ppmodel>             batched prediction service
+//! perfpredict serve     --daemon [--preload n=p]…   long-lived multi-model daemon
 //! perfpredict gen-requests <model.ppmodel>          synthetic JSONL workload
 //! perfpredict perf-report --current <file>          compare metrics vs baselines
 //! perfpredict families                              list SPEC populations
@@ -31,10 +32,13 @@
 //! * `--export-models <dir>` — (sampled / chrono) save every freshly
 //!   trained model into `<dir>` as a versioned `.ppmodel` artifact.
 //!
-//! Exit codes: `0` success, `2` invalid usage/input, `3` I/O failure,
+//! Exit codes: `0` success, `2` invalid usage/input (including daemon
+//! protocol violations: oversized or non-UTF-8 frames), `3` I/O failure,
 //! `4` corrupt checkpoint or model artifact, `5` numerical failure
 //! (singular system, divergence, degenerate data, no viable model),
-//! `6` perf-report regression verdict.
+//! `6` perf-report regression verdict, `7` overloaded / deadline
+//! exceeded (typed per-request rejections in daemon mode), `8` every
+//! model version quarantined — the daemon's fail-closed termination.
 
 use perfpredict::cpusim::{
     simulate, try_sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
@@ -47,7 +51,10 @@ use perfpredict::dse::sampled::{
 };
 use perfpredict::error::{Error, Result};
 use perfpredict::mlmodels::{self, ModelArtifact, ModelKind};
-use perfpredict::serve::{generate_requests, serve_jsonl, Engine, ServeConfig};
+use perfpredict::serve::{
+    generate_requests, serve_jsonl, Daemon, DaemonConfig, Engine, Registry, RegistryConfig,
+    ServeConfig,
+};
 use perfpredict::specdata::ProcessorFamily;
 use perfpredict::telemetry::{self, json::JsonObject, ConsoleLevel, TelemetryConfig};
 
@@ -66,6 +73,13 @@ fn usage() -> ! {
            serve     <model.ppmodel> [--input F] [--workers N] [--window N]\n\
                      [--queue-cap N] [--cache-cap N]\n\
                                               batched service with LRU cache; stats on stderr\n\
+           serve     --daemon [model.ppmodel] [--preload name=path]...\n\
+                     [--socket P] [--input F] [--deadline-ms N]\n\
+                     [--max-frame-bytes N] [--default-model NAME]\n\
+                     [--workers N] [--window N] [--queue-cap N] [--cache-cap N]\n\
+                                              long-lived multi-model daemon: framed JSONL\n\
+                                              protocol (predict/load/reload/unload/status/\n\
+                                              shutdown ops) on stdin or a unix socket\n\
            gen-requests <model.ppmodel> [--n N] [--distinct D] [--seed S]\n\
                                               emit a synthetic JSONL workload on stdout\n\
            perf-report [--current F]... [--baseline F]... [--threshold X]\n\
@@ -561,6 +575,112 @@ fn cli() -> Result<()> {
                 "predict: {} requests, {} predictions, {} cache hits",
                 stats.requests, stats.predictions, stats.cache_hits
             );
+        }
+        "serve" if rest.iter().any(|a| a == "--daemon") => {
+            let daemon_defaults = DaemonConfig::default();
+            let config = DaemonConfig {
+                window: parse_number(rest, "--window", daemon_defaults.window)?,
+                queue_cap: parse_number(rest, "--queue-cap", daemon_defaults.queue_cap)?,
+                workers: parse_number(rest, "--workers", daemon_defaults.workers)?,
+                deadline_ms: match parse_flag(rest, "--deadline-ms") {
+                    None => None,
+                    Some(v) => Some(v.parse().map_err(|_| {
+                        Error::invalid(format!("--deadline-ms expects a number, got '{v}'"))
+                    })?),
+                },
+                max_frame_bytes: parse_number(
+                    rest,
+                    "--max-frame-bytes",
+                    daemon_defaults.max_frame_bytes,
+                )?,
+                default_model: parse_flag(rest, "--default-model"),
+            };
+            let registry_defaults = RegistryConfig::default();
+            let mut registry = Registry::new(RegistryConfig {
+                cache_cap: parse_number(rest, "--cache-cap", registry_defaults.cache_cap)?,
+                ..registry_defaults
+            });
+            // A corrupt preload is a startup error (exit 4): fail fast
+            // before accepting traffic. Corruption *after* startup is
+            // handled by quarantine instead.
+            for spec in collect_values(rest, "--preload")? {
+                let (name, path) = spec.split_once('=').ok_or_else(|| {
+                    Error::invalid(format!("--preload expects name=path, got '{spec}'"))
+                })?;
+                let version = registry.load(name, path)?;
+                eprintln!("daemon: preloaded {name}@{version} from {path}");
+            }
+            // The optional positional artifact is the first arg that is
+            // neither a flag nor the value of a value-taking flag.
+            let value_flags = [
+                "--preload",
+                "--socket",
+                "--input",
+                "--deadline-ms",
+                "--max-frame-bytes",
+                "--default-model",
+                "--workers",
+                "--window",
+                "--queue-cap",
+                "--cache-cap",
+            ];
+            let mut positional = None;
+            let mut args_iter = rest.iter();
+            while let Some(arg) = args_iter.next() {
+                if value_flags.contains(&arg.as_str()) {
+                    let _ = args_iter.next();
+                } else if !arg.starts_with("--") {
+                    positional = Some(arg);
+                    break;
+                }
+            }
+            if let Some(path) = positional {
+                let name = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("model")
+                    .to_string();
+                let version = registry.load(&name, path)?;
+                eprintln!("daemon: preloaded {name}@{version} from {path}");
+            }
+            let mut daemon = Daemon::new(config, registry)?;
+            let stats = match parse_flag(rest, "--socket") {
+                Some(sock) => {
+                    eprintln!("daemon: listening on unix socket {sock}");
+                    daemon.run_socket(&sock)?
+                }
+                None => {
+                    use std::io::BufRead;
+                    let input: Box<dyn BufRead + Send> = match parse_flag(rest, "--input") {
+                        Some(p) => {
+                            let file = std::fs::File::open(&p).map_err(|e| Error::io(&p, e))?;
+                            Box::new(std::io::BufReader::new(file))
+                        }
+                        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+                    };
+                    let writer = std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+                    daemon.run(input, writer)?
+                }
+            };
+            if json_out {
+                eprintln!("{}", stats.to_json());
+            } else {
+                eprintln!(
+                    "daemon: {} requests ({} hits / {} misses), {} shed, \
+                     {} deadline misses, {} degraded rejects, {} invalid, \
+                     {} control ops, p50 {:.3} ms, p99 {:.3} ms",
+                    stats.requests,
+                    stats.cache_hits,
+                    stats.cache_misses,
+                    stats.shed,
+                    stats.deadline_misses,
+                    stats.degraded_rejects,
+                    stats.invalid,
+                    stats.control_ops,
+                    stats.p50_ms,
+                    stats.p99_ms
+                );
+            }
         }
         "serve" => {
             let path = rest
