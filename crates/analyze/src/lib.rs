@@ -8,7 +8,7 @@
 //! single-line awk heuristic in `scripts/lint-unwrap.sh` with a real
 //! lexer ([`lexer`]: raw strings, nested block comments, char vs.
 //! lifetime disambiguation, spans that exactly tile the input) plus
-//! `#[cfg(test)]` region tracking ([`regions`]), and runs six lint
+//! `#[cfg(test)]` region tracking ([`regions`]), and runs seven lint
 //! passes over the token stream ([`lints`]):
 //!
 //! | lint | invariant |
@@ -19,6 +19,7 @@
 //! | `nondet-iter` | hash-map iteration order never reaches output or accumulation |
 //! | `lossy-cast` | truncating `as` casts are typed away or argued safe |
 //! | `error-policy` | exits only in `src/main.rs`; public fallible fns return `fault::Error` |
+//! | `unsafe-region` | every `unsafe` region carries a `// SAFETY:` comment and a per-site waiver |
 //!
 //! Findings render as `file:line:col` diagnostics with a source excerpt,
 //! or as JSONL (`--format json`) in the telemetry-manifest line shape.

@@ -17,6 +17,7 @@ pub mod float_order;
 pub mod lossy_cast;
 pub mod nondet_iter;
 pub mod panic_policy;
+pub mod unsafe_region;
 
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{Token, TokenKind};
@@ -34,6 +35,7 @@ pub const LINTS: &[(&str, LintFn)] = &[
     ("nondet-iter", nondet_iter::check),
     ("lossy-cast", lossy_cast::check),
     ("error-policy", error_policy::check),
+    ("unsafe-region", unsafe_region::check),
 ];
 
 /// Everything a pass needs to inspect one file.

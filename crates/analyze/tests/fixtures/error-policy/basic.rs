@@ -22,7 +22,7 @@ pub const fn qualified_const() -> Result<u32, String> { //~ error-policy
     Ok(1)
 }
 
-pub unsafe fn qualified_unsafe() -> Result<u32, String> { //~ error-policy
+pub unsafe fn qualified_unsafe() -> Result<u32, String> { //~ error-policy //~ unsafe-region
     Ok(1)
 }
 
@@ -30,7 +30,7 @@ pub extern "C" fn qualified_extern() -> Result<u32, String> { //~ error-policy
     Ok(1)
 }
 
-pub async unsafe fn qualified_stacked() -> Result<u32, fault::Error> {
+pub async unsafe fn qualified_stacked() -> Result<u32, fault::Error> { //~ unsafe-region
     Ok(1) // ok: typed error behind stacked qualifiers
 }
 

@@ -1,0 +1,41 @@
+//! Fixture: every `unsafe` token in non-test code is flagged —
+//! commented sites with the waiver-pointing message, uncommented sites
+//! with the write-the-comment message. Test regions are exempt.
+
+// SAFETY: the caller guarantees `a` and `out` have equal length, and
+// the 4-lane loads stop at `n - n % 4`; the tail loop covers the rest.
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(s: f64, a: &[f64], out: &mut [f64]) { //~ unsafe-region
+    let _ = (s, a, out);
+}
+
+fn dispatch(s: f64, a: &[f64], out: &mut [f64]) {
+    // SAFETY: avx2 availability was checked by the caller's backend
+    // resolution; the target_feature contract is satisfied.
+    unsafe { axpy_avx2(s, a, out) } //~ unsafe-region
+}
+
+fn undocumented(p: *const f64) -> f64 {
+    unsafe { *p } //~ unsafe-region
+}
+
+// A blank line between comment and keyword breaks the association:
+// SAFETY: stale argument that no longer sits on the region.
+
+fn detached(p: *const f64) -> f64 {
+    unsafe { *p } //~ unsafe-region
+}
+
+/// Trailing same-line safety comment also counts as documented.
+fn inline_comment(p: *const f64) -> f64 {
+    unsafe { *p } // SAFETY: p is non-null by construction //~ unsafe-region
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_unsafe_is_exempt() {
+        let x = 1.0f64;
+        let _ = unsafe { *(&x as *const f64) };
+    }
+}

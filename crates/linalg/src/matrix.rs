@@ -142,14 +142,22 @@ impl Matrix {
     /// split into independent row tiles evaluated on rayon workers; each
     /// output element accumulates in the same k-ascending order either
     /// way, so the result is bit-identical to the serial loop.
+    ///
+    /// The inner row update dispatches through [`simd::axpy`], whose AVX2
+    /// backend vectorizes across output columns while keeping every
+    /// element's mul-then-add order identical to the scalar oracle
+    /// (`PERFPREDICT_KERNEL=scalar`). The backend is resolved once here,
+    /// on the calling thread, so a `simd::with_backend` override survives
+    /// the rayon fan-out.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
+        let be = simd::backend();
         let flops = self.rows * self.cols * other.cols;
-        row_tiled(self.rows, other.cols, flops, |r0, buf| {
+        row_tiled(self.rows, other.cols, flops, move |r0, buf| {
             let out_cols = other.cols;
             for (ti, i) in (r0..).zip(0..buf.len() / out_cols) {
                 let a_row = self.row(ti);
@@ -158,9 +166,7 @@ impl Matrix {
                     if a_ik == 0.0 {
                         continue;
                     }
-                    for (o, &b) in o_row.iter_mut().zip(other.row(k)) {
-                        *o += a_ik * b;
-                    }
+                    simd::axpy(be, a_ik, other.row(k), o_row);
                 }
             }
         })
@@ -177,8 +183,9 @@ impl Matrix {
             "matmul_tn: row counts differ ({}x{} vs {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
+        let be = simd::backend();
         let flops = self.rows * self.cols * other.cols;
-        row_tiled(self.cols, other.cols, flops, |r0, buf| {
+        row_tiled(self.cols, other.cols, flops, move |r0, buf| {
             let out_cols = other.cols;
             let tile_rows = buf.len() / out_cols;
             for i in 0..self.rows {
@@ -187,9 +194,7 @@ impl Matrix {
                 for t in 0..tile_rows {
                     let a_io = a_row[r0 + t];
                     let o_row = &mut buf[t * out_cols..(t + 1) * out_cols];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a_io * b;
-                    }
+                    simd::axpy(be, a_io, b_row, o_row);
                 }
             }
         })
@@ -208,18 +213,42 @@ impl Matrix {
             self.rows, self.cols, w.rows, w.cols
         );
         assert_eq!(w.rows, bias.len(), "affine_nt: bias length mismatch");
+        let be = simd::backend();
         let flops = self.rows * self.cols * w.rows;
-        row_tiled(self.rows, w.rows, flops, |r0, buf| {
+        if be == simd::Backend::Scalar {
+            // The original per-output scalar loop, verbatim — the
+            // bit-exactness oracle for the SIMD path below.
+            return row_tiled(self.rows, w.rows, flops, |r0, buf| {
+                let out_cols = w.rows;
+                for (ti, i) in (r0..).zip(0..buf.len() / out_cols) {
+                    let a_row = self.row(ti);
+                    let o_row = &mut buf[i * out_cols..(i + 1) * out_cols];
+                    for (o, out) in o_row.iter_mut().enumerate() {
+                        let mut s = bias[o];
+                        for (&a, &wv) in a_row.iter().zip(w.row(o)) {
+                            s += wv * a;
+                        }
+                        *out = s;
+                    }
+                }
+            });
+        }
+        // SIMD arm: seed each output row with the bias, then fold the
+        // k-ascending rank-one updates through the vectorized axpy over a
+        // once-per-call transposed weight matrix. Element `o` still
+        // computes `bias[o] + Σ_k a[k] * w[o][k]` with the sum grouped
+        // bias-first in k-ascending order; `a * w` commutes with
+        // identical rounding, so the result is bit-identical to the
+        // scalar oracle above.
+        let wt = w.transpose();
+        row_tiled(self.rows, w.rows, flops, move |r0, buf| {
             let out_cols = w.rows;
             for (ti, i) in (r0..).zip(0..buf.len() / out_cols) {
                 let a_row = self.row(ti);
                 let o_row = &mut buf[i * out_cols..(i + 1) * out_cols];
-                for (o, out) in o_row.iter_mut().enumerate() {
-                    let mut s = bias[o];
-                    for (&a, &wv) in a_row.iter().zip(w.row(o)) {
-                        s += wv * a;
-                    }
-                    *out = s;
+                o_row.copy_from_slice(bias);
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    simd::axpy(be, a_ik, wt.row(k), o_row);
                 }
             }
         })
@@ -228,7 +257,10 @@ impl Matrix {
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
-        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+        let be = simd::backend();
+        (0..self.rows)
+            .map(|i| simd::dot(be, self.row(i), v))
+            .collect()
     }
 
     /// Gram matrix `selfᵀ * self` (symmetric; only the upper triangle is
@@ -396,11 +428,15 @@ fn row_tiled(
     Matrix::from_vec(out_rows, out_cols, data)
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, summed left to right.
+///
+/// Dispatches through [`simd::dot`]; every backend reduces the products
+/// in the same sequential order, so the result is bit-identical to the
+/// scalar `sum()` chain.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(simd::backend(), a, b)
 }
 
 /// Euclidean norm of a slice.
@@ -409,13 +445,13 @@ pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-/// `out += s * a`, the axpy kernel.
+/// `out += s * a`, the axpy kernel. Dispatches through [`simd::axpy`];
+/// each element sees one mul then one add in both backends, so the
+/// result is bit-identical regardless of backend.
 #[inline]
 pub fn axpy(s: f64, a: &[f64], out: &mut [f64]) {
     debug_assert_eq!(a.len(), out.len());
-    for (o, &x) in out.iter_mut().zip(a) {
-        *o += s * x;
-    }
+    simd::axpy(simd::backend(), s, a, out)
 }
 
 #[cfg(test)]

@@ -148,18 +148,76 @@ impl LinearFit {
         })
     }
 
-    /// Predict one row of the full design matrix.
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
+    /// The feature width a prediction row must provide: one past the
+    /// highest column index any active term reads.
+    pub fn min_width(&self) -> usize {
+        self.active.iter().map(|&c| c + 1).max().unwrap_or(0)
+    }
+
+    /// Predict one row of the full design matrix, checking the row is
+    /// wide enough for every active term first. Narrow rows are a typed
+    /// `InvalidInput` instead of an out-of-bounds panic.
+    pub fn try_predict_row(&self, row: &[f64]) -> Result<f64> {
+        let need = self.min_width();
+        if row.len() < need {
+            return Err(Error::invalid(format!(
+                "linear fit reads feature column {}; expected at least {} features, got {}",
+                need - 1,
+                need,
+                row.len()
+            )));
+        }
         let mut y = self.intercept;
         for (&c, &b) in self.active.iter().zip(&self.coefs) {
             y += b * row[c];
         }
-        y
+        Ok(y)
+    }
+
+    /// Predict every row of a design matrix, rejecting width mismatches
+    /// with a typed error instead of panicking.
+    pub fn try_predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let need = self.min_width();
+        if x.cols() < need {
+            return Err(Error::invalid(format!(
+                "linear fit reads feature column {}; expected at least {} design columns, got {}",
+                need - 1,
+                need,
+                x.cols()
+            )));
+        }
+        Ok((0..x.rows())
+            .map(|i| {
+                let row = x.row(i);
+                let mut y = self.intercept;
+                for (&c, &b) in self.active.iter().zip(&self.coefs) {
+                    y += b * row[c];
+                }
+                y
+            })
+            .collect())
+    }
+
+    /// Predict one row of the full design matrix.
+    ///
+    /// Panics on a feature-width mismatch; use [`Self::try_predict_row`]
+    /// on untrusted widths.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        match self.try_predict_row(row) {
+            Ok(y) => y,
+            Err(e) => panic!("LinearFit::predict_row: {e}"),
+        }
     }
 
     /// Predict every row of a design matrix.
+    ///
+    /// Panics on a feature-width mismatch; use [`Self::try_predict`] on
+    /// untrusted widths.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        match self.try_predict(x) {
+            Ok(y) => y,
+            Err(e) => panic!("LinearFit::predict: {e}"),
+        }
     }
 
     /// Coefficient of determination.
@@ -216,6 +274,31 @@ mod tests {
         assert!((fit.coefs[1] + 1.0).abs() < 1e-9);
         assert!(fit.rss < 1e-18);
         assert!(fit.r2() > 0.999999);
+    }
+
+    /// Regression (predict-path edge cases): a feature-width mismatch
+    /// used to index out of bounds and panic; it is now a typed
+    /// `InvalidInput` with the expected-vs-got widths.
+    #[test]
+    fn narrow_rows_are_typed_invalid_input_not_panics() {
+        let (x, y) = exact_data();
+        let fit = LinearFit::fit(&x, &y, &[0, 2]);
+        assert_eq!(fit.min_width(), 3);
+        let e = fit
+            .try_predict_row(&[1.0, 2.0])
+            .expect_err("row too narrow");
+        assert_eq!(e.kind(), "invalid");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("at least 3") && msg.contains("got 2"),
+            "expected-vs-got widths in: {msg}"
+        );
+        let narrow = Matrix::from_rows(&[vec![0.5], vec![0.25]]);
+        let e = fit.try_predict(&narrow).expect_err("matrix too narrow");
+        assert_eq!(e.kind(), "invalid");
+        // Wide-enough inputs still predict, bit-identical to predict_row.
+        let ok = fit.try_predict(&x).expect("full-width design");
+        assert_eq!(ok, fit.predict(&x));
     }
 
     #[test]

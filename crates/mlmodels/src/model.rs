@@ -145,17 +145,34 @@ pub struct TrainedModel {
 }
 
 impl TrainedModel {
-    /// Predict the target for every row of a raw table.
-    pub fn predict(&self, table: &Table) -> Vec<f64> {
+    /// Predict the target for every row of a raw table, rejecting
+    /// malformed inputs with typed errors instead of panicking:
+    /// `DegenerateData` when the table cannot state a row count
+    /// (no columns and no target), `InvalidInput` when its columns do
+    /// not match the preprocessing plan or the resulting design width
+    /// does not fit the estimator.
+    pub fn try_predict(&self, table: &Table) -> Result<Vec<f64>> {
         let _span = telemetry::span!("predict", model = self.kind.abbrev(), rows = table.n_rows());
-        let x = self.prep.transform(table);
+        table.try_n_rows()?;
+        let x = self.prep.try_transform(table)?;
         match &self.estimator {
-            Estimator::Linear(fit) => fit.predict(&x),
-            Estimator::Network(net) => net
-                .predict(&x)
+            Estimator::Linear(fit) => fit.try_predict(&x),
+            Estimator::Network(net) => Ok(net
+                .try_predict(&x)?
                 .into_iter()
                 .map(|p| self.prep.unscale_target(p))
-                .collect(),
+                .collect()),
+        }
+    }
+
+    /// Predict the target for every row of a raw table.
+    ///
+    /// Panics when the table does not match the model's preprocessing
+    /// plan; use [`Self::try_predict`] on untrusted tables.
+    pub fn predict(&self, table: &Table) -> Vec<f64> {
+        match self.try_predict(table) {
+            Ok(y) => y,
+            Err(e) => panic!("predict {}: {e}", self.kind.abbrev()),
         }
     }
 
@@ -289,6 +306,41 @@ mod tests {
         let nn = train(ModelKind::NnS, &t, 1);
         assert!(nn.network().is_some());
         assert!(nn.linear_fit().is_none());
+    }
+
+    /// Regression (predict-path edge cases): predicting through a table
+    /// that does not match the fitted plan used to panic deep in the
+    /// design-matrix indexing; `try_predict` reports typed errors, and
+    /// a column-less table is `DegenerateData` rather than a silent
+    /// empty prediction vector.
+    #[test]
+    fn try_predict_rejects_mismatched_and_column_less_tables() {
+        let t = table(60);
+        for kind in [ModelKind::LrE, ModelKind::NnQ] {
+            let m = train(kind, &t, 3);
+            // Fewer columns than the plan reads.
+            let mut narrow = Table::new();
+            narrow
+                .add_numeric("speed", vec![1500.0, 2500.0])
+                .set_target(vec![0.0, 0.0]);
+            let e = m.try_predict(&narrow).expect_err("narrow table");
+            assert_eq!(e.kind(), "invalid", "{}", kind.abbrev());
+            // Right arity, wrong column type where the plan expects a flag.
+            let mut retyped = Table::new();
+            retyped
+                .add_numeric("speed", vec![1500.0])
+                .add_numeric("mem_freq", vec![333.0])
+                .add_numeric("smt", vec![1.0])
+                .set_target(vec![0.0]);
+            let e = m.try_predict(&retyped).expect_err("retyped column");
+            assert_eq!(e.kind(), "invalid", "{}", kind.abbrev());
+            assert!(e.to_string().contains("flag"), "{}: {e}", kind.abbrev());
+            // Column-less table: previously a silent empty Vec.
+            let e = m.try_predict(&Table::new()).expect_err("column-less table");
+            assert_eq!(e.kind(), "degenerate", "{}", kind.abbrev());
+            // The happy path agrees with the panicking surface.
+            assert_eq!(m.try_predict(&t).expect("matching table"), m.predict(&t));
+        }
     }
 
     #[test]

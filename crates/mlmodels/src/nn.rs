@@ -160,7 +160,46 @@ impl Mlp {
         self.dead_inputs[i]
     }
 
+    /// The dead-input mask, aligned with the input features.
+    pub fn dead_inputs(&self) -> &[bool] {
+        &self.dead_inputs
+    }
+
+    /// Layer count (hidden layers plus the output layer).
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Weight matrix of layer `l` as an `outputs x inputs` [`Matrix`] —
+    /// the shape [`Matrix::affine_nt`] consumes. Compiled serve
+    /// predictors prebuild these once instead of per forward pass.
+    pub fn layer_weights(&self, l: usize) -> Matrix {
+        Matrix::from_rows(&self.layers[l].w)
+    }
+
+    /// Bias vector of layer `l`.
+    pub fn layer_bias(&self, l: usize) -> &[f64] {
+        &self.layers[l].b
+    }
+
+    /// Forward pass with a width check; narrow or wide rows are a typed
+    /// `InvalidInput` instead of a panic (or, worse, a silently truncated
+    /// zip in release builds).
+    pub fn try_forward(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.inputs() {
+            return Err(Error::invalid(format!(
+                "network expects {} input features, got {}",
+                self.inputs(),
+                x.len()
+            )));
+        }
+        Ok(self.forward(x))
+    }
+
     /// Forward pass; returns the (scaled) prediction.
+    ///
+    /// The row width must match [`Self::inputs`]; use
+    /// [`Self::try_forward`] on untrusted widths.
     pub fn forward(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.inputs());
         let mut act: Vec<f64> = x.to_vec();
@@ -218,14 +257,34 @@ impl Mlp {
         acts
     }
 
-    /// Predict every row of a design matrix (batched kernels; the scalar
-    /// per-row path behind `PERFPREDICT_NN_SCALAR=1` is bit-identical).
-    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+    /// Predict every row of a design matrix, rejecting width mismatches
+    /// with a typed error instead of panicking (batched kernels; the
+    /// scalar per-row path behind `PERFPREDICT_NN_SCALAR=1` is
+    /// bit-identical).
+    pub fn try_predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.inputs() {
+            return Err(Error::invalid(format!(
+                "network expects {} input features, got a design matrix with {} columns",
+                self.inputs(),
+                x.cols()
+            )));
+        }
         if scalar_oracle() {
-            return (0..x.rows()).map(|i| self.forward(x.row(i))).collect();
+            return Ok((0..x.rows()).map(|i| self.forward(x.row(i))).collect());
         }
         let out = self.forward_batch(x).pop().expect("output layer");
-        out.as_slice().to_vec()
+        Ok(out.as_slice().to_vec())
+    }
+
+    /// Predict every row of a design matrix.
+    ///
+    /// Panics on a feature-width mismatch; use [`Self::try_predict`] on
+    /// untrusted widths.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        match self.try_predict(x) {
+            Ok(y) => y,
+            Err(e) => panic!("Mlp::predict: {e}"),
+        }
     }
 
     /// Root-mean-square error on (x, y).
@@ -782,6 +841,30 @@ mod tests {
             },
         );
         assert!(rmse < 0.02, "rmse {rmse}");
+    }
+
+    /// Regression (predict-path edge cases): a width mismatch used to
+    /// panic in debug and silently truncate the zip in release; both
+    /// are now a typed `InvalidInput` with expected-vs-got widths.
+    #[test]
+    fn width_mismatch_is_typed_invalid_input_not_panic() {
+        let net = Mlp::new(4, &[3], 1);
+        let e = net
+            .try_forward(&[0.1, 0.2, 0.3])
+            .expect_err("row too narrow");
+        assert_eq!(e.kind(), "invalid");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("expects 4") && msg.contains("got 3"),
+            "expected-vs-got widths in: {msg}"
+        );
+        let narrow = Matrix::from_rows(&[vec![0.1, 0.2, 0.3]]);
+        let e = net.try_predict(&narrow).expect_err("matrix too narrow");
+        assert_eq!(e.kind(), "invalid");
+        // Exact-width inputs still predict, identically via both surfaces.
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let ok = net.try_forward(&xs).expect("full-width row");
+        assert_eq!(ok.to_bits(), net.forward(&xs).to_bits());
     }
 
     #[test]

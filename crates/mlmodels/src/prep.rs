@@ -14,6 +14,7 @@
 //!   variation").
 
 use crate::table::{Column, Table};
+use fault::{Error, Result};
 use linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -59,9 +60,11 @@ pub struct Preprocessor {
     pub(crate) target_max: f64,
 }
 
-/// How to compute one encoded feature from a table row.
+/// How to compute one encoded feature from a table row. Public so the
+/// serve layer can compile artifacts into specialized predictors that
+/// extract features straight from request cells.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub(crate) enum FeaturePlan {
+pub enum FeaturePlan {
     /// Numeric column value.
     Numeric {
         /// Source column index.
@@ -196,6 +199,60 @@ impl Preprocessor {
     /// The fitted encoding mode.
     pub fn encoding(&self) -> Encoding {
         self.encoding
+    }
+
+    /// The per-feature extraction plan, aligned with [`Self::features`].
+    pub fn plan(&self) -> &[FeaturePlan] {
+        &self.plan
+    }
+
+    /// Target `(min, max)` used for 0–1 target scaling.
+    pub fn target_range(&self) -> (f64, f64) {
+        (self.target_min, self.target_max)
+    }
+
+    /// Check that `table` has the columns this plan reads, with the
+    /// types it expects. Mismatches are typed `InvalidInput` (with the
+    /// expected-vs-got shape) instead of downstream panics.
+    pub fn try_check_table(&self, table: &Table) -> Result<()> {
+        let cols = table.columns();
+        for (fp, info) in self.plan.iter().zip(&self.features) {
+            let (col, want) = match *fp {
+                FeaturePlan::Numeric { col } => (col, "numeric"),
+                FeaturePlan::Flag { col } => (col, "flag"),
+                FeaturePlan::Code { col } | FeaturePlan::Indicator { col, .. } => {
+                    (col, "categorical")
+                }
+            };
+            let got = match cols.get(col) {
+                None => {
+                    return Err(Error::invalid(format!(
+                        "feature '{}' reads column {}, but the table has only {} columns",
+                        info.name,
+                        col,
+                        cols.len()
+                    )))
+                }
+                Some(Column::Numeric(_)) => "numeric",
+                Some(Column::Flag(_)) => "flag",
+                Some(Column::Categorical { .. }) => "categorical",
+            };
+            if got != want {
+                return Err(Error::invalid(format!(
+                    "feature '{}' expects a {} column at index {}, got {}",
+                    info.name, want, col, got
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::transform`] with the shape check of
+    /// [`Self::try_check_table`] run first, so a table that does not
+    /// match the fitted plan is a typed error rather than a panic.
+    pub fn try_transform(&self, table: &Table) -> Result<Matrix> {
+        self.try_check_table(table)?;
+        Ok(self.transform(table))
     }
 
     /// Encode without scaling (used to fit min/max, and by the CV Gram

@@ -140,8 +140,24 @@ impl Table {
     }
 
     /// Number of rows.
+    ///
+    /// A table with no columns *and* no target has no statable row
+    /// count; this accessor reports it as 0, which is fine for sizing
+    /// loops but silently masks a degenerate table from callers that
+    /// require rows. Those callers (the predict surfaces) go through
+    /// [`Table::try_n_rows`] instead.
     pub fn n_rows(&self) -> usize {
         self.n_rows_opt().unwrap_or(0)
+    }
+
+    /// Number of rows, as a typed error when the table cannot state one
+    /// (no columns and no target). Callers that *require* rows use this
+    /// so a column-less table surfaces as [`fault::Error::DegenerateData`]
+    /// instead of being silently treated as empty.
+    pub fn try_n_rows(&self) -> fault::Result<usize> {
+        self.n_rows_opt().ok_or_else(|| {
+            fault::Error::degenerate("table has no columns and no target; row count is undefined")
+        })
     }
 
     /// Number of predictor columns.
@@ -260,6 +276,24 @@ mod tests {
         t.validate();
         assert_eq!(t.n_rows(), 4);
         assert_eq!(t.n_cols(), 3);
+    }
+
+    /// Regression (predict-path edge cases): `n_rows()` reports a
+    /// column-less, target-less table as 0 rows, which callers used to
+    /// take at face value. `try_n_rows` surfaces the undefined row
+    /// count as a typed `DegenerateData` instead.
+    #[test]
+    fn column_less_table_row_count_is_typed_degenerate() {
+        let empty = Table::new();
+        assert_eq!(empty.n_rows(), 0, "legacy accessor still sizes loops");
+        let e = empty.try_n_rows().expect_err("row count is unstatable");
+        assert_eq!(e.kind(), "degenerate");
+        // A target alone pins the row count even without columns…
+        let mut target_only = Table::new();
+        target_only.set_target(vec![1.0, 2.0]);
+        assert_eq!(target_only.try_n_rows().expect("target states rows"), 2);
+        // …and any column does too.
+        assert_eq!(sample().try_n_rows().expect("columns state rows"), 4);
     }
 
     #[test]

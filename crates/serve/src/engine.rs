@@ -24,6 +24,7 @@
 //! passes, which is the economic argument of the paper made operational.
 
 use crate::cache::LruCache;
+use crate::compiled::{compile_with, CompiledModel, Precision};
 use crate::core::predict_window;
 use crate::request::{parse_request_line, Request};
 use fault::{Error, Result};
@@ -148,21 +149,34 @@ struct Admitted {
     admitted_at: Instant,
 }
 
-/// The batched prediction engine: an artifact, its cache, and the
-/// replay loop.
+/// The batched prediction engine: a compiled artifact, its cache, and
+/// the replay loop.
 pub struct Engine {
-    artifact: ModelArtifact,
+    model: CompiledModel,
     config: ServeConfig,
     cache: LruCache<Vec<u64>, f64>,
 }
 
 impl Engine {
-    /// Build an engine over a loaded artifact.
+    /// Build an engine over a loaded artifact, compiling it into its
+    /// topology-specialized f64 predictor.
     pub fn new(artifact: ModelArtifact, config: ServeConfig) -> Result<Engine> {
+        Self::with_precision(artifact, config, Precision::F64)
+    }
+
+    /// Build an engine serving at the given precision. [`Precision::F32`]
+    /// is verified against the f64 path at compile time and rejected
+    /// with a typed error if it exceeds the documented error bound.
+    pub fn with_precision(
+        artifact: ModelArtifact,
+        config: ServeConfig,
+        precision: Precision,
+    ) -> Result<Engine> {
         config.validated()?;
+        let model = compile_with(artifact, precision)?;
         let cache = LruCache::new(config.cache_cap);
         Ok(Engine {
-            artifact,
+            model,
             config,
             cache,
         })
@@ -170,7 +184,7 @@ impl Engine {
 
     /// The artifact being served.
     pub fn artifact(&self) -> &ModelArtifact {
-        &self.artifact
+        &self.model.artifact
     }
 
     /// Serve one window of admitted requests, appending ordered response
@@ -185,12 +199,7 @@ impl Engine {
         latency: &mut Histogram,
     ) -> Result<()> {
         let requests: Vec<&Request> = window.iter().map(|adm| &adm.request).collect();
-        let outcome = predict_window(
-            &self.artifact,
-            &mut self.cache,
-            self.config.workers,
-            &requests,
-        );
+        let outcome = predict_window(&self.model, &mut self.cache, self.config.workers, &requests)?;
         stats.cache_hits += outcome.hits;
         stats.cache_misses += window.len() as u64 - outcome.hits;
         stats.predictions += outcome.predictions;
@@ -215,7 +224,10 @@ impl Engine {
     /// line per request. Invalid request lines abort the replay with a
     /// typed error (exit code 2 at the CLI).
     pub fn serve(&mut self, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<ServeStats> {
-        let _span = telemetry::span!("serve/replay", model = self.artifact.model.kind.abbrev());
+        let _span = telemetry::span!(
+            "serve/replay",
+            model = self.model.artifact.model.kind.abbrev()
+        );
         let started = Instant::now();
         let mut stats = ServeStats::default();
         let mut latency = Histogram::new();
@@ -241,7 +253,7 @@ impl Engine {
                 if trimmed.is_empty() {
                     continue;
                 }
-                let request = parse_request_line(&self.artifact.schema, trimmed, line_no)?;
+                let request = parse_request_line(&self.model.artifact.schema, trimmed, line_no)?;
                 queue.push_back(Admitted {
                     index: line_no,
                     request,

@@ -28,6 +28,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod compiled;
 pub(crate) mod core;
 pub mod daemon;
 pub mod engine;
@@ -37,6 +38,7 @@ pub mod workload;
 
 pub use admission::AdmissionQueue;
 pub use cache::LruCache;
+pub use compiled::{compile, compile_with, CompiledModel, Precision, F32_REL_BOUND};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
 pub use engine::{serve_jsonl, Engine, ServeConfig, ServeStats};
 pub use registry::{Registry, RegistryConfig};

@@ -28,18 +28,27 @@
 //!   wants exactly that version or a typed error.
 
 use crate::cache::LruCache;
+use crate::compiled::{compile_with, CompiledModel, Precision};
 use fault::{Error, Result};
 use mlmodels::artifact::TableSchema;
 use mlmodels::ModelArtifact;
 use std::collections::BTreeMap;
 use telemetry::json::JsonObject;
 
-/// A loaded artifact plus its per-model surrogate cache.
+/// A loaded, compiled artifact plus its per-model surrogate cache.
 pub struct ServingModel {
-    /// The artifact served on this route.
-    pub artifact: ModelArtifact,
+    /// The artifact served on this route, compiled into its
+    /// topology-specialized predictor at load time.
+    pub compiled: CompiledModel,
     /// LRU cache keyed on canonicalized configuration vectors.
     pub cache: LruCache<Vec<u64>, f64>,
+}
+
+impl ServingModel {
+    /// The artifact behind the compiled predictor.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.compiled.artifact
+    }
 }
 
 /// Health of one registered version.
@@ -64,6 +73,9 @@ pub enum VersionState {
 struct Version {
     version: u64,
     path: String,
+    /// Precision this version was loaded at; reloads recompile at the
+    /// same precision.
+    precision: Precision,
     state: VersionState,
 }
 
@@ -201,18 +213,33 @@ impl Registry {
         }
     }
 
-    /// Register a new version of `name` from `path`. On success the new
-    /// version becomes the newest healthy route target. On a corrupt
-    /// artifact the new version is registered *quarantined* (with the
-    /// reason) and the error is returned — previously healthy versions
-    /// keep serving untouched.
+    /// Register a new version of `name` from `path` at f64 precision.
+    /// See [`Registry::load_with_precision`].
     pub fn load(&mut self, name: &str, path: &str) -> Result<u64> {
+        self.load_with_precision(name, path, Precision::F64)
+    }
+
+    /// Register a new version of `name` from `path`, compiled at the
+    /// given precision. On success the new version becomes the newest
+    /// healthy route target. On a corrupt artifact — or one that fails
+    /// to compile (malformed plan, or an f32 probe exceeding the error
+    /// bound) — the new version is registered *quarantined* (with the
+    /// reason) and the error is returned; previously healthy versions
+    /// keep serving untouched.
+    pub fn load_with_precision(
+        &mut self,
+        name: &str,
+        path: &str,
+        precision: Precision,
+    ) -> Result<u64> {
         if name.is_empty() || name.contains('@') {
             return Err(Error::invalid(format!(
                 "model name '{name}' must be non-empty and must not contain '@'"
             )));
         }
-        let loaded = self.load_with_retry(path);
+        let loaded = self
+            .load_with_retry(path)
+            .and_then(|a| compile_with(a, precision));
         let entry = self.models.entry(name.to_string()).or_insert(ModelEntry {
             versions: Vec::new(),
             next_version: 1,
@@ -220,12 +247,13 @@ impl Registry {
         let version = entry.next_version;
         entry.next_version += 1;
         match loaded {
-            Ok(artifact) => {
+            Ok(compiled) => {
                 entry.versions.push(Version {
                     version,
                     path: path.to_string(),
+                    precision,
                     state: VersionState::Ready(Box::new(ServingModel {
-                        artifact,
+                        compiled,
                         cache: LruCache::new(self.config.cache_cap),
                     })),
                 });
@@ -237,6 +265,7 @@ impl Registry {
                 entry.versions.push(Version {
                     version,
                     path: path.to_string(),
+                    precision,
                     state: VersionState::Quarantined {
                         reason: e.to_string(),
                         cache: LruCache::new(0),
@@ -259,7 +288,7 @@ impl Registry {
         // Resolve the target version number first (immutably), then
         // load outside the borrow so retry/backoff does not hold the
         // entry.
-        let (version, path) = {
+        let (version, path, precision) = {
             let entry = self
                 .models
                 .get(name)
@@ -275,9 +304,11 @@ impl Registry {
                     .last()
                     .ok_or_else(|| Error::invalid(format!("model '{name}' has no versions")))?,
             };
-            (v.version, v.path.clone())
+            (v.version, v.path.clone(), v.precision)
         };
-        let loaded = self.load_with_retry(&path);
+        let loaded = self
+            .load_with_retry(&path)
+            .and_then(|a| compile_with(a, precision));
         let entry = self.models.get_mut(name).unwrap_or_else(|| {
             unreachable!("entry '{name}' existed above and reload holds &mut self")
         });
@@ -292,12 +323,12 @@ impl Registry {
             schema: None,
         };
         match loaded {
-            Ok(artifact) => {
+            Ok(compiled) => {
                 let cache = match std::mem::replace(&mut slot.state, placeholder) {
                     VersionState::Ready(m) => m.cache,
                     VersionState::Quarantined { .. } => LruCache::new(self.config.cache_cap),
                 };
-                slot.state = VersionState::Ready(Box::new(ServingModel { artifact, cache }));
+                slot.state = VersionState::Ready(Box::new(ServingModel { compiled, cache }));
                 self.stats.loads += 1;
                 telemetry::counter_add("serve/registry_loads", 1);
                 Ok(version)
@@ -307,7 +338,7 @@ impl Registry {
                 let (cache, schema) = match std::mem::replace(&mut slot.state, placeholder) {
                     VersionState::Ready(m) => {
                         let m = *m;
-                        (m.cache, Some(m.artifact.schema))
+                        (m.cache, Some(m.compiled.artifact.schema))
                     }
                     VersionState::Quarantined { cache, schema, .. } => (cache, schema),
                 };
@@ -449,7 +480,8 @@ impl Registry {
                 let obj = match &v.state {
                     VersionState::Ready(m) => obj
                         .str("state", "ready")
-                        .str("kind", m.artifact.model.kind.abbrev())
+                        .str("kind", m.compiled.artifact.model.kind.abbrev())
+                        .str("precision", v.precision.label())
                         .uint("cache_entries", m.cache.len() as u64),
                     VersionState::Quarantined { reason, cache, .. } => obj
                         .str("state", "quarantined")

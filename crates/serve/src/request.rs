@@ -106,7 +106,13 @@ pub fn request_from_fields(
             .ok_or_else(|| invalid(line_no, format!("missing field '{name}'")))?;
         let cell = match col {
             ColumnSchema::Numeric { .. } => match v.as_f64() {
-                Some(x) if x.is_finite() => Cell::Num(x),
+                // Canonicalize -0.0 at the boundary so every stored
+                // cell (and anything derived from it — cache keys,
+                // design rows, compiled-predictor inputs) sees one
+                // representation per arithmetic value. NaN and the
+                // infinities fail the is_finite gate with a typed
+                // error, so they can never reach the cache or dedup.
+                Some(x) if x.is_finite() => Cell::Num(if x == 0.0 { 0.0 } else { x }),
                 _ => {
                     return Err(invalid(
                         line_no,
@@ -285,6 +291,46 @@ mod tests {
         let c = parse_request_line(&s, r#"{"bpred":"perfect","smt":true,"speed":0}"#, 3).unwrap();
         assert_eq!(a.canonical_key(), b.canonical_key());
         assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    /// Regression (cache-key canonicalization): `-0.0` is rewritten to
+    /// `0.0` *in the stored cell* at validation time, so every consumer
+    /// of the cells — cache keys, batch tables, compiled predictors —
+    /// sees one representation per arithmetic value.
+    #[test]
+    fn negative_zero_is_canonicalized_in_the_cell_itself() {
+        let s = schema();
+        let r =
+            parse_request_line(&s, r#"{"bpred":"perfect","smt":false,"speed":-0.0}"#, 1).unwrap();
+        match r.cells[0] {
+            Cell::Num(x) => assert_eq!(x.to_bits(), 0.0f64.to_bits(), "stored cell must be +0.0"),
+            ref other => panic!("expected numeric cell, got {other:?}"),
+        }
+    }
+
+    /// Regression (NaN rejection): non-finite numerics — including
+    /// overflow-to-infinity literals like 1e999 — are typed
+    /// `InvalidInput` at validation, so NaN can never poison the cache
+    /// key space or the in-window dedup map.
+    #[test]
+    fn non_finite_numerics_are_rejected_at_validation() {
+        let s = schema();
+        for line in [
+            r#"{"bpred":"perfect","smt":false,"speed":1e999}"#,
+            r#"{"bpred":"perfect","smt":false,"speed":-1e999}"#,
+        ] {
+            let err = parse_request_line(&s, line, 5).expect_err(line);
+            assert_eq!(err.kind(), "invalid", "{line}");
+            assert!(err.to_string().contains("finite number"), "{line}: {err}");
+        }
+        // And via the daemon's pre-parsed field-map entry point too.
+        let mut fields = std::collections::BTreeMap::new();
+        fields.insert("speed".to_string(), Value::Num(f64::NAN));
+        fields.insert("smt".to_string(), Value::Bool(false));
+        fields.insert("bpred".to_string(), Value::Str("perfect".into()));
+        let err = request_from_fields(&s, &fields, 9).expect_err("NaN cell");
+        assert_eq!(err.kind(), "invalid");
+        assert!(err.to_string().contains("finite number"), "{err}");
     }
 
     #[test]

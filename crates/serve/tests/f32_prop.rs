@@ -1,0 +1,106 @@
+//! Property tests for the opt-in f32 inference mode: for **every**
+//! [`ModelKind`], single-precision predictions stay within the
+//! documented [`serve::F32_REL_BOUND`] relative error of the f64 path
+//! across randomly drawn configurations — including values *between*
+//! the training grid points, which the compile-time probe (restricted
+//! to observed domains) never saw.
+
+use proptest::prelude::*;
+use serve::{compile_with, CompiledModel, Precision, Request, F32_REL_BOUND};
+
+use mlmodels::{train, ModelArtifact, ModelKind, Table};
+use std::sync::OnceLock;
+
+fn training_table() -> Table {
+    let n = 72;
+    let speeds: Vec<f64> = (0..n).map(|i| 1000.0 + (i % 12) as f64 * 250.0).collect();
+    let mems: Vec<f64> = (0..n)
+        .map(|i| [266.0, 333.0, 400.0, 533.0][i % 4])
+        .collect();
+    let smt: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let bpred: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| {
+            0.01 * speeds[i] * (1.0 + 0.1 * (mems[i] / 400.0).ln())
+                + if smt[i] { 1.5 } else { 0.0 }
+                + bpred[i] as f64 * 0.3
+        })
+        .collect();
+    let mut t = Table::new();
+    t.add_numeric("speed", speeds)
+        .add_numeric("mem_freq", mems)
+        .add_flag("smt", smt)
+        .add_categorical(
+            "bpred",
+            bpred,
+            vec!["perfect".into(), "bimodal".into(), "gshare".into()],
+        )
+        .set_target(y);
+    t
+}
+
+/// One f32-compiled model per [`ModelKind`], trained once and shared
+/// across cases (training dominates; prediction is the thing under test).
+fn models() -> &'static Vec<(ModelKind, CompiledModel)> {
+    static MODELS: OnceLock<Vec<(ModelKind, CompiledModel)>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let t = training_table();
+        ModelKind::ALL
+            .iter()
+            .map(|&kind| {
+                let art = ModelArtifact::from_training(train(kind, &t, 13), &t);
+                let compiled = compile_with(art, Precision::F32)
+                    .unwrap_or_else(|e| panic!("{} fails the f32 probe: {e}", kind.abbrev()));
+                (kind, compiled)
+            })
+            .collect()
+    })
+}
+
+fn request(model: &CompiledModel, speed: f64, mem: f64, smt: bool, bpred: &str) -> Request {
+    let line =
+        format!("{{\"speed\":{speed},\"mem_freq\":{mem},\"smt\":{smt},\"bpred\":\"{bpred}\"}}");
+    serve::parse_request_line(&model.artifact.schema, &line, 1).expect("valid request")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Off-grid configurations: numeric values drawn from continuous
+    /// ranges covering (and slightly overhanging) the training domain.
+    #[test]
+    fn f32_mode_is_bounded_error_for_every_model_kind(
+        speed in 900.0f64..3900.0,
+        mem in 250.0f64..550.0,
+        smt in any::<bool>(),
+        bpred_ix in prop::sample::select(vec![0usize, 1, 2]),
+    ) {
+        let bpred = ["perfect", "bimodal", "gshare"][bpred_ix];
+        for (kind, model) in models() {
+            let req = request(model, speed, mem, smt, bpred);
+            let refs = [&req];
+            let exact = model.predict_requests_f64(&refs)[0];
+            let approx = model.predict_requests(&refs)[0];
+            prop_assert!(
+                (exact - approx).abs() <= F32_REL_BOUND * exact.abs().max(1.0),
+                "{}: speed={speed} mem={mem} smt={smt} bpred={bpred}: f64 {exact} vs f32 {approx}",
+                kind.abbrev()
+            );
+        }
+    }
+}
+
+/// The compile-time probe itself accepts every model family on this
+/// well-scaled problem (the `models()` initializer would panic
+/// otherwise), and each compiled model reports its precision.
+#[test]
+fn every_model_kind_passes_the_f32_probe() {
+    for (kind, model) in models() {
+        assert_eq!(
+            model.precision(),
+            Precision::F32,
+            "{} should serve in f32",
+            kind.abbrev()
+        );
+    }
+}

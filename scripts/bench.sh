@@ -16,8 +16,11 @@
 #   { "mode": "quick"|"full", "results": [ {bench, mean_ns, ...}, ... ] }
 # The per-bench records come verbatim from the compat criterion harness
 # (CRITERION_JSON_LINES); equivalence between the incremental/batched and
-# reference/scalar paths is asserted inside the bench binaries themselves,
-# so a completed run certifies bit-identical answers, not just speed.
+# reference/scalar paths is asserted inside the bench binaries themselves
+# — nn additionally pins the AVX2 linalg kernels to the scalar oracle,
+# and serve pins the compiled specialized predictors to the interpreted
+# transform-then-predict path (PERFPREDICT_SERVE=interpreted) — so a
+# completed run certifies bit-identical answers, not just speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
