@@ -11,6 +11,7 @@ use bench::Scale;
 use cpusim::runner::sweep_design_space;
 use cpusim::Benchmark;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dse::adaptive::{try_run_adaptive, AdaptiveConfig, EvalMode};
 use dse::sampled::{try_run_sampled_dse, SampledConfig, SamplingStrategy};
 use mlmodels::ModelKind;
 use std::hint::black_box;
@@ -80,6 +81,45 @@ fn bench_dse(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Adaptive (query-by-committee) trajectory at equal budget against the
+    // one-shot random baseline, on a precomputed sweep so only the
+    // modelling + acquisition loop is timed.
+    let quick_space = Scale::Quick.space();
+    let quick_sim = Scale::Quick.sim_options();
+    let quick_sweep = sweep_design_space(&quick_space, Benchmark::Gcc, &quick_sim);
+    let acfg = AdaptiveConfig {
+        initial: 16,
+        batch: 8,
+        rounds: 2,
+        committee: 3,
+        eval: EvalMode::FullSpace,
+        member: ModelKind::NnS,
+        final_model: ModelKind::NnS,
+        sim: quick_sim,
+        seed: 0xADA,
+        ..Default::default()
+    };
+    let mut agroup = c.benchmark_group("dse");
+    agroup.sample_size(10);
+    agroup.warm_up_time(std::time::Duration::from_millis(500));
+    agroup.measurement_time(std::time::Duration::from_secs(5));
+    agroup.bench_function("adaptive_vs_random_quick", |b| {
+        b.iter_batched(
+            || quick_sweep.clone(),
+            |sw| {
+                black_box(try_run_adaptive(
+                    Benchmark::Gcc,
+                    &quick_space,
+                    &acfg,
+                    Some(sw),
+                    None,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    agroup.finish();
 }
 
 criterion_group!(benches, bench_dse);

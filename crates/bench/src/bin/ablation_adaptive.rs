@@ -4,7 +4,7 @@
 use bench::{banner, parse_common_args};
 use cpusim::runner::sweep_design_space;
 use cpusim::Benchmark;
-use dse::adaptive::{run_adaptive, AdaptiveConfig};
+use dse::adaptive::{try_run_adaptive, AdaptiveConfig};
 use dse::report::{f, render_table};
 use mlmodels::ModelKind;
 
@@ -34,8 +34,10 @@ fn main() {
             final_model: ModelKind::NnE,
             sim,
             seed,
+            ..Default::default()
         };
-        let r = run_adaptive(b, &space, &cfg, Some(sweep));
+        let r = try_run_adaptive(b, &space, &cfg, Some(sweep), None)
+            .expect("ablation space fits the adaptive budget");
         println!("{} ({} configs):", b.name(), n);
         let rows: Vec<Vec<String>> = r
             .trajectory

@@ -38,13 +38,17 @@ pub mod config;
 pub mod core;
 pub mod prefetch;
 pub mod runner;
+pub mod shard;
 pub mod simpoint;
 pub mod tlb;
 pub mod trace;
 pub mod workload;
 
-pub use config::{BranchPredictorKind, CpuConfig, DesignSpace};
+pub use config::{BranchPredictorKind, CpuConfig, DesignSpace, SpaceSpec};
 pub use runner::{
     simulate, sweep_design_space, try_sweep_design_space, SimOptions, SimResult, SweepOutcome,
+};
+pub use shard::{
+    merged_jsonl, try_simulate_indices, try_sweep_sharded, BatchOutcome, ShardOptions, ShardOutcome,
 };
 pub use workload::{Benchmark, WorkloadProfile};

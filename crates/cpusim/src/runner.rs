@@ -83,8 +83,10 @@ impl SimResult {
 /// Materialize the instruction window(s) a run will replay.
 ///
 /// Returns the interval traces and their weights. Without SimPoints this is
-/// a single full-weight window from the trace start.
-fn materialize(
+/// a single full-weight window from the trace start. Crate-visible so the
+/// sharded driver ([`crate::shard`]) can share one materialization across
+/// its workers.
+pub(crate) fn materialize(
     benchmark: Benchmark,
     opts: &SimOptions,
 ) -> (Vec<Vec<Inst>>, Vec<f64>, Option<SimPointAnalysis>) {
@@ -129,7 +131,7 @@ fn materialize(
 }
 
 /// Simulate one configuration on the materialized windows.
-fn run_windows(
+pub(crate) fn run_windows(
     config: CpuConfig,
     benchmark: Benchmark,
     traces: &[Vec<Inst>],
@@ -225,11 +227,15 @@ pub struct SweepOutcome {
 ///
 /// Public so pipeline layers (e.g. sampled DSE) can create a compatible
 /// header when they own the checkpoint file but skip the sweep itself.
-pub fn sweep_header(benchmark: Benchmark, n_configs: usize, opts: &SimOptions) -> String {
+/// Alongside the point count, the header pins the space's content hash,
+/// so a ledger can never be resumed against a *different* space that
+/// happens to have the same size.
+pub fn sweep_header(benchmark: Benchmark, space: &DesignSpace, opts: &SimOptions) -> String {
     JsonObject::new()
         .str("type", "header")
         .str("benchmark", benchmark.name())
-        .uint("space", n_configs as u64)
+        .uint("space", space.len() as u64)
+        .str("space_hash", &format!("{:016x}", space.content_hash()))
         .uint("instructions", opts.instructions)
         .uint("seed", opts.seed)
         .uint("simpoints", opts.use_simpoints as u64)
@@ -237,18 +243,36 @@ pub fn sweep_header(benchmark: Benchmark, n_configs: usize, opts: &SimOptions) -
 }
 
 /// The fields of [`sweep_header`] that must match on resume.
+///
+/// `space_hash` is part of the contract: checkpoints written before the
+/// space generator existed lack the field and are rejected with a typed
+/// [`Error::Checkpoint`] (re-run the sweep to rebuild them).
 pub fn sweep_header_expectations(
     benchmark: Benchmark,
-    n_configs: usize,
+    space: &DesignSpace,
     opts: &SimOptions,
 ) -> Vec<(&'static str, String)> {
     vec![
         ("benchmark", benchmark.name().to_string()),
-        ("space", n_configs.to_string()),
+        ("space", space.len().to_string()),
+        ("space_hash", format!("{:016x}", space.content_hash())),
         ("instructions", opts.instructions.to_string()),
         ("seed", opts.seed.to_string()),
         ("simpoints", (opts.use_simpoints as u64).to_string()),
     ]
+}
+
+/// The canonical checkpoint line for one simulated configuration. Shared
+/// by the sequential and sharded drivers so their ledgers (and merged
+/// outputs) are byte-compatible.
+pub(crate) fn sim_record(idx: usize, result: &SimResult) -> String {
+    JsonObject::new()
+        .str("type", "sim")
+        .uint("idx", idx as u64)
+        .num("cycles", result.cycles)
+        .uint("stat_cycles", result.stats.cycles)
+        .uint("stat_instructions", result.stats.instructions)
+        .finish()
 }
 
 /// Checkpointed design-space sweep with resume.
@@ -270,7 +294,7 @@ pub fn try_sweep_design_space(
     opts: &SimOptions,
     checkpoint: Option<&str>,
 ) -> Result<SweepOutcome> {
-    let n_configs = space.configs().len();
+    let n_configs = space.len();
     let _span = telemetry::span!("sweep", benchmark = benchmark.name(), configs = n_configs,);
 
     let mut done: Vec<Option<SimResult>> = vec![None; n_configs];
@@ -282,7 +306,7 @@ pub fn try_sweep_design_space(
             checkpoint::check_header(
                 path,
                 header,
-                &sweep_header_expectations(benchmark, n_configs, opts),
+                &sweep_header_expectations(benchmark, space, opts),
             )?;
             for rec in &records[1..] {
                 if checkpoint::str_field(path, rec, "type")? != "sim" {
@@ -305,7 +329,7 @@ pub fn try_sweep_design_space(
                     restored += 1;
                 }
                 done[idx] = Some(SimResult {
-                    config: space.configs()[idx],
+                    config: space.config_at(idx),
                     benchmark,
                     cycles,
                     stats,
@@ -315,7 +339,7 @@ pub fn try_sweep_design_space(
         }
         let w = CheckpointWriter::append(path)?;
         if records.is_empty() {
-            w.append_record(&sweep_header(benchmark, n_configs, opts))?;
+            w.append_record(&sweep_header(benchmark, space, opts))?;
         }
         writer = Some(w);
     }
@@ -333,14 +357,13 @@ pub fn try_sweep_design_space(
     let progress = telemetry::Progress::new("sweep", (n_configs - restored) as u64);
     let writer = &writer;
     let done = &done;
-    let results: Vec<Result<SimResult>> = space
-        .configs()
-        .par_iter()
-        .enumerate()
-        .map(|(idx, &config)| {
+    let results: Vec<Result<SimResult>> = (0..n_configs)
+        .into_par_iter()
+        .map(|idx| {
             if let Some(prior) = &done[idx] {
                 return Ok(prior.clone());
             }
+            let config = space.config_at(idx);
             let t_sim = telemetry::enabled().then(std::time::Instant::now);
             let result = run_windows(config, benchmark, &traces, &weights, opts.seed);
             if let Some(t) = t_sim {
@@ -348,14 +371,7 @@ pub fn try_sweep_design_space(
             }
             if let Some(w) = writer {
                 if result.cycles.is_finite() {
-                    let line = JsonObject::new()
-                        .str("type", "sim")
-                        .uint("idx", idx as u64)
-                        .num("cycles", result.cycles)
-                        .uint("stat_cycles", result.stats.cycles)
-                        .uint("stat_instructions", result.stats.instructions)
-                        .finish();
-                    w.append_record(&line)?;
+                    w.append_record(&sim_record(idx, &result))?;
                 } else {
                     // Non-finite cycles round-trip as JSON null, which
                     // would corrupt resume; re-simulate instead.
@@ -503,6 +519,50 @@ mod tests {
             try_sweep_design_space(&space, Benchmark::Mcf, &other_opts, Some(&path)),
             Err(fault::Error::Checkpoint { .. })
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression (header identity): a checkpoint for a *different* space
+    /// of the same size used to resume silently, mixing results from two
+    /// lattices. The header's `space_hash` now rejects it.
+    #[test]
+    fn checkpoint_for_equal_size_different_space_is_rejected() {
+        let table = DesignSpace::table1_reduced();
+        let space_a = DesignSpace::from_configs(table.configs()[..4].to_vec());
+        let space_b = DesignSpace::from_configs(table.configs()[4..8].to_vec());
+        assert_eq!(space_a.len(), space_b.len());
+        let opts = SimOptions::quick();
+        let path = tmp_checkpoint("space-hash.jsonl");
+        try_sweep_design_space(&space_a, Benchmark::Mcf, &opts, Some(&path)).expect("first run");
+        match try_sweep_design_space(&space_b, Benchmark::Mcf, &opts, Some(&path)) {
+            Err(fault::Error::Checkpoint { detail, .. }) => {
+                assert!(detail.contains("space_hash"), "{detail}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        // A header predating the space_hash field is rejected too, not
+        // silently accepted.
+        let text = std::fs::read_to_string(&path).expect("read checkpoint");
+        let stripped: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let mut s = l.to_string();
+                if let Some(start) = s.find(",\"space_hash\":\"") {
+                    let end = s[start + 15..].find('"').map(|e| start + 15 + e + 1);
+                    if let Some(end) = end {
+                        s.replace_range(start..end, "");
+                    }
+                }
+                s
+            })
+            .collect();
+        std::fs::write(&path, stripped.join("\n") + "\n").expect("write stripped");
+        match try_sweep_design_space(&space_a, Benchmark::Mcf, &opts, Some(&path)) {
+            Err(fault::Error::Checkpoint { detail, .. }) => {
+                assert!(detail.contains("space_hash"), "{detail}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -2,7 +2,7 @@
 
 use cpusim::bpred;
 use cpusim::cache::Cache;
-use cpusim::config::{BranchPredictorKind, CacheGeometry, CpuConfig, DesignSpace};
+use cpusim::config::{BranchPredictorKind, CacheGeometry, CpuConfig, DesignSpace, SpaceSpec};
 use cpusim::core::Core;
 use cpusim::tlb::Tlb;
 use cpusim::trace::{InstSource, OpClass, ReplaySource, TraceGenerator};
@@ -135,6 +135,48 @@ proptest! {
             prop_assert!(c.l1d.size_kb >= 16 && c.l1d.size_kb <= 64);
             prop_assert!(c.ruu_size == 2 * c.lsq_size);
         }
+    }
+
+    /// `DesignSpace::try_generate` is a pure function of the spec: two
+    /// generations agree on the content hash and on every probed index.
+    #[test]
+    fn generated_space_is_deterministic(idx in 0usize..2_211_840) {
+        let a = DesignSpace::try_generate(&SpaceSpec::mega()).expect("mega spec is valid");
+        let b = DesignSpace::try_generate(&SpaceSpec::mega()).expect("mega spec is valid");
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.config_at(idx), b.config_at(idx));
+        prop_assert!(!a.is_materialized(), "probing must stay lazy");
+    }
+
+    /// index → config → index round-trips at the edges of arbitrary
+    /// work-unit partitions, exactly where the sharded driver hands
+    /// configurations between workers.
+    #[test]
+    fn index_round_trips_across_shard_boundaries(
+        unit in 1usize..512,
+        k in 0usize..4096,
+    ) {
+        let space = DesignSpace::try_generate(&SpaceSpec::mega()).expect("mega spec is valid");
+        let start = (unit * k) % space.len();
+        let end = (start + unit - 1).min(space.len() - 1);
+        for idx in [start, end] {
+            let c = space.config_at(idx);
+            prop_assert_eq!(space.index_of(&c), Some(idx), "round-trip at {}", idx);
+        }
+    }
+
+    /// Seeded candidate pools are deterministic per seed, distinct, and
+    /// in range — on a space far too large to materialize.
+    #[test]
+    fn seeded_pool_is_deterministic_per_seed(seed in 0u64..1_000_000_000, k in 1usize..200) {
+        let space = DesignSpace::try_generate(&SpaceSpec::mega()).expect("mega spec is valid");
+        let a = space.seeded_pool(seed, k);
+        prop_assert_eq!(&a, &space.seeded_pool(seed, k));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "pool indices must be distinct");
+        prop_assert!(sorted.iter().all(|&i| i < space.len()));
     }
 
     /// Memory instructions always carry an address inside the (scaled)

@@ -33,6 +33,30 @@ pub fn try_table_from_sweep(results: &[SimResult]) -> Result<Table> {
     if results.is_empty() {
         return Err(Error::degenerate("empty sweep"));
     }
+    let configs: Vec<CpuConfig> = results.iter().map(|r| r.config).collect();
+    table_from_config_rows(&configs, results.iter().map(|r| r.cycles).collect())
+}
+
+/// Feature-only table for *unlabeled* configurations, with a zero target.
+///
+/// Used to score acquisition candidates with a trained committee: the
+/// predict surfaces transform the predictor columns through the model's
+/// stored preprocessor and never read the target, so the placeholder
+/// target is inert. Column names and types are identical to
+/// [`try_table_from_sweep`] by construction (one shared row builder), so
+/// a model trained on labeled rows can predict these rows directly.
+pub fn try_table_from_configs(configs: &[CpuConfig]) -> Result<Table> {
+    if configs.is_empty() {
+        return Err(Error::degenerate("empty candidate set"));
+    }
+    table_from_config_rows(configs, vec![0.0; configs.len()])
+}
+
+/// Shared row builder behind [`try_table_from_sweep`] and
+/// [`try_table_from_configs`]: the 24 Table-1 parameters as predictors
+/// (branch predictor categorical, wrong-path a flag, the rest numeric),
+/// with a caller-supplied target.
+fn table_from_config_rows(configs: &[CpuConfig], target: Vec<f64>) -> Result<Table> {
     let mut numeric: Vec<(usize, Vec<f64>)> = Vec::new();
     let names = CpuConfig::feature_names();
 
@@ -50,7 +74,7 @@ pub fn try_table_from_sweep(results: &[SimResult]) -> Result<Table> {
         if j == CpuConfig::BPRED_FEATURE_INDEX || j == flag_idx {
             continue;
         }
-        let col: Vec<f64> = results.iter().map(|r| r.config.features()[j]).collect();
+        let col: Vec<f64> = configs.iter().map(|c| c.features()[j]).collect();
         numeric.push((j, col));
     }
 
@@ -60,20 +84,17 @@ pub fn try_table_from_sweep(results: &[SimResult]) -> Result<Table> {
     }
     t.add_flag(
         "issue_wrong_path",
-        results.iter().map(|r| r.config.issue_wrong_path).collect(),
+        configs.iter().map(|c| c.issue_wrong_path).collect(),
     );
     t.add_categorical(
         "bpred",
-        results
-            .iter()
-            .map(|r| r.config.bpred.code() as u32)
-            .collect(),
+        configs.iter().map(|c| c.bpred.code() as u32).collect(),
         cpusim::BranchPredictorKind::ALL
             .iter()
             .map(|b| b.name().to_string())
             .collect(),
     );
-    t.set_target(results.iter().map(|r| r.cycles).collect());
+    t.set_target(target);
     t.try_validate()?;
     Ok(t)
 }

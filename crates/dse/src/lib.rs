@@ -31,7 +31,7 @@ pub mod report;
 pub mod sampled;
 pub mod selectbest;
 
-pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveResult};
+pub use adaptive::{try_run_adaptive, AdaptiveConfig, AdaptiveResult, EvalMode, TrajectoryPoint};
 pub use chrono::{run_chronological, try_run_chronological, ChronoConfig, ChronoResult};
 pub use sampled::{
     run_sampled_dse, try_run_sampled_dse, DroppedFit, SampledConfig, SampledPoint, SampledRun,

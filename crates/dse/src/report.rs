@@ -90,6 +90,29 @@ pub fn render_series(x_label: &str, xs: &[String], curves: &[(&str, Vec<f64>)]) 
     render_table(&header, &rows)
 }
 
+/// Render an adaptive-exploration trajectory as an aligned text table:
+/// one row per round with the simulation budget and the adaptive vs
+/// equal-budget-random MAPEs. NaN errors (acquisition-only runs) render
+/// as `-`.
+pub fn render_trajectory(trajectory: &[crate::adaptive::TrajectoryPoint]) -> String {
+    let err = |v: f64| if v.is_nan() { "-".to_string() } else { pct(v) };
+    let header: Vec<String> = ["sims", "adaptive MAPE%", "random MAPE%"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = trajectory
+        .iter()
+        .map(|p| {
+            vec![
+                p.budget.to_string(),
+                err(p.adaptive_error),
+                err(p.random_error),
+            ]
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
 /// Write a CSV file (RFC-4180-style quoting for cells containing commas,
 /// quotes, or newlines). Used by the harnesses to emit plot-ready data
 /// alongside the text tables.
@@ -180,6 +203,27 @@ mod tests {
         assert_eq!(lines[1], "plain,1.5");
         assert_eq!(lines[2], "\"with,comma\",\"quote\"\"d\"");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trajectory_renders_nan_as_dash() {
+        use crate::adaptive::TrajectoryPoint;
+        let out = render_trajectory(&[
+            TrajectoryPoint {
+                budget: 16,
+                adaptive_error: 3.25,
+                random_error: 4.5,
+            },
+            TrajectoryPoint {
+                budget: 24,
+                adaptive_error: f64::NAN,
+                random_error: f64::NAN,
+            },
+        ]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("3.25") && lines[2].contains("4.50"));
+        assert!(lines[3].contains('-') && !lines[3].contains("NaN"));
     }
 
     #[test]

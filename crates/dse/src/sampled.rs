@@ -367,7 +367,7 @@ pub fn try_run_sampled_dse(
             checkpoint::check_header(
                 path,
                 header,
-                &sweep_header_expectations(benchmark, space.len(), &cfg.sim),
+                &sweep_header_expectations(benchmark, space, &cfg.sim),
             )?;
             restored = restore_fits(path, &records[1..], cfg)?;
             if !restored.is_empty() {
@@ -397,7 +397,7 @@ pub fn try_run_sampled_dse(
             // The sweep writes the header when it owns an empty file; with
             // precomputed results nobody has yet, so the fit records need one.
             if prior_records == 0 && had_precomputed {
-                w.append_record(&sweep_header(benchmark, space.len(), &cfg.sim))?;
+                w.append_record(&sweep_header(benchmark, space, &cfg.sim))?;
             }
             Some(w)
         }

@@ -1,0 +1,103 @@
+//! Acceptance tests for the lazily-simulating adaptive explorer on a
+//! generator-defined space of millions of points.
+//!
+//! The contract under test (ISSUE 9): a generated space of ≥ 10^6
+//! configurations enumerates lazily — no full materialization — and an
+//! adaptive run on it simulates exactly `initial + batch × rounds`
+//! configurations, counted by the oracle's simulation counter.
+
+use cpusim::runner::SimOptions;
+use cpusim::{DesignSpace, SpaceSpec};
+use dse::adaptive::EvalMode;
+use dse::{try_run_adaptive, AdaptiveConfig};
+use mlmodels::ModelKind;
+
+fn mega_space() -> DesignSpace {
+    DesignSpace::try_generate(&SpaceSpec::mega()).expect("mega spec is valid")
+}
+
+fn lazy_cfg(seed: u64) -> AdaptiveConfig {
+    AdaptiveConfig {
+        initial: 8,
+        batch: 4,
+        rounds: 2,
+        committee: 2,
+        pool: 64,
+        eval: EvalMode::AcquisitionOnly,
+        member: ModelKind::NnS,
+        final_model: ModelKind::NnS,
+        sim: SimOptions::quick(),
+        seed,
+    }
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("perfpredict-adaptive-lazy");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn mega_space_run_simulates_only_the_budget_and_stays_lazy() {
+    let space = mega_space();
+    assert!(
+        space.len() > 1_000_000,
+        "the acceptance space must exceed a million points"
+    );
+    let cfg = lazy_cfg(41);
+    let r = try_run_adaptive(cpusim::Benchmark::Mcf, &space, &cfg, None, None)
+        .expect("lazy adaptive run succeeds");
+    assert_eq!(
+        r.simulated,
+        cfg.initial + cfg.batch * cfg.rounds,
+        "acquisition-only runs simulate exactly the budget"
+    );
+    assert_eq!(r.trajectory.len(), cfg.rounds + 1);
+    assert_eq!(
+        r.trajectory.last().expect("non-empty trajectory").budget,
+        cfg.initial + cfg.batch * cfg.rounds
+    );
+    assert!(
+        !space.is_materialized(),
+        "the 2.2M-point lattice must never be materialized"
+    );
+}
+
+#[test]
+fn exhaustive_scoring_on_a_mega_space_is_rejected_up_front() {
+    let space = mega_space();
+    let cfg = AdaptiveConfig {
+        pool: 0, // would score 2.2M candidates per round
+        eval: EvalMode::AcquisitionOnly,
+        sim: SimOptions::quick(),
+        ..lazy_cfg(5)
+    };
+    let e = try_run_adaptive(cpusim::Benchmark::Gcc, &space, &cfg, None, None)
+        .expect_err("uncapped scoring on a mega space must be rejected");
+    assert_eq!(e.kind(), "invalid");
+    assert!(e.to_string().contains("pool"), "{e}");
+    assert!(!space.is_materialized(), "validation must not materialize");
+}
+
+#[test]
+fn adaptive_ledger_resume_restores_every_label() {
+    let space = mega_space();
+    let cfg = lazy_cfg(17);
+    let path = tmp("adaptive-ledger.jsonl");
+
+    let first = try_run_adaptive(cpusim::Benchmark::Mesa, &space, &cfg, None, Some(&path))
+        .expect("first run");
+    assert_eq!(first.simulated, cfg.initial + cfg.batch * cfg.rounds);
+
+    // The run is deterministic per seed, so a rerun over the same ledger
+    // requests exactly the indices already recorded: zero fresh sims.
+    let second = try_run_adaptive(cpusim::Benchmark::Mesa, &space, &cfg, None, Some(&path))
+        .expect("resumed run");
+    assert_eq!(second.simulated, 0, "every label restores from the ledger");
+    let a: Vec<usize> = first.trajectory.iter().map(|p| p.budget).collect();
+    let b: Vec<usize> = second.trajectory.iter().map(|p| p.budget).collect();
+    assert_eq!(a, b, "resumed trajectory must match the fresh one");
+    let _ = std::fs::remove_file(&path);
+}

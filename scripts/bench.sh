@@ -21,6 +21,9 @@
 # and serve pins the compiled specialized predictors to the interpreted
 # transform-then-predict path (PERFPREDICT_SERVE=interpreted) — so a
 # completed run certifies bit-identical answers, not just speed.
+# The dse bench also times the adaptive (query-by-committee) explorer
+# against its equal-budget random baseline (dse/adaptive_vs_random_quick),
+# so acquisition-loop regressions land in BENCH_dse.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

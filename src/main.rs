@@ -3,6 +3,10 @@
 //! ```text
 //! perfpredict simulate  <benchmark>                 one configuration, full stats
 //! perfpredict sweep     <benchmark> [--step N]      design-space sweep summary
+//!                       [--space S] [--shards N]    (sharded work-stealing sweep over a
+//!                       [--unit N] [--merged-out F]  named space: table1, smoke, mega)
+//! perfpredict adaptive  <benchmark> [--initial N]   query-by-committee active learning
+//!                       [--batch N] [--rounds N]    with lazy simulation
 //! perfpredict sampled   <benchmark> [--rate pct]    sampled-DSE experiment
 //! perfpredict chrono    <family>    [--year Y]      chronological prediction
 //! perfpredict export-model <benchmark> [--model K]  train + save a .ppmodel artifact
@@ -41,11 +45,13 @@
 //! model version quarantined — the daemon's fail-closed termination.
 
 use perfpredict::cpusim::{
-    simulate, try_sweep_design_space, Benchmark, CpuConfig, DesignSpace, SimOptions,
+    merged_jsonl, simulate, try_sweep_design_space, try_sweep_sharded, Benchmark, CpuConfig,
+    DesignSpace, ShardOptions, SimOptions, SpaceSpec,
 };
+use perfpredict::dse::adaptive::{try_run_adaptive, AdaptiveConfig, EvalMode};
 use perfpredict::dse::chrono::{try_run_chronological, ChronoConfig};
 use perfpredict::dse::data::try_table_from_sweep;
-use perfpredict::dse::report::{f, render_table};
+use perfpredict::dse::report::{f, render_table, render_trajectory};
 use perfpredict::dse::sampled::{
     draw_sample, try_run_sampled_dse, SampledConfig, SamplingStrategy,
 };
@@ -63,7 +69,19 @@ fn usage() -> ! {
         "usage: perfpredict <command> [args]\n\
          commands:\n\
            simulate  <benchmark>              simulate one baseline configuration\n\
-           sweep     <benchmark> [--step N]   sweep the Table-1 space (default step 16)\n\
+           sweep     <benchmark> [--step N] [--space S]\n\
+                     [--shards N] [--unit N] [--merged-out F]\n\
+                                              sweep a design space (default: Table-1 at\n\
+                                              step 16; --space table1|smoke|mega picks a\n\
+                                              named space, --step applies to table1 only).\n\
+                                              --shards > 1 runs a work-stealing sharded\n\
+                                              sweep over the --checkpoint ledger; \n\
+                                              --merged-out writes canonical merged JSONL\n\
+           adaptive  <benchmark> [--space S] [--initial N] [--batch N]\n\
+                     [--rounds N] [--committee N] [--pool N]\n\
+                     [--eval full|none|holdout=N] [--seed S]\n\
+                                              active-learning DSE: simulate only the\n\
+                                              committee-selected configurations\n\
            sampled   <benchmark> [--rate P]   sampled DSE at P%% (default 2)\n\
            chrono    <family> [--year Y]      train year Y (default 2005), predict Y+1\n\
            export-model <benchmark> [--model K] [--rate P] [--out F]\n\
@@ -152,6 +170,42 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>> {
     let v = args.remove(i + 1);
     args.remove(i);
     Ok(Some(v))
+}
+
+/// Build a design space from `--space` (table1 | smoke | mega) and
+/// `--step` (a Table-1 decimation, meaningless for generated spaces).
+fn space_arg(args: &[String]) -> Result<DesignSpace> {
+    let name = parse_flag(args, "--space").unwrap_or_else(|| "table1".to_string());
+    match name.as_str() {
+        "table1" => {
+            let step: usize = parse_number(args, "--step", 16)?;
+            if step == 0 {
+                return Err(Error::invalid("--step must be at least 1"));
+            }
+            Ok(DesignSpace::from_configs(
+                DesignSpace::table1()
+                    .configs()
+                    .iter()
+                    .copied()
+                    .step_by(step)
+                    .collect(),
+            ))
+        }
+        "smoke" | "mega" => {
+            if parse_flag(args, "--step").is_some() {
+                return Err(Error::invalid("--step applies only to --space table1"));
+            }
+            let spec = if name == "smoke" {
+                SpaceSpec::smoke()
+            } else {
+                SpaceSpec::mega()
+            };
+            DesignSpace::try_generate(&spec)
+        }
+        other => Err(Error::invalid(format!(
+            "unknown space '{other}' — one of table1, smoke, mega"
+        ))),
+    }
 }
 
 fn benchmark_arg(args: &[String]) -> Result<Benchmark> {
@@ -285,28 +339,52 @@ fn cli() -> Result<()> {
         }
         "sweep" => {
             let b = benchmark_arg(rest)?;
-            let step: usize = parse_number(rest, "--step", 16)?;
-            if step == 0 {
-                return Err(Error::invalid("--step must be at least 1"));
-            }
-            let space = DesignSpace::from_configs(
-                DesignSpace::table1()
-                    .configs()
-                    .iter()
-                    .copied()
-                    .step_by(step)
-                    .collect(),
-            );
+            let space = space_arg(rest)?;
+            let shards: usize = parse_number(rest, "--shards", 1)?;
+            let unit: usize = parse_number(rest, "--unit", 64)?;
+            let merged_out = parse_flag(rest, "--merged-out");
             eprintln!("sweeping {} configurations…", space.len());
-            let outcome =
-                try_sweep_design_space(&space, b, &SimOptions::default(), checkpoint.as_deref())?;
-            if checkpoint.is_some() {
+            let results = if shards > 1 {
+                let ledger = checkpoint.as_deref().ok_or_else(|| {
+                    Error::invalid(
+                        "--shards requires --checkpoint <path> (the work-stealing ledger)",
+                    )
+                })?;
+                let outcome = try_sweep_sharded(
+                    &space,
+                    b,
+                    &SimOptions::default(),
+                    &ShardOptions {
+                        shards,
+                        unit_size: unit,
+                    },
+                    ledger,
+                )?;
                 eprintln!(
-                    "checkpoint: {} restored, {} simulated",
-                    outcome.restored, outcome.simulated
+                    "shards: {} workers over {} units ({} reclaimed), \
+                     {} restored, {} simulated",
+                    shards, outcome.units, outcome.reclaimed, outcome.restored, outcome.simulated
                 );
+                outcome.results
+            } else {
+                let outcome = try_sweep_design_space(
+                    &space,
+                    b,
+                    &SimOptions::default(),
+                    checkpoint.as_deref(),
+                )?;
+                if checkpoint.is_some() {
+                    eprintln!(
+                        "checkpoint: {} restored, {} simulated",
+                        outcome.restored, outcome.simulated
+                    );
+                }
+                outcome.results
+            };
+            if let Some(path) = &merged_out {
+                std::fs::write(path, merged_jsonl(&results)).map_err(|e| Error::io(path, e))?;
+                eprintln!("merged results written to {path}");
             }
-            let results = outcome.results;
             let summary = perfpredict::cpusim::runner::summarize_sweep(&results);
             let mut by_cycles: Vec<_> = results.iter().collect();
             by_cycles.sort_by(|a, b| a.cycles.total_cmp(&b.cycles));
@@ -329,6 +407,68 @@ fn cli() -> Result<()> {
                     c.bpred.name(),
                     c.width,
                 );
+            }
+        }
+        "adaptive" => {
+            let b = benchmark_arg(rest)?;
+            let space = space_arg(rest)?;
+            let defaults = AdaptiveConfig::default();
+            let eval = match parse_flag(rest, "--eval").as_deref() {
+                None | Some("full") => EvalMode::FullSpace,
+                Some("none") => EvalMode::AcquisitionOnly,
+                Some(v) => match v.strip_prefix("holdout=").and_then(|k| k.parse().ok()) {
+                    Some(k) => EvalMode::Holdout(k),
+                    None => {
+                        return Err(Error::invalid(format!(
+                            "--eval expects full, none, or holdout=N, got '{v}'"
+                        )))
+                    }
+                },
+            };
+            let cfg = AdaptiveConfig {
+                initial: parse_number(rest, "--initial", defaults.initial)?,
+                batch: parse_number(rest, "--batch", defaults.batch)?,
+                rounds: parse_number(rest, "--rounds", defaults.rounds)?,
+                committee: parse_number(rest, "--committee", defaults.committee)?,
+                pool: parse_number(rest, "--pool", defaults.pool)?,
+                eval,
+                seed: parse_number(rest, "--seed", defaults.seed)?,
+                ..defaults
+            };
+            eprintln!(
+                "adaptive DSE on {} ({} configurations, budget {})…",
+                b.name(),
+                space.len(),
+                cfg.initial + cfg.batch * cfg.rounds
+            );
+            let r = try_run_adaptive(b, &space, &cfg, None, checkpoint.as_deref())?;
+            eprintln!("simulated {} configurations", r.simulated);
+            if json_out {
+                let points: Vec<String> = r
+                    .trajectory
+                    .iter()
+                    .map(|p| {
+                        let mut obj = JsonObject::new().uint("budget", p.budget as u64);
+                        if p.adaptive_error.is_finite() {
+                            obj = obj.num("adaptive_error", p.adaptive_error);
+                        }
+                        if p.random_error.is_finite() {
+                            obj = obj.num("random_error", p.random_error);
+                        }
+                        obj.finish()
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    JsonObject::new()
+                        .str("benchmark", b.name())
+                        .uint("space_size", space.len() as u64)
+                        .uint("simulated", r.simulated as u64)
+                        .raw("trajectory", &format!("[{}]", points.join(",")))
+                        .finish()
+                );
+            } else {
+                print!("{}", render_trajectory(&r.trajectory));
             }
         }
         "sampled" => {
