@@ -1,0 +1,359 @@
+//! The incremental diagnostic cache (`--cache <path>`).
+//!
+//! One JSONL file in the `fault::checkpoint` mold: a header line
+//! identifying the format and the lint set, then one record per
+//! analyzed file keyed by the FNV-1a hash of its *content*. A warm run
+//! looks each file up by content hash and, on a hit, skips lexing,
+//! parsing, and every per-file pass — the record already holds the
+//! pre-waiver findings and the [`index::FileFacts`] the workspace
+//! passes need. Waiver matching and the three workspace passes re-run
+//! from facts on every run (they are cross-file and cheap), which is
+//! what makes warm output byte-identical to cold: the cache stores
+//! *inputs* to the reporting pipeline, never its final output, so an
+//! `analyze.toml` edit changes behavior with no cache invalidation.
+//!
+//! Tolerance contract, same as `fault::checkpoint`: a missing file, a
+//! garbage file, an unparseable line, or a torn final line (the
+//! classic crash-mid-append shape) all degrade to cache misses, never
+//! to errors — the cache can only make a run cheaper, not wronger. A
+//! header from a different format version or lint set drops the whole
+//! file. Saving rewrites the file via a same-directory temp + rename,
+//! so a reader never observes a half-written cache.
+
+use crate::diagnostics::Diagnostic;
+use crate::index::{self, FileFacts};
+use crate::lints::{static_lint_name, LINTS, WORKSPACE_PASSES};
+use fault::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+use telemetry::json::{self, JsonObject, Value};
+
+/// Cache format version — bump on any record-shape change.
+const FORMAT: u64 = 1;
+
+/// FNV-1a 64-bit over raw file bytes, 16 hex digits. Content-keyed, so
+/// `git checkout`, touch(1), and mtime skew cannot cause stale hits.
+pub(crate) fn file_hash(text: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
+}
+
+/// Fingerprint of the lint set that produced the cached findings: a
+/// cache written by an older analyzer (different passes) is useless.
+fn lint_set_id() -> String {
+    let names: Vec<&str> = LINTS
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(WORKSPACE_PASSES.iter().copied())
+        .collect();
+    file_hash(&names.join(","))
+}
+
+/// Everything a warm run needs for one unchanged file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedFile {
+    /// FNV-1a content hash of the file this record describes.
+    pub content_hash: String,
+    /// Pre-waiver per-file findings, in emit order.
+    pub findings: Vec<Diagnostic>,
+    /// Cross-file facts for the workspace passes.
+    pub facts: FileFacts,
+}
+
+/// An in-memory cache, keyed by workspace-relative path.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, CachedFile>,
+}
+
+impl Cache {
+    /// Load a cache from disk. Never fails: any unreadable or
+    /// unrecognizable state is an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let mut lines = text.lines();
+        let header_ok = lines
+            .next()
+            .and_then(|l| json::parse(l).ok())
+            .map(|v| {
+                v.get("type").and_then(Value::as_str) == Some("analyze-cache")
+                    && v.get("format").and_then(Value::as_u64) == Some(FORMAT)
+                    && v.get("lints").and_then(Value::as_str) == Some(lint_set_id().as_str())
+            })
+            .unwrap_or(false);
+        if !header_ok {
+            return Cache::default();
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            // A torn final line (crash mid-write) or any other
+            // unparseable record is skipped, not fatal.
+            let Ok(v) = json::parse(line) else { continue };
+            let Some((path, entry)) = record_from_json(&v) else {
+                continue;
+            };
+            entries.insert(path, entry);
+        }
+        Cache { entries }
+    }
+
+    /// Look up a file by path + current content hash. `Some` only when
+    /// the cached record was produced from byte-identical content.
+    pub(crate) fn lookup(&self, path: &str, content_hash: &str) -> Option<&CachedFile> {
+        self.entries
+            .get(path)
+            .filter(|e| e.content_hash == content_hash)
+    }
+
+    /// Insert (or replace) the record for `path`.
+    pub fn insert(&mut self, path: String, entry: CachedFile) {
+        self.entries.insert(path, entry);
+    }
+
+    /// Drop records for files no longer in the analyzed set, so the
+    /// cache tracks the workspace instead of growing monotonically.
+    pub(crate) fn retain_paths(&mut self, keep: &dyn Fn(&str) -> bool) {
+        self.entries.retain(|p, _| keep(p));
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rewrite the cache file: header plus one record per file, in
+    /// path order, via temp-file + rename so readers never see a torn
+    /// header. I/O failure here is a real error — the caller asked for
+    /// a cache and silently not writing one would fake warm runs.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut buf = String::new();
+        buf.push_str(
+            &JsonObject::new()
+                .str("type", "analyze-cache")
+                .uint("format", FORMAT)
+                .str("lints", &lint_set_id())
+                .finish(),
+        );
+        buf.push('\n');
+        for (file_path, entry) in &self.entries {
+            buf.push_str(&record_to_json(file_path, entry));
+            buf.push('\n');
+        }
+        let tmp = path.with_extension("tmp");
+        let name = |p: &Path| p.display().to_string();
+        std::fs::write(&tmp, &buf).map_err(|e| Error::io(name(&tmp), e))?;
+        std::fs::rename(&tmp, path).map_err(|e| Error::io(name(path), e))
+    }
+}
+
+fn diag_to_json(d: &Diagnostic) -> String {
+    JsonObject::new()
+        .str("lint", d.lint)
+        .usize("line", d.line)
+        .usize("col", d.col)
+        .usize("len", d.len)
+        .str("message", &d.message)
+        .str("excerpt", &d.excerpt)
+        .finish()
+}
+
+fn diag_from_json(path: &str, v: &Value) -> Option<Diagnostic> {
+    // The lint name must map back to the live registry's 'static str;
+    // an unknown name means a foreign lint set and drops the record.
+    let lint = static_lint_name(v.get("lint")?.as_str()?)?;
+    Some(Diagnostic::from_parts(
+        lint,
+        path.to_string(),
+        v.get("line")?.as_u64()? as usize,
+        v.get("col")?.as_u64()? as usize,
+        v.get("len")?.as_u64()? as usize,
+        v.get("message")?.as_str()?.to_string(),
+        v.get("excerpt")?.as_str()?.to_string(),
+    ))
+}
+
+fn record_to_json(path: &str, e: &CachedFile) -> String {
+    let mut findings = String::from("[");
+    for (i, d) in e.findings.iter().enumerate() {
+        if i > 0 {
+            findings.push(',');
+        }
+        findings.push_str(&diag_to_json(d));
+    }
+    findings.push(']');
+    JsonObject::new()
+        .str("type", "file")
+        .str("path", path)
+        .str("hash", &e.content_hash)
+        .raw("findings", &findings)
+        .raw("facts", &index::facts_to_json(&e.facts))
+        .finish()
+}
+
+fn record_from_json(v: &Value) -> Option<(String, CachedFile)> {
+    if v.get("type")?.as_str()? != "file" {
+        return None;
+    }
+    let path = v.get("path")?.as_str()?.to_string();
+    let content_hash = v.get("hash")?.as_str()?.to_string();
+    let findings_v = match v.get("findings")? {
+        Value::Arr(items) => items,
+        _ => return None,
+    };
+    let mut findings = Vec::with_capacity(findings_v.len());
+    for fv in findings_v {
+        findings.push(diag_from_json(&path, fv)?);
+    }
+    let facts = index::facts_from_json(&path, v.get("facts")?)?;
+    Some((
+        path,
+        CachedFile {
+            content_hash,
+            findings,
+            facts,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{extract_facts, role_of};
+    use crate::source::SourceFile;
+
+    fn entry(path: &str, src: &str) -> CachedFile {
+        let file = SourceFile::new(path.into(), src.into());
+        let tokens = crate::lexer::lex(&file.text);
+        let findings = crate::analyze_source(&file, false);
+        let facts = extract_facts(&file, &tokens, role_of(path));
+        CachedFile {
+            content_hash: file_hash(src),
+            findings,
+            facts,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("analyze-cache-roundtrip");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.jsonl");
+        let src = "pub fn f(n: usize) -> u32 {\n    n as u32\n}\n";
+        let mut cache = Cache::default();
+        cache.insert(
+            "crates/x/src/lib.rs".into(),
+            entry("crates/x/src/lib.rs", src),
+        );
+        cache.save(&path).expect("save");
+        let back = Cache::load(&path);
+        let hit = back
+            .lookup("crates/x/src/lib.rs", &file_hash(src))
+            .expect("content-hash hit");
+        assert_eq!(hit.findings.len(), 1);
+        assert_eq!(hit.findings[0].lint, "lossy-cast");
+        assert_eq!(
+            hit.findings[0].hash,
+            crate::analyze_source(
+                &SourceFile::new("crates/x/src/lib.rs".into(), src.into()),
+                false
+            )[0]
+            .hash,
+            "cached diagnostic reproduces the waiver-pinning hash exactly"
+        );
+        assert!(
+            back.lookup("crates/x/src/lib.rs", &file_hash("changed"))
+                .is_none(),
+            "content change misses"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_garbage_and_torn_files_load_empty_or_partial() {
+        let dir = std::env::temp_dir().join("analyze-cache-tolerance");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+
+        assert!(
+            Cache::load(&dir.join("nope.jsonl")).is_empty(),
+            "missing file"
+        );
+
+        let garbage = dir.join("garbage.jsonl");
+        std::fs::write(&garbage, "not json at all\n{]\n").expect("write");
+        assert!(Cache::load(&garbage).is_empty(), "garbage file");
+
+        // A valid header + record, then a torn final line: the intact
+        // record must survive.
+        let src = "pub fn f(n: usize) -> u32 {\n    n as u32\n}\n";
+        let mut cache = Cache::default();
+        cache.insert(
+            "crates/x/src/lib.rs".into(),
+            entry("crates/x/src/lib.rs", src),
+        );
+        let torn = dir.join("torn.jsonl");
+        cache.save(&torn).expect("save");
+        let mut text = std::fs::read_to_string(&torn).expect("read back");
+        text.push_str("{\"type\":\"file\",\"path\":\"crates/y/src/l"); // torn mid-append
+        std::fs::write(&torn, &text).expect("re-write");
+        let back = Cache::load(&torn);
+        assert_eq!(back.len(), 1, "intact record survives a torn tail");
+        assert!(back
+            .lookup("crates/x/src/lib.rs", &file_hash(src))
+            .is_some());
+
+        std::fs::remove_file(&garbage).ok();
+        std::fs::remove_file(&torn).ok();
+    }
+
+    #[test]
+    fn foreign_header_drops_the_cache() {
+        let dir = std::env::temp_dir().join("analyze-cache-header");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("foreign.jsonl");
+        let src = "pub fn f(n: usize) -> u32 {\n    n as u32\n}\n";
+        let mut cache = Cache::default();
+        cache.insert(
+            "crates/x/src/lib.rs".into(),
+            entry("crates/x/src/lib.rs", src),
+        );
+        cache.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        // Simulate a cache written by an analyzer with another lint set.
+        let rewritten = text.replacen(&lint_set_id(), &file_hash("other-lints"), 1);
+        std::fs::write(&path, rewritten).expect("write");
+        assert!(
+            Cache::load(&path).is_empty(),
+            "foreign lint set is a full miss"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retain_paths_drops_deleted_files() {
+        let src = "pub fn f() {}\n";
+        let mut cache = Cache::default();
+        cache.insert(
+            "crates/a/src/lib.rs".into(),
+            entry("crates/a/src/lib.rs", src),
+        );
+        cache.insert(
+            "crates/b/src/lib.rs".into(),
+            entry("crates/b/src/lib.rs", src),
+        );
+        cache.retain_paths(&|p| p.starts_with("crates/a/"));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -51,6 +51,33 @@ impl Diagnostic {
         }
     }
 
+    /// Build a diagnostic from already-resolved parts — the path the
+    /// cross-file passes and the diagnostic cache use, where the
+    /// original `SourceFile` may not be in memory. The content hash is
+    /// recomputed from `lint` + `excerpt`, so a cached finding pins
+    /// waivers exactly like a freshly-lexed one.
+    pub(crate) fn from_parts(
+        lint: &'static str,
+        path: String,
+        line: usize,
+        col: usize,
+        len: usize,
+        message: String,
+        excerpt: String,
+    ) -> Diagnostic {
+        let hash = content_hash(lint, &excerpt);
+        Diagnostic {
+            lint,
+            path,
+            line,
+            col,
+            len: len.max(1),
+            message,
+            excerpt,
+            hash,
+        }
+    }
+
     /// `rustc`-style text rendering:
     ///
     /// ```text
@@ -70,16 +97,28 @@ impl Diagnostic {
 
     /// One JSONL line, shaped like a telemetry manifest record.
     pub fn render_json(&self) -> String {
+        self.json_object().finish()
+    }
+
+    /// Like [`render_json`](Self::render_json) with a trailing
+    /// `"waived":true` marker — used by `--show-waived` so waiver
+    /// audits can read suppressed findings without parsing
+    /// `analyze.toml`. Unwaived findings keep the unmarked shape, so
+    /// default output stays byte-identical.
+    pub fn render_json_waived(&self) -> String {
+        self.json_object().bool("waived", true).finish()
+    }
+
+    fn json_object(&self) -> JsonObject {
         JsonObject::new()
             .str("type", "diagnostic")
             .str("lint", self.lint)
             .str("path", &self.path)
-            .uint("line", self.line as u64)
-            .uint("col", self.col as u64)
+            .usize("line", self.line)
+            .usize("col", self.col)
             .str("message", &self.message)
             .str("excerpt", &self.excerpt)
             .str("hash", &self.hash)
-            .finish()
     }
 }
 
@@ -93,7 +132,7 @@ pub fn content_hash(lint: &str, line_text: &str) -> String {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;
     for b in lint.bytes().chain([b':']).chain(line_text.trim().bytes()) {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(PRIME);
     }
     format!("{h:016x}")

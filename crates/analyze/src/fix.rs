@@ -1,0 +1,329 @@
+//! `--fix` — mechanical rewrites for the two lints whose fix is
+//! unambiguous.
+//!
+//! * `float-order`: `partial_cmp` → `total_cmp`, and when the call is
+//!   the usual `.partial_cmp(&b).unwrap()` / `.expect("…")` idiom the
+//!   trailing panic call is deleted too (`total_cmp` returns
+//!   `Ordering`, not `Option`).
+//! * `bare-assert`: a message-less `assert!`/`assert_eq!`/`assert_ne!`
+//!   gains `, "invariant violated: <condition>"` — the condition text
+//!   itself, condensed, so the panic names what broke without a human
+//!   inventing prose.
+//!
+//! Sites under a *valid* waiver are left alone: the waiver documents a
+//! reviewed decision to keep the code as-is, and rewriting it would
+//! strand the waiver as stale. Fixing is idempotent by construction —
+//! a fixed site no longer matches its lint's detector — and the test
+//! suite pins that by re-running the analyzer over fixer output.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{self, TokenKind};
+use crate::lints::FileCx;
+use crate::source::SourceFile;
+use crate::waiver::Waiver;
+use fault::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// What a fix run did.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FixSummary {
+    /// Files rewritten on disk.
+    pub files_changed: usize,
+    /// Individual sites fixed.
+    pub fixes: usize,
+}
+
+/// One byte-span rewrite inside a file.
+struct Edit {
+    start: usize,
+    end: usize,
+    replacement: String,
+}
+
+/// Apply the mechanical fixes to `files` (absolute paths under
+/// `root`), skipping sites excused by a valid waiver. Returns what
+/// changed; files without fixable sites are untouched.
+pub fn fix_files(root: &Path, files: &[PathBuf], waivers: &[Waiver]) -> Result<FixSummary> {
+    let mut summary = FixSummary::default();
+    for path in files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+        let rel = crate::relative_path(root, path);
+        let is_main = rel.ends_with("src/main.rs") || rel.contains("src/bin/");
+        let file = SourceFile::new(rel, text);
+        let (fixed, n) = fix_source(&file, is_main, waivers);
+        if n == 0 {
+            continue;
+        }
+        std::fs::write(path, fixed).map_err(|e| Error::io(path.display().to_string(), e))?;
+        summary.files_changed += 1;
+        summary.fixes += n;
+    }
+    Ok(summary)
+}
+
+/// Fix one in-memory file; returns the rewritten text and fix count.
+/// The building block `fix_files` and the idempotence tests share.
+pub(crate) fn fix_source(file: &SourceFile, is_main: bool, waivers: &[Waiver]) -> (String, usize) {
+    let edits = plan_edits(file, is_main, waivers);
+    let n = edits.len();
+    (apply_edits(&file.text, &edits), n)
+}
+
+fn plan_edits(file: &SourceFile, is_main: bool, waivers: &[Waiver]) -> Vec<Edit> {
+    let tokens = lexer::lex(&file.text);
+    let cx = FileCx::new(file, &tokens, is_main);
+    let mut edits = Vec::new();
+    plan_float_order(&cx, waivers, &mut edits);
+    plan_bare_assert(&cx, waivers, &mut edits);
+    // Reverse span order, so earlier edits' offsets stay valid.
+    edits.sort_by_key(|e| std::cmp::Reverse(e.start));
+    edits
+}
+
+/// Is this site excused by a valid (hash-matching) waiver? Mirrors the
+/// driver's waiver matching: same lint, path, line, agreeing hash.
+fn waived(cx: &FileCx<'_>, waivers: &[Waiver], lint: &'static str, from: usize, to: usize) -> bool {
+    let start = cx.code[from].start;
+    let end = cx.code[to.min(cx.code.len() - 1)].end;
+    let d = Diagnostic::new(
+        lint,
+        cx.file,
+        start,
+        end.saturating_sub(start),
+        String::new(),
+    );
+    waivers
+        .iter()
+        .any(|w| w.lint == d.lint && w.path == d.path && w.line == d.line && w.hash == d.hash)
+}
+
+fn plan_float_order(cx: &FileCx<'_>, waivers: &[Waiver], edits: &mut Vec<Edit>) {
+    for i in 0..cx.code.len() {
+        // Mirror of float_order::check's detector.
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident || cx.text(i) != "partial_cmp" {
+            continue;
+        }
+        if i > 0 && cx.is(i - 1, "fn") {
+            continue;
+        }
+        if waived(cx, waivers, "float-order", i, i) {
+            continue;
+        }
+        edits.push(Edit {
+            start: cx.code[i].start,
+            end: cx.code[i].end,
+            replacement: "total_cmp".into(),
+        });
+        // `.partial_cmp(&b).unwrap()` / `.expect("…")`: the Option
+        // unwrapping dies with the Option.
+        if !cx.is(i + 1, "(") {
+            continue;
+        }
+        let Some(close) = cx.matching_close(i + 1) else {
+            continue;
+        };
+        let tail_end = if cx.is(close + 1, ".")
+            && cx.is(close + 2, "unwrap")
+            && cx.is(close + 3, "(")
+            && cx.is(close + 4, ")")
+        {
+            Some(close + 4)
+        } else if cx.is(close + 1, ".")
+            && cx.is(close + 2, "expect")
+            && cx.is(close + 3, "(")
+            && close + 4 < cx.code.len()
+            && matches!(cx.kind(close + 4), TokenKind::Str | TokenKind::RawStr)
+            && cx.is(close + 5, ")")
+        {
+            Some(close + 5)
+        } else {
+            None
+        };
+        if let Some(last) = tail_end {
+            edits.push(Edit {
+                start: cx.code[close].end,
+                end: cx.code[last].end,
+                replacement: String::new(),
+            });
+        }
+    }
+}
+
+fn plan_bare_assert(cx: &FileCx<'_>, waivers: &[Waiver], edits: &mut Vec<Edit>) {
+    for i in 0..cx.code.len() {
+        // Mirror of bare_assert::check's detector.
+        if cx.in_test(i) || cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        if !matches!(cx.text(i), "assert" | "assert_eq" | "assert_ne") {
+            continue;
+        }
+        if !cx.is(i + 1, "!") {
+            continue;
+        }
+        let open = i + 2;
+        if open >= cx.code.len() || !matches!(cx.text(open), "(" | "[" | "{") {
+            continue;
+        }
+        let Some(close) = cx.matching_close(open) else {
+            continue;
+        };
+        let has_message = (open + 1..close).any(|j| {
+            matches!(cx.kind(j), TokenKind::Str | TokenKind::RawStr)
+                && cx.text(j).contains(|c: char| c.is_alphanumeric())
+        });
+        if has_message || close == open + 1 {
+            continue; // messaged, or degenerate `assert!()`
+        }
+        if waived(cx, waivers, "bare-assert", i, i + 1) {
+            continue;
+        }
+        let condition = &cx.file.text[cx.code[open].end..cx.code[close].start];
+        edits.push(Edit {
+            start: cx.code[close].start,
+            end: cx.code[close].start,
+            replacement: format!(", \"invariant violated: {}\"", condense(condition)),
+        });
+    }
+}
+
+/// Collapse a condition expression into a short, string-literal-safe
+/// description: whitespace squeezed, quotes/backslashes escaped,
+/// truncated on a char boundary.
+fn condense(condition: &str) -> String {
+    let collapsed: Vec<&str> = condition.split_whitespace().collect();
+    let mut s = collapsed.join(" ");
+    const MAX: usize = 60;
+    if s.chars().count() > MAX {
+        s = s.chars().take(MAX).collect::<String>() + "...";
+    }
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn apply_edits(text: &str, edits: &[Edit]) -> String {
+    let mut out = text.to_string();
+    // Edits arrive in reverse span order; replace back-to-front.
+    for e in edits {
+        out.replace_range(e.start..e.end, &e.replacement);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_file(text: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), text.into())
+    }
+
+    #[test]
+    fn float_order_rewrites_and_drops_unwrap() {
+        let src = "\
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect(\"not NaN\"));
+    xs.sort_by(f64::total_cmp);
+}
+";
+        let (fixed, n) = fix_source(&lib_file(src), false, &[]);
+        assert_eq!(n, 4, "two renames + two tail deletions");
+        assert!(fixed.contains("a.total_cmp(b));"), "{fixed}");
+        assert!(!fixed.contains("partial_cmp"), "{fixed}");
+        assert!(!fixed.contains("unwrap"), "{fixed}");
+        assert!(!fixed.contains("expect"), "{fixed}");
+    }
+
+    #[test]
+    fn bare_assert_gains_an_invariant_message() {
+        let src = "\
+pub fn f(n: usize, m: usize) {
+    assert!(n > 0);
+    assert_eq!(n, m);
+    assert!(n < 10, \"n = {n} out of range\");
+}
+";
+        let (fixed, n) = fix_source(&lib_file(src), false, &[]);
+        assert_eq!(n, 2, "messaged assert untouched");
+        assert!(
+            fixed.contains("assert!(n > 0, \"invariant violated: n > 0\");"),
+            "{fixed}"
+        );
+        assert!(
+            fixed.contains("assert_eq!(n, m, \"invariant violated: n, m\");"),
+            "{fixed}"
+        );
+    }
+
+    #[test]
+    fn fixing_is_idempotent_and_silences_the_lints() {
+        let src = "\
+pub fn f(xs: &mut [f64], n: usize) {
+    assert!(n > 0);
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+";
+        let (fixed, n1) = fix_source(&lib_file(src), false, &[]);
+        assert!(n1 > 0);
+        let (fixed2, n2) = fix_source(&lib_file(&fixed), false, &[]);
+        assert_eq!(n2, 0, "second pass finds nothing");
+        assert_eq!(fixed, fixed2);
+        // The analyzer agrees: its own output is clean for these lints.
+        let diags = crate::analyze_source(&lib_file(&fixed), false);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.lint != "float-order" && d.lint != "bare-assert"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn waived_sites_are_left_alone() {
+        let src = "pub fn f(a: &u32, b: &u32) -> std::cmp::Ordering {\n    a.partial_cmp(b).unwrap()\n}\n";
+        let file = lib_file(src);
+        let d = crate::analyze_source(&file, false)
+            .into_iter()
+            .find(|d| d.lint == "float-order")
+            .expect("detector fires");
+        let w = Waiver {
+            lint: "float-order".into(),
+            path: d.path.clone(),
+            line: d.line,
+            hash: d.hash.clone(),
+            reason: "u32 ordering is total; partial_cmp is fine here".into(),
+            defined_at: 1,
+        };
+        let (fixed, n) = fix_source(&file, false, &[w]);
+        assert_eq!(n, 0, "valid waiver suppresses the fix");
+        assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_fixing() {
+        let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert!(1 + 1 == 2);
+    }
+}
+";
+        let (fixed, n) = fix_source(&lib_file(src), false, &[]);
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+
+    #[test]
+    fn condense_escapes_and_truncates() {
+        assert_eq!(condense("a  ==\n    b"), "a == b");
+        assert_eq!(condense("s != \"x\""), "s != \\\"x\\\"");
+        let long = "x".repeat(100);
+        let c = condense(&long);
+        assert!(c.ends_with("..."));
+        assert!(c.len() <= 64);
+    }
+}

@@ -29,29 +29,50 @@
 //! under it changes. The analyzer is self-hosting: CI runs it over this
 //! workspace (including this crate) with zero unwaived findings.
 
+pub mod cache;
 pub mod diagnostics;
+pub mod fix;
+pub mod index;
 pub mod lexer;
 pub mod lints;
 pub mod regions;
 pub mod source;
+pub mod syntax;
 pub mod waiver;
 pub mod walk;
 
+use cache::{Cache, CachedFile};
 use diagnostics::Diagnostic;
 use fault::{Error, Result};
+use index::{FileFacts, FileRole};
 use lints::{FileCx, LINTS};
 use source::SourceFile;
 use std::path::{Path, PathBuf};
-use waiver::Waiver;
+use waiver::{Config, Waiver};
+
+/// Knobs for a workspace analysis run.
+#[derive(Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Diagnostic cache path (`--cache`). `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+}
 
 /// Outcome of analyzing a set of files.
 pub struct Report {
-    /// Unwaived findings plus stale-waiver diagnostics, in file order.
+    /// Unwaived findings plus stale-waiver diagnostics, sorted by
+    /// (path, line, col, lint); stale-waiver entries follow.
     pub diagnostics: Vec<Diagnostic>,
-    /// Findings suppressed by a valid waiver.
+    /// Findings suppressed by a valid waiver (count; `--show-waived`
+    /// renders [`waived_diagnostics`](Self::waived_diagnostics)).
     pub waived: usize,
-    /// Files scanned.
+    /// The suppressed findings themselves, same sort order.
+    pub waived_diagnostics: Vec<Diagnostic>,
+    /// Files scanned (lintable files; reference files not included).
     pub files: usize,
+    /// Files served from the diagnostic cache this run.
+    pub cache_hits: usize,
+    /// Files lexed/parsed/analyzed from scratch this run.
+    pub cache_misses: usize,
 }
 
 impl Report {
@@ -74,7 +95,10 @@ pub fn analyze_source(file: &SourceFile, is_main: bool) -> Vec<Diagnostic> {
     out
 }
 
-/// Analyze `files` (paths under `root`), applying `waivers`.
+/// Analyze `files` (paths under `root`), applying `waivers`. Explicit
+/// file lists run the seven per-file passes only — the three workspace
+/// passes need the whole file set and run in
+/// [`analyze_workspace_with`].
 ///
 /// Waiver semantics: a waiver matches every finding with the same
 /// `(lint, path, line)` whose content hash agrees. A hash mismatch or
@@ -82,9 +106,7 @@ pub fn analyze_source(file: &SourceFile, is_main: bool) -> Vec<Diagnostic> {
 /// `stale-waiver` diagnostic — both directions fail, so waivers track
 /// the code they excuse or die.
 pub fn analyze_files(root: &Path, files: &[PathBuf], waivers: &[Waiver]) -> Result<Report> {
-    let mut diagnostics = Vec::new();
-    let mut waived = 0usize;
-    let mut used = vec![false; waivers.len()];
+    let mut findings = Vec::new();
     for path in files {
         let text =
             std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?;
@@ -93,26 +115,149 @@ pub fn analyze_files(root: &Path, files: &[PathBuf], waivers: &[Waiver]) -> Resu
         // process and may call `std::process::exit`.
         let is_main = rel.ends_with("src/main.rs") || rel.contains("src/bin/");
         let file = SourceFile::new(rel, text);
-        for d in analyze_source(&file, is_main) {
-            match match_waiver(waivers, &d) {
-                WaiverMatch::Valid(i) => {
-                    used[i] = true;
-                    waived += 1;
-                }
-                WaiverMatch::Stale(i) => {
-                    used[i] = true; // stale, but reported as such below
-                    diagnostics.push(stale_waiver_diag(
-                        &waivers[i],
-                        format!(
-                            "waiver hash {} no longer matches the code at {}:{} (now {}) — \
-                             the line changed; re-justify or fix the finding",
-                            waivers[i].hash, d.path, d.line, d.hash
-                        ),
-                    ));
-                    diagnostics.push(d);
-                }
-                WaiverMatch::None => diagnostics.push(d),
+        findings.extend(analyze_source(&file, is_main));
+    }
+    let mut report = apply_waivers(findings, waivers);
+    report.files = files.len();
+    Ok(report)
+}
+
+/// Convenience: discover the workspace's lint roots under `root`, load
+/// `<root>/analyze.toml` if present, and analyze everything — all ten
+/// passes, no cache.
+pub fn analyze_workspace(root: &Path) -> Result<Report> {
+    analyze_workspace_with(root, &AnalyzeOptions::default())
+}
+
+/// The full workspace pipeline: per-file lints + fact extraction over
+/// the lintable set, fact-only extraction over the reference set
+/// (tests/benches/examples), the three cross-file passes, waiver
+/// matching, and — when [`AnalyzeOptions::cache_path`] is set — the
+/// incremental diagnostic cache.
+///
+/// The cache stores *pre-waiver* findings and facts keyed by file
+/// content hash; waiver matching and the workspace passes re-run from
+/// facts every time. That split is what guarantees a warm run's output
+/// is byte-identical to a cold run: cached or not, the reporting
+/// pipeline sees the same inputs.
+pub fn analyze_workspace_with(root: &Path, options: &AnalyzeOptions) -> Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let ref_files = walk::reference_files(root)?;
+    let config = load_config(root)?;
+
+    let mut cache = match &options.cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+    let (mut hits, mut misses) = (0usize, 0usize);
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut facts: Vec<FileFacts> = Vec::new();
+    let mut live_paths: Vec<String> = Vec::new();
+
+    for path in files.iter().chain(ref_files.iter()) {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?;
+        let rel = relative_path(root, path);
+        let role = index::role_of(&rel);
+        let content_hash = cache::file_hash(&text);
+        live_paths.push(rel.clone());
+        if let Some(entry) = cache.lookup(&rel, &content_hash) {
+            hits += 1;
+            findings.extend(entry.findings.iter().cloned());
+            facts.push(entry.facts.clone());
+            continue;
+        }
+        misses += 1;
+        let file = SourceFile::new(rel.clone(), text);
+        let tokens = lexer::lex(&file.text);
+        // Reference files feed the index only; lint passes never see
+        // them (harness code plays by looser rules).
+        let file_findings = if role == FileRole::Reference {
+            Vec::new()
+        } else {
+            let cx = FileCx::new(&file, &tokens, role == FileRole::Binary);
+            let mut out = Vec::new();
+            for (_, pass) in LINTS {
+                pass(&cx, &mut out);
             }
+            out.sort_by_key(|d| (d.line, d.col));
+            out
+        };
+        let file_facts = index::extract_facts(&file, &tokens, role);
+        findings.extend(file_findings.iter().cloned());
+        facts.push(file_facts.clone());
+        cache.insert(
+            rel,
+            CachedFile {
+                content_hash,
+                findings: file_findings,
+                facts: file_facts,
+            },
+        );
+    }
+
+    findings.extend(index::check_workspace(&facts, &config.envs, "analyze.toml"));
+    // One deterministic global order before waiver matching, so cold
+    // and warm runs (and any cache state in between) render
+    // byte-identically.
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
+
+    if let Some(p) = &options.cache_path {
+        cache.retain_paths(&|path| live_paths.iter().any(|l| l == path));
+        cache.save(p)?;
+    }
+    telemetry::counter_add("analyze.cache.hit", u64::try_from(hits).unwrap_or(u64::MAX));
+    telemetry::counter_add(
+        "analyze.cache.miss",
+        u64::try_from(misses).unwrap_or(u64::MAX),
+    );
+
+    let mut report = apply_waivers(findings, &config.waivers);
+    report.files = files.len();
+    report.cache_hits = hits;
+    report.cache_misses = misses;
+    Ok(report)
+}
+
+/// Load `<root>/analyze.toml` (waivers + `[[env]]` registry), or an
+/// empty config when the file does not exist.
+pub fn load_config(root: &Path) -> Result<Config> {
+    let path = root.join("analyze.toml");
+    if !path.is_file() {
+        return Ok(Config::default());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| Error::io(path.display().to_string(), e))?;
+    waiver::parse_config(&text, "analyze.toml")
+}
+
+/// Match `findings` against `waivers`: valid waivers suppress (but are
+/// kept for `--show-waived`), hash mismatches and unmatched waivers
+/// surface as `stale-waiver` diagnostics appended after the findings.
+fn apply_waivers(findings: Vec<Diagnostic>, waivers: &[Waiver]) -> Report {
+    let mut diagnostics = Vec::new();
+    let mut waived_diagnostics = Vec::new();
+    let mut used = vec![false; waivers.len()];
+    for d in findings {
+        match match_waiver(waivers, &d) {
+            WaiverMatch::Valid(i) => {
+                used[i] = true;
+                waived_diagnostics.push(d);
+            }
+            WaiverMatch::Stale(i) => {
+                used[i] = true; // stale, but reported as such below
+                diagnostics.push(stale_waiver_diag(
+                    &waivers[i],
+                    format!(
+                        "waiver hash {} no longer matches the code at {}:{} (now {}) — \
+                         the line changed; re-justify or fix the finding",
+                        waivers[i].hash, d.path, d.line, d.hash
+                    ),
+                ));
+                diagnostics.push(d);
+            }
+            WaiverMatch::None => diagnostics.push(d),
         }
     }
     for (i, w) in waivers.iter().enumerate() {
@@ -127,26 +272,14 @@ pub fn analyze_files(root: &Path, files: &[PathBuf], waivers: &[Waiver]) -> Resu
             ));
         }
     }
-    Ok(Report {
+    Report {
         diagnostics,
-        waived,
-        files: files.len(),
-    })
-}
-
-/// Convenience: discover the workspace's lint roots under `root`, load
-/// `<root>/analyze.toml` if present, and analyze everything.
-pub fn analyze_workspace(root: &Path) -> Result<Report> {
-    let files = walk::workspace_files(root)?;
-    let waiver_path = root.join("analyze.toml");
-    let waivers = if waiver_path.is_file() {
-        let text = std::fs::read_to_string(&waiver_path)
-            .map_err(|e| Error::io(waiver_path.display().to_string(), e))?;
-        waiver::parse(&text, "analyze.toml")?
-    } else {
-        Vec::new()
-    };
-    analyze_files(root, &files, &waivers)
+        waived: waived_diagnostics.len(),
+        waived_diagnostics,
+        files: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+    }
 }
 
 enum WaiverMatch {

@@ -11,24 +11,126 @@
 //!
 //! * all integer targets (`u8…u128`, `i8…i128`, `usize`, `isize`) —
 //!   the source may be wider, signed differently, or a float;
-//! * `f32` — halves the mantissa of anything interesting.
+//! * `f32` — halves the mantissa of anything interesting;
+//! * `f64` — when the *source* is recognizably a 64-bit-or-wider
+//!   integer, which `f64`'s 53-bit mantissa cannot hold exactly.
 //!
-//! `as f64` is deliberately exempt: the token stream cannot see source
-//! types, and in this workspace every integer that reaches arithmetic
-//! is a row/column/config count far below 2^53, where `usize → f64` is
-//! exact. That policy is documented in DESIGN.md §10; a cast whose
-//! source could exceed 2^53 must not hide behind it.
+//! The old blanket `as f64` exemption wrongly excused that last class:
+//! a `u64 as f64` above 2^53 rounds silently (nanosecond totals and
+//! generated-space cardinalities get there). The token stream cannot
+//! see types, so the 64-bit-source judgment is a same-file heuristic —
+//! the cast source is flagged when it is:
 //!
-//! Casts that are provably in range (enum codes, clamped indices,
-//! dimensions bounded by construction) carry a one-line justification
-//! in `analyze.toml`, pinned to the line's content hash so the waiver
-//! dies when the code changes.
+//! * a chained cast through a wide type (`x as u64 as f64`),
+//! * an integer literal with a wide suffix (`1u64 as f64`),
+//! * an identifier ascribed a wide type anywhere in the file
+//!   (`let n: u64`, `count: usize` in params/fields),
+//! * a call of `len`/`count`/`capacity` (usize by definition) or of a
+//!   same-file `fn` whose return type is wide.
+//!
+//! Narrow sources (`u32 as f64` and below) stay exempt: they are
+//! always exact. A flagged site that is provably below 2^53 (bounded
+//! dims, clamped counters) carries a one-line waiver in
+//! `analyze.toml`, pinned to the line's content hash, same as every
+//! other in-range argument.
 
 use super::{numeric_type, FileCx};
 use crate::diagnostics::Diagnostic;
 use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+/// Integer types `f64` cannot represent exactly.
+fn wide_int(text: &str) -> bool {
+    matches!(text, "u64" | "i64" | "usize" | "isize" | "u128" | "i128")
+}
+
+/// Built-in methods that return `usize` (or `u64` for iterators) no
+/// matter the receiver.
+fn usize_method(text: &str) -> bool {
+    matches!(text, "len" | "count" | "capacity")
+}
+
+/// Identifiers the file itself ties to a wide integer type: `x: u64`
+/// ascriptions (lets, params, struct fields) and `fn f(..) -> u64`
+/// return types.
+fn wide_idents(cx: &FileCx<'_>) -> BTreeSet<String> {
+    let mut wide = BTreeSet::new();
+    for i in 0..cx.code.len() {
+        if cx.kind(i) != TokenKind::Ident {
+            continue;
+        }
+        // `name : u64` — one ascription anywhere marks the name for
+        // the whole file (scoping is beyond a token heuristic; a
+        // false hit is a waiver, not a miss).
+        if cx.is(i + 1, ":")
+            && !cx.is(i + 2, ":")
+            && i + 2 < cx.code.len()
+            && wide_int(cx.text(i + 2))
+        {
+            wide.insert(cx.text(i).to_string());
+        }
+        // `fn name ( … ) -> u64` — calls of `name` yield a wide value.
+        if i >= 1 && cx.is(i - 1, "fn") && cx.is(i + 1, "(") {
+            if let Some(close) = cx.matching_close(i + 1) {
+                if cx.is(close + 1, "-")
+                    && cx.is(close + 2, ">")
+                    && close + 3 < cx.code.len()
+                    && wide_int(cx.text(close + 3))
+                {
+                    wide.insert(cx.text(i).to_string());
+                }
+            }
+        }
+    }
+    wide
+}
+
+/// Does the expression ending at code token `i` (inclusive) have a
+/// recognizably 64-bit-or-wider integer source?
+fn wide_source(cx: &FileCx<'_>, i: usize, wide: &BTreeSet<String>) -> bool {
+    match cx.kind(i) {
+        // `… as u64 as f64` — chained through a wide type.
+        TokenKind::Ident if wide_int(cx.text(i)) => true,
+        // `n as f64` with `n: u64` ascribed somewhere in this file.
+        TokenKind::Ident => wide.contains(cx.text(i)),
+        // `123u64 as f64` / `1_000_000usize as f64`.
+        TokenKind::Int => {
+            let t = cx.text(i);
+            ["u64", "i64", "usize", "isize", "u128", "i128"]
+                .iter()
+                .any(|s| t.ends_with(s))
+        }
+        // `xs.len() as f64`, `wide_fn(…) as f64`: walk back over the
+        // call's parens to the callee name.
+        TokenKind::Punct if cx.text(i) == ")" => {
+            let mut depth = 0usize;
+            let mut j = i;
+            loop {
+                match cx.text(j) {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            j >= 1
+                && cx.kind(j - 1) == TokenKind::Ident
+                && (usize_method(cx.text(j - 1)) || wide.contains(cx.text(j - 1)))
+        }
+        _ => false,
+    }
+}
 
 pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+    let wide = wide_idents(cx);
     for i in 0..cx.code.len() {
         if cx.in_test(i) || cx.kind(i) != TokenKind::Ident || cx.text(i) != "as" {
             continue;
@@ -39,7 +141,7 @@ pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
         let Some(target) = (i + 1 < cx.code.len()).then(|| cx.text(i + 1)) else {
             continue;
         };
-        if !numeric_type(target) || target == "f64" {
+        if !numeric_type(target) {
             continue;
         }
         // `use … as u8`-style renames would be bizarre but legal; rule
@@ -53,6 +155,22 @@ pub fn check(cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
             TokenKind::Ident | TokenKind::Int | TokenKind::Float
         ) || matches!(cx.text(i - 1), ")" | "]");
         if !prev_ok {
+            continue;
+        }
+        if target == "f64" {
+            // Exempt unless the source is recognizably 64-bit+.
+            if !wide_source(cx, i - 1, &wide) {
+                continue;
+            }
+            cx.emit(
+                out,
+                "lossy-cast",
+                i,
+                i + 1,
+                "`as f64` from a 64-bit integer source — values above 2^53 round silently; \
+                 use a checked narrowing first, or waive with the bound that keeps this exact"
+                    .into(),
+            );
             continue;
         }
         cx.emit(

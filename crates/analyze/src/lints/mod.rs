@@ -27,7 +27,7 @@ use crate::source::SourceFile;
 /// A lint pass: inspects one file, appends findings.
 pub type LintFn = fn(&FileCx<'_>, &mut Vec<Diagnostic>);
 
-/// Every pass the analyzer runs, in reporting order.
+/// Every per-file pass the analyzer runs, in reporting order.
 pub const LINTS: &[(&str, LintFn)] = &[
     ("panic-policy", panic_policy::check),
     ("bare-assert", bare_assert::check),
@@ -37,6 +37,22 @@ pub const LINTS: &[(&str, LintFn)] = &[
     ("error-policy", error_policy::check),
     ("unsafe-region", unsafe_region::check),
 ];
+
+/// The workspace-level passes (`analyze::index`): they run once over
+/// the cross-file fact index, not per file, but share the same waiver
+/// machinery and count toward the full lint set in `--list-lints`.
+pub const WORKSPACE_PASSES: &[&str] = &["dead-pub-api", "env-registry", "nondet-source"];
+
+/// Map a lint name parsed back out of JSON (diagnostic cache records)
+/// to its `'static` registry string. `None` means the cache was
+/// written by a different lint set and must be treated as a miss.
+pub(crate) fn static_lint_name(name: &str) -> Option<&'static str> {
+    LINTS
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(WORKSPACE_PASSES.iter().copied())
+        .find(|n| *n == name)
+}
 
 /// Everything a pass needs to inspect one file.
 pub struct FileCx<'a> {
@@ -77,12 +93,12 @@ impl<'a> FileCx<'a> {
     }
 
     /// True if code token `i` lies in a test-gated region.
-    pub fn in_test(&self, i: usize) -> bool {
+    pub(crate) fn in_test(&self, i: usize) -> bool {
         self.regions.contains(self.code[i].start)
     }
 
     /// Does token `i` exist and carry exactly this text?
-    pub fn is(&self, i: usize, text: &str) -> bool {
+    pub(crate) fn is(&self, i: usize, text: &str) -> bool {
         i < self.code.len() && self.text(i) == text
     }
 
@@ -110,7 +126,7 @@ impl<'a> FileCx<'a> {
     /// (`(`/`)`, `[`/`]`, `{`/`}`), or `None` if unbalanced. Only the
     /// opener's own delimiter class is counted, so `(a[0])` from the
     /// `(` matches the final `)`.
-    pub fn matching_close(&self, open_idx: usize) -> Option<usize> {
+    pub(crate) fn matching_close(&self, open_idx: usize) -> Option<usize> {
         let (open, close) = match self.text(open_idx) {
             "(" => ("(", ")"),
             "[" => ("[", "]"),
@@ -136,7 +152,7 @@ impl<'a> FileCx<'a> {
     /// scanning forward from `from` (exclusive of nested bodies), or
     /// the last token if none is found. A `{` at depth 0 also ends the
     /// statement scan (block expression / loop body boundary).
-    pub fn statement_end(&self, from: usize) -> usize {
+    pub(crate) fn statement_end(&self, from: usize) -> usize {
         let (mut p, mut b, mut c) = (0i32, 0i32, 0i32);
         for i in from..self.code.len() {
             match self.text(i) {
@@ -159,7 +175,7 @@ impl<'a> FileCx<'a> {
 
 /// Is this identifier one of Rust's primitive numeric types that an
 /// `as` cast can target?
-pub fn numeric_type(text: &str) -> bool {
+pub(crate) fn numeric_type(text: &str) -> bool {
     matches!(
         text,
         "u8" | "u16"

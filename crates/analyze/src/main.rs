@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p analyze --                # lint the workspace, text diagnostics
 //! cargo run -p analyze -- --format json  # JSONL (telemetry-manifest line shape)
+//! cargo run -p analyze -- --cache target/analyze-cache.jsonl   # warm runs skip unchanged files
+//! cargo run -p analyze -- --fix          # mechanical fixes (float-order, bare-assert)
 //! cargo run -p analyze -- crates/serve/src/engine.rs   # specific files
 //! cargo run -p analyze -- --emit-waivers # TOML skeletons for current findings
 //! ```
@@ -12,7 +14,7 @@
 //! input/config, `3` I/O) — the same codes the rest of the pipeline
 //! uses, so CI and shell drivers need one vocabulary only.
 
-use analyze::{analyze_files, waiver, walk, Report};
+use analyze::{analyze_files, fix, walk, AnalyzeOptions, Report};
 use fault::{Error, Result};
 use std::path::PathBuf;
 
@@ -47,6 +49,10 @@ struct Options {
     root: PathBuf,
     format: Format,
     emit_waivers: bool,
+    show_waived: bool,
+    fix: bool,
+    cache: Option<PathBuf>,
+    timings: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
@@ -56,23 +62,39 @@ enum Format {
     Json,
 }
 
-const USAGE: &str = "usage: analyze [--root DIR] [--format text|json] [--emit-waivers] [PATH...]
+const USAGE: &str = "usage: analyze [--root DIR] [--format text|json] [--cache PATH] [--fix]
+               [--show-waived] [--emit-waivers] [--timings PATH] [PATH...]
 
 Lints workspace library code (root src/ + crates/*/src, compat excluded)
-for perfpredict's panic, determinism, and cast invariants. Waivers live
-in <root>/analyze.toml; see DESIGN.md \u{a7}10 for the lint catalog.
+for perfpredict's panic, determinism, cast, API-liveness, and env-knob
+invariants. Waivers and the [[env]] registry live in <root>/analyze.toml;
+see DESIGN.md \u{a7}10 for the lint catalog.
 
   --root DIR       workspace root (default: current directory)
   --format FMT     text (default) or json (JSONL, manifest-shaped)
+  --cache PATH     diagnostic cache: warm runs skip unchanged files and
+                   produce byte-identical output (stats go to stderr)
+  --fix            rewrite mechanical findings in place first
+                   (float-order partial_cmp -> total_cmp, message-less
+                   bare-assert), then analyze the result
+  --show-waived    with --format json: also emit waiver-suppressed
+                   findings, marked \"waived\":true
   --emit-waivers   print analyze.toml skeletons for unwaived findings
-  --list-lints     print the lint names and exit
-  PATH...          lint these files instead of discovering the workspace";
+  --timings PATH   write analyze wall-time as bench-shaped JSON for the
+                   perf-report machinery
+  --list-lints     print the lint names (per-file and workspace) and exit
+  PATH...          lint these files only (per-file passes; the three
+                   workspace passes need full discovery and are skipped)";
 
 fn parse_args() -> Result<Option<Options>> {
     let mut opts = Options {
         root: PathBuf::from("."),
         format: Format::Text,
         emit_waivers: false,
+        show_waived: false,
+        fix: false,
+        cache: None,
+        timings: None,
         paths: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -86,14 +108,31 @@ fn parse_args() -> Result<Option<Options>> {
                 for (name, _) in analyze::lints::LINTS {
                     println!("{name}");
                 }
+                for name in analyze::lints::WORKSPACE_PASSES {
+                    println!("{name}");
+                }
                 return Ok(None);
             }
             "--emit-waivers" => opts.emit_waivers = true,
+            "--show-waived" => opts.show_waived = true,
+            "--fix" => opts.fix = true,
             "--root" => {
                 let dir = args
                     .next()
                     .ok_or_else(|| Error::invalid("--root needs a directory argument"))?;
                 opts.root = PathBuf::from(dir);
+            }
+            "--cache" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| Error::invalid("--cache needs a file argument"))?;
+                opts.cache = Some(PathBuf::from(path));
+            }
+            "--timings" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| Error::invalid("--timings needs a file argument"))?;
+                opts.timings = Some(PathBuf::from(path));
             }
             "--format" => {
                 opts.format = match args.next().as_deref() {
@@ -112,6 +151,11 @@ fn parse_args() -> Result<Option<Options>> {
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
+    if opts.show_waived && opts.format != Format::Json {
+        return Err(Error::invalid(
+            "--show-waived requires --format json (waived findings are a JSONL audit surface)",
+        ));
+    }
     Ok(Some(opts))
 }
 
@@ -119,29 +163,58 @@ fn run() -> Result<Option<Report>> {
     let Some(opts) = parse_args()? else {
         return Ok(None);
     };
-    let files = if opts.paths.is_empty() {
-        walk::workspace_files(&opts.root)?
+    let started = std::time::Instant::now();
+    let explicit_files: Vec<PathBuf> = opts
+        .paths
+        .iter()
+        .map(|p| {
+            if p.is_absolute() {
+                p.clone()
+            } else {
+                opts.root.join(p)
+            }
+        })
+        .collect();
+
+    if opts.fix {
+        let config = analyze::load_config(&opts.root)?;
+        let files = if explicit_files.is_empty() {
+            walk::workspace_files(&opts.root)?
+        } else {
+            explicit_files.clone()
+        };
+        let summary = fix::fix_files(&opts.root, &files, &config.waivers)?;
+        eprintln!(
+            "analyze: --fix rewrote {} site(s) in {} file(s)",
+            summary.fixes, summary.files_changed
+        );
+    }
+
+    let report = if explicit_files.is_empty() {
+        analyze::analyze_workspace_with(
+            &opts.root,
+            &AnalyzeOptions {
+                cache_path: opts.cache.clone(),
+            },
+        )?
     } else {
-        opts.paths
-            .iter()
-            .map(|p| {
-                if p.is_absolute() {
-                    p.clone()
-                } else {
-                    opts.root.join(p)
-                }
-            })
-            .collect()
+        // Explicit file lists run the per-file passes only: the
+        // workspace passes need the whole file set to judge liveness.
+        let config = analyze::load_config(&opts.root)?;
+        analyze_files(&opts.root, &explicit_files, &config.waivers)?
     };
-    let waiver_path = opts.root.join("analyze.toml");
-    let waivers = if waiver_path.is_file() {
-        let text = std::fs::read_to_string(&waiver_path)
-            .map_err(|e| Error::io(waiver_path.display().to_string(), e))?;
-        waiver::parse(&text, "analyze.toml")?
-    } else {
-        Vec::new()
-    };
-    let report = analyze_files(&opts.root, &files, &waivers)?;
+
+    if opts.cache.is_some() {
+        // Stderr, never stdout: warm and cold runs must emit
+        // byte-identical JSONL, and hit counts differ by definition.
+        eprintln!(
+            "analyze: cache: {} hit(s), {} miss(es)",
+            report.cache_hits, report.cache_misses
+        );
+    }
+    if let Some(path) = &opts.timings {
+        write_timings(path, started.elapsed())?;
+    }
 
     if opts.emit_waivers {
         emit_waivers(&report);
@@ -154,21 +227,60 @@ fn run() -> Result<Option<Report>> {
             }
         }
         Format::Json => {
-            for d in &report.diagnostics {
-                println!("{}", d.render_json());
+            if opts.show_waived {
+                // Merge unwaived and waived findings back into one
+                // (path, line, col, lint)-ordered stream.
+                let mut live = report.diagnostics.iter().peekable();
+                let mut waived = report.waived_diagnostics.iter().peekable();
+                let key =
+                    |d: &analyze::diagnostics::Diagnostic| (d.path.clone(), d.line, d.col, d.lint);
+                loop {
+                    match (live.peek(), waived.peek()) {
+                        (Some(l), Some(w)) if key(l) <= key(w) => {
+                            println!("{}", live.next().expect("peeked").render_json());
+                        }
+                        (_, Some(_)) => {
+                            println!("{}", waived.next().expect("peeked").render_json_waived());
+                        }
+                        (Some(_), None) => {
+                            println!("{}", live.next().expect("peeked").render_json());
+                        }
+                        (None, None) => break,
+                    }
+                }
+            } else {
+                for d in &report.diagnostics {
+                    println!("{}", d.render_json());
+                }
             }
             println!(
                 "{}",
                 telemetry::json::JsonObject::new()
                     .str("type", "summary")
-                    .uint("findings", report.diagnostics.len() as u64)
-                    .uint("waived", report.waived as u64)
-                    .uint("files", report.files as u64)
+                    .usize("findings", report.diagnostics.len())
+                    .usize("waived", report.waived)
+                    .usize("files", report.files)
                     .finish()
             );
         }
     }
     Ok(Some(report))
+}
+
+/// Write the run's wall time in the bench-results JSON shape the
+/// perf-report tooling consumes, so CI can track analyze cost next to
+/// kernel benches.
+fn write_timings(path: &std::path::Path, elapsed: std::time::Duration) -> Result<()> {
+    let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let result = telemetry::json::JsonObject::new()
+        .str("bench", "analyze/workspace")
+        .uint("mean_ns", ns)
+        .uint("median_ns", ns)
+        .uint("samples", 1)
+        .uint("iters_per_sample", 1)
+        .finish();
+    let body = format!("{{\"mode\":\"full\",\"results\":[{result}]}}\n");
+    std::fs::write(path, body).map_err(|e| Error::io(path.display().to_string(), e))
 }
 
 /// Print ready-to-edit waiver entries for each unwaived finding. The

@@ -38,7 +38,7 @@ impl TestRegions {
 }
 
 /// Detect test regions. `tokens` is the full lexed stream for `src`.
-pub fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
+pub(crate) fn test_regions(src: &str, tokens: &[Token]) -> TestRegions {
     // Work over code (non-trivia) tokens, remembering byte spans.
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
     let mut ranges = Vec::new();

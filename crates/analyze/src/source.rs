@@ -29,7 +29,7 @@ impl SourceFile {
 
     /// 1-based `(line, column)` for a byte offset. Columns count bytes,
     /// matching what editors and `rustc` report for ASCII source.
-    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+    pub(crate) fn line_col(&self, offset: usize) -> (usize, usize) {
         let line = match self.line_starts.binary_search(&offset) {
             Ok(i) => i,
             Err(i) => i - 1,
@@ -46,12 +46,6 @@ impl SourceFile {
             .map(|&e| e - 1)
             .unwrap_or(self.text.len());
         self.text[start..end.max(start)].trim_end_matches('\r')
-    }
-
-    /// Number of lines (a trailing newline does not add an empty line
-    /// for rendering purposes; offsets past the end clamp to the last).
-    pub fn line_count(&self) -> usize {
-        self.line_starts.len()
     }
 }
 

@@ -1,0 +1,914 @@
+//! Item-level syntax on top of the lexer.
+//!
+//! [`parse`] lifts the flat token stream into a tree of *items* — `fn`,
+//! `struct`, `enum`, `trait`, `impl`, `mod`, `use`, `const`, `static`,
+//! `type`, `macro_rules!`, `extern` blocks, and item-position macro
+//! invocations — each carrying its visibility, attributes, name, and
+//! byte span. Everything between items (trivia, inner attributes,
+//! tokens the parser does not recognise) becomes a [`Node::Gap`], so
+//! the node spans **exactly tile** the file: every byte belongs to
+//! exactly one top-level node, and inside an item with a brace body the
+//! children tile the body interior the same way. Like the lexer, the
+//! parser is *total*: it never fails, and arbitrary byte soup parses to
+//! a (possibly gap-heavy) tiling. Both guarantees are property-tested
+//! in `tests/syntax_prop.rs`.
+//!
+//! The parser deliberately stops at the item level — no expressions, no
+//! types beyond signature token ranges — because that is exactly what
+//! the workspace passes ([`crate::index`]) need: which public names a
+//! crate defines, where their signatures sit, and which attribute gates
+//! cover them.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Union,
+    Trait,
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl,
+    Mod,
+    Use,
+    Const,
+    Static,
+    TypeAlias,
+    /// `macro_rules! name { … }`.
+    MacroDef,
+    /// `extern crate name;` or `extern "C" { … }` foreign block.
+    Extern,
+    /// An item-position macro invocation (`thread_local! { … }`).
+    MacroCall,
+}
+
+/// Declared visibility of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub` — part of the crate's public API.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — internally scoped.
+    Scoped,
+    /// No `pub` at all.
+    Private,
+}
+
+/// One parsed item. `span` covers the item's leading attributes through
+/// its terminator (`;` or closing `}`); `body` is the interior byte
+/// range of a brace body when the item has one, and `children` tile it.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// The item's declared name; `None` for `impl` blocks, `use`
+    /// declarations, and `extern "…" { … }` foreign blocks.
+    pub name: Option<String>,
+    pub vis: Vis,
+    /// Raw text of each outer attribute (`#[…]`), in order.
+    pub attrs: Vec<String>,
+    /// Half-open byte span of the whole item, attributes included.
+    pub span: (usize, usize),
+    /// Byte offset one past the signature: the `{` of the body or the
+    /// terminating `;` — where a rendered signature would stop.
+    pub sig_end: usize,
+    /// Interior of the brace body (between `{` and `}`), if any.
+    pub body: Option<(usize, usize)>,
+    /// Items/gaps tiling `body` for `mod`/`impl`/`trait`/`extern`
+    /// bodies. Empty for leaf items and for bodies left unparsed
+    /// (`fn` bodies are expression soup, not items).
+    pub children: Vec<Node>,
+    /// For `impl` items: true when this is a trait impl (`impl T for U`),
+    /// whose members are dictated by the trait, not API choices.
+    pub is_trait_impl: bool,
+}
+
+/// One node of the file tiling: an item or the bytes between items.
+#[derive(Debug, Clone)]
+pub enum Node {
+    Item(Box<Item>),
+    /// Bytes no item claims: trivia, inner attributes, stray tokens.
+    Gap(usize, usize),
+}
+
+impl Node {
+    /// Byte span of this node.
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            Node::Item(it) => it.span,
+            Node::Gap(s, e) => (*s, *e),
+        }
+    }
+}
+
+/// Parse `src` (lexed as `tokens`) into a node list tiling
+/// `[0, src.len())`. Total: never fails, never panics.
+pub fn parse(src: &str, tokens: &[Token]) -> Vec<Node> {
+    let code: Vec<Token> = tokens.iter().filter(|t| !t.is_trivia()).copied().collect();
+    let mut p = Parser { src, code: &code };
+    p.parse_range(0, code.len(), 0, src.len())
+}
+
+/// Walk every item in a parse (depth-first), calling `f` with the item
+/// and the chain of enclosing items (outermost first).
+pub fn visit_items<'a>(nodes: &'a [Node], f: &mut impl FnMut(&'a Item, &[&'a Item])) {
+    fn go<'a>(
+        nodes: &'a [Node],
+        stack: &mut Vec<&'a Item>,
+        f: &mut impl FnMut(&'a Item, &[&'a Item]),
+    ) {
+        for n in nodes {
+            if let Node::Item(it) = n {
+                f(it, stack);
+                stack.push(it);
+                go(&it.children, stack, f);
+                stack.pop();
+            }
+        }
+    }
+    go(nodes, &mut Vec::new(), f);
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    code: &'a [Token],
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        self.code[i].text(self.src)
+    }
+
+    fn is(&self, i: usize, t: &str) -> bool {
+        i < self.code.len() && self.text(i) == t
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.code.get(i).map(|t| t.kind)
+    }
+
+    /// Parse code tokens `[lo, hi)` covering bytes `[byte_lo, byte_hi)`
+    /// into a tiling node list.
+    fn parse_range(&mut self, lo: usize, hi: usize, byte_lo: usize, byte_hi: usize) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        let mut cursor = byte_lo;
+        let mut i = lo;
+        while i < hi {
+            match self.try_item(i, hi) {
+                Some((item, next)) => {
+                    let (s, e) = item.span;
+                    if s > cursor {
+                        nodes.push(Node::Gap(cursor, s));
+                    }
+                    cursor = e;
+                    nodes.push(Node::Item(Box::new(item)));
+                    i = next;
+                }
+                None => {
+                    // Not an item start: the token joins the current gap.
+                    // Attributes (`#![…]` inner, or `#[…]` followed by
+                    // something unrecognisable) are swallowed whole so
+                    // their `[`…`]` contents cannot masquerade as items.
+                    let attr_open = if self.is(i, "#") && self.is(i + 1, "!") && self.is(i + 2, "[")
+                    {
+                        Some(i + 2)
+                    } else if self.is(i, "#") && self.is(i + 1, "[") {
+                        Some(i + 1)
+                    } else {
+                        None
+                    };
+                    match attr_open {
+                        Some(open) => {
+                            i = self
+                                .matching_close(open, hi, "[", "]")
+                                .map_or(hi, |j| j + 1)
+                        }
+                        None => i += 1,
+                    }
+                }
+            }
+        }
+        if cursor < byte_hi {
+            nodes.push(Node::Gap(cursor, byte_hi));
+        }
+        nodes
+    }
+
+    /// Token index of the delimiter closing the opener at `open`,
+    /// scanning no further than `hi`. Counts only the opener's class.
+    fn matching_close(&self, open: usize, hi: usize, o: &str, c: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        for j in open..hi {
+            let t = self.text(j);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to parse one item whose first token (attribute `#`, `pub`,
+    /// qualifier, or item keyword) is at `i`. Returns the item and the
+    /// index of the first token after it.
+    fn try_item(&mut self, i: usize, hi: usize) -> Option<(Item, usize)> {
+        let start_byte = self.code[i].start;
+        let mut j = i;
+
+        // Outer attributes: `#[…]`, any number. (`#![…]` is an inner
+        // attribute and not an item start — bail to the gap path.)
+        let mut attrs = Vec::new();
+        while self.is(j, "#") && self.is(j + 1, "[") {
+            let close = self.matching_close(j + 1, hi, "[", "]")?;
+            attrs.push(self.src[self.code[j].start..self.code[close].end].to_string());
+            j = close + 1;
+        }
+
+        // Visibility.
+        let mut vis = Vis::Private;
+        if self.is(j, "pub") {
+            vis = Vis::Pub;
+            j += 1;
+            if self.is(j, "(") {
+                let close = self.matching_close(j, hi, "(", ")")?;
+                vis = Vis::Scoped;
+                j = close + 1;
+            }
+        }
+
+        // Qualifiers before `fn` (`const`/`async`/`unsafe`/`extern "C"`).
+        // `const`/`extern` also *start* items, so look ahead before
+        // treating them as qualifiers.
+        let mut k = j;
+        loop {
+            match self.code.get(k).map(|t| t.text(self.src)) {
+                Some("async") => k += 1,
+                Some("unsafe") => {
+                    // `unsafe fn`/`unsafe impl`/`unsafe trait`/`unsafe extern`.
+                    k += 1;
+                }
+                Some("const") if self.peek_is_fn_chain(k + 1) => k += 1,
+                Some("extern")
+                    if self.kind(k + 1) == Some(TokenKind::Str) && self.is_kw(k + 2, "fn") =>
+                {
+                    k += 2;
+                }
+                _ => break,
+            }
+        }
+
+        let kw = self.code.get(k).map(|t| t.text(self.src))?;
+        let (item, next) = match kw {
+            "fn" => self.item_fn(k, hi)?,
+            "struct" => self.item_struct(k, hi)?,
+            "enum" | "union" => self.item_braced(
+                k,
+                hi,
+                if kw == "enum" {
+                    ItemKind::Enum
+                } else {
+                    ItemKind::Union
+                },
+            )?,
+            "trait" => self.item_container(k, hi, ItemKind::Trait)?,
+            "impl" => self.item_container(k, hi, ItemKind::Impl)?,
+            "mod" => self.item_mod(k, hi)?,
+            "use" => self.item_to_semi(k, hi, ItemKind::Use, false)?,
+            "const" | "static" => self.item_to_semi(
+                k,
+                hi,
+                if kw == "const" {
+                    ItemKind::Const
+                } else {
+                    ItemKind::Static
+                },
+                true,
+            )?,
+            "type" => self.item_to_semi(k, hi, ItemKind::TypeAlias, true)?,
+            "macro_rules" if self.is(k + 1, "!") => self.item_macro_def(k, hi)?,
+            "extern" => self.item_extern(k, hi)?,
+            _ if self.kind(k) == Some(TokenKind::Ident)
+                && self.is(k + 1, "!")
+                && vis == Vis::Private
+                && attrs.is_empty()
+                && k == j =>
+            {
+                self.item_macro_call(k, hi)?
+            }
+            _ => return None,
+        };
+        let mut item = item;
+        item.vis = vis;
+        item.attrs = attrs;
+        item.span.0 = start_byte;
+        Some((item, next))
+    }
+
+    /// After a possible `const` qualifier: does a `fn` (possibly behind
+    /// more qualifiers) follow? Distinguishes `const fn` from
+    /// `const NAME: T = …`.
+    fn peek_is_fn_chain(&self, mut k: usize) -> bool {
+        loop {
+            match self.code.get(k).map(|t| t.text(self.src)) {
+                Some("fn") => return true,
+                Some("async" | "unsafe") => k += 1,
+                Some("extern") => {
+                    k += 1;
+                    if self.kind(k) == Some(TokenKind::Str) {
+                        k += 1;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn is_kw(&self, i: usize, kw: &str) -> bool {
+        self.is(i, kw)
+    }
+
+    fn ident_after(&self, i: usize) -> Option<String> {
+        (self.kind(i) == Some(TokenKind::Ident)).then(|| self.text(i).to_string())
+    }
+
+    /// Scan from `from` for the first `{` or `;` at delimiter depth 0,
+    /// ignoring `<…>` generic angles (tracked shallowly, `->` excluded).
+    fn body_or_semi(&self, from: usize, hi: usize) -> Option<(usize, bool)> {
+        let (mut paren, mut bracket) = (0i32, 0i32);
+        let mut j = from;
+        while j < hi {
+            match self.text(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren <= 0 && bracket <= 0 => return Some((j, true)),
+                ";" if paren <= 0 && bracket <= 0 => return Some((j, false)),
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Build the common tail of an item with a brace body at `open`:
+    /// returns `(body interior, span end, next token index)`.
+    fn close_braced(&mut self, open: usize, hi: usize) -> ((usize, usize), usize, usize) {
+        match self.matching_close(open, hi, "{", "}") {
+            Some(close) => (
+                (self.code[open].end, self.code[close].start),
+                self.code[close].end,
+                close + 1,
+            ),
+            // Unterminated body: runs to the end of the region.
+            None => {
+                let end = self
+                    .code
+                    .get(hi.saturating_sub(1))
+                    .map_or(self.src.len(), |t| t.end);
+                ((self.code[open].end, end), end, hi)
+            }
+        }
+    }
+
+    fn item_fn(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        let name = self.ident_after(kw + 1);
+        let (at, is_brace) = self.body_or_semi(kw + 1, hi)?;
+        let mut item = Item {
+            kind: ItemKind::Fn,
+            name,
+            vis: Vis::Private,
+            attrs: Vec::new(),
+            span: (self.code[kw].start, 0),
+            sig_end: self.code[at].start,
+            body: None,
+            children: Vec::new(),
+            is_trait_impl: false,
+        };
+        if is_brace {
+            // Fn bodies are expressions, not items: span over, no children.
+            let (body, end, next) = self.close_braced(at, hi);
+            item.body = Some(body);
+            item.span.1 = end;
+            Some((item, next))
+        } else {
+            item.span.1 = self.code[at].end;
+            Some((item, at + 1))
+        }
+    }
+
+    fn item_struct(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        let name = self.ident_after(kw + 1);
+        let (at, is_brace) = self.body_or_semi(kw + 1, hi)?;
+        let mut item = Item {
+            kind: ItemKind::Struct,
+            name,
+            vis: Vis::Private,
+            attrs: Vec::new(),
+            span: (self.code[kw].start, 0),
+            sig_end: self.code[at].start,
+            body: None,
+            children: Vec::new(),
+            is_trait_impl: false,
+        };
+        if is_brace {
+            let (body, end, next) = self.close_braced(at, hi);
+            item.body = Some(body);
+            item.span.1 = end;
+            Some((item, next))
+        } else {
+            // Tuple struct `struct X(…);` or unit struct `struct X;` —
+            // body_or_semi already skipped the parenthesised fields.
+            item.span.1 = self.code[at].end;
+            Some((item, at + 1))
+        }
+    }
+
+    fn item_braced(&mut self, kw: usize, hi: usize, kind: ItemKind) -> Option<(Item, usize)> {
+        let name = self.ident_after(kw + 1);
+        let (at, is_brace) = self.body_or_semi(kw + 1, hi)?;
+        if !is_brace {
+            return None; // `enum X;` is not Rust; let the gap take it
+        }
+        let (body, end, next) = self.close_braced(at, hi);
+        Some((
+            Item {
+                kind,
+                name,
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, end),
+                sig_end: self.code[at].start,
+                body: Some(body),
+                children: Vec::new(),
+                is_trait_impl: false,
+            },
+            next,
+        ))
+    }
+
+    /// `trait`/`impl`: brace body whose members are parsed as children.
+    fn item_container(&mut self, kw: usize, hi: usize, kind: ItemKind) -> Option<(Item, usize)> {
+        let name = if kind == ItemKind::Trait {
+            self.ident_after(kw + 1)
+        } else {
+            None
+        };
+        let (at, is_brace) = self.body_or_semi(kw + 1, hi)?;
+        // `impl` headers always end in a body; a trait alias
+        // (`trait X = Y;`) ends at `;` with no members.
+        if !is_brace {
+            return Some((
+                Item {
+                    kind,
+                    name,
+                    vis: Vis::Private,
+                    attrs: Vec::new(),
+                    span: (self.code[kw].start, self.code[at].end),
+                    sig_end: self.code[at].start,
+                    body: None,
+                    children: Vec::new(),
+                    is_trait_impl: false,
+                },
+                at + 1,
+            ));
+        }
+        let is_trait_impl = kind == ItemKind::Impl && (kw + 1..at).any(|j| self.text(j) == "for");
+        let (body, end, next) = self.close_braced(at, hi);
+        let inner_tokens = self.token_range_inside(at, next.saturating_sub(1), hi);
+        let children = self.parse_range(inner_tokens.0, inner_tokens.1, body.0, body.1);
+        Some((
+            Item {
+                kind,
+                name,
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, end),
+                sig_end: self.code[at].start,
+                body: Some(body),
+                children,
+                is_trait_impl,
+            },
+            next,
+        ))
+    }
+
+    fn item_mod(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        let name = self.ident_after(kw + 1);
+        let (at, is_brace) = self.body_or_semi(kw + 1, hi)?;
+        if !is_brace {
+            return Some((
+                Item {
+                    kind: ItemKind::Mod,
+                    name,
+                    vis: Vis::Private,
+                    attrs: Vec::new(),
+                    span: (self.code[kw].start, self.code[at].end),
+                    sig_end: self.code[at].start,
+                    body: None,
+                    children: Vec::new(),
+                    is_trait_impl: false,
+                },
+                at + 1,
+            ));
+        }
+        let (body, end, next) = self.close_braced(at, hi);
+        let inner_tokens = self.token_range_inside(at, next.saturating_sub(1), hi);
+        let children = self.parse_range(inner_tokens.0, inner_tokens.1, body.0, body.1);
+        Some((
+            Item {
+                kind: ItemKind::Mod,
+                name,
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, end),
+                sig_end: self.code[at].start,
+                body: Some(body),
+                children,
+                is_trait_impl: false,
+            },
+            next,
+        ))
+    }
+
+    /// Token index range strictly inside the braces `open_tok … close_tok`.
+    fn token_range_inside(&self, open_tok: usize, close_tok: usize, hi: usize) -> (usize, usize) {
+        (open_tok + 1, close_tok.min(hi).max(open_tok + 1))
+    }
+
+    /// Items terminated by `;` (`use`, `const`, `static`, `type`).
+    fn item_to_semi(
+        &mut self,
+        kw: usize,
+        hi: usize,
+        kind: ItemKind,
+        named: bool,
+    ) -> Option<(Item, usize)> {
+        // `static mut NAME` / `type X<…>` — the name is the first ident
+        // after the keyword (skipping `mut`).
+        let name_idx = if self.is(kw + 1, "mut") {
+            kw + 2
+        } else {
+            kw + 1
+        };
+        let name = named.then(|| self.ident_after(name_idx)).flatten();
+        // Associated `type X = …;` in traits may carry bounds; `const`
+        // initialisers may contain braces (`const A: [u8; 2] = [0; 2];`
+        // or block expressions). Scan to the first top-level `;`,
+        // stepping over any brace body found on the way.
+        let mut j = kw + 1;
+        let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
+        let semi = loop {
+            if j >= hi {
+                break None;
+            }
+            match self.text(j) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" => brace += 1,
+                "}" => brace -= 1,
+                ";" if paren <= 0 && bracket <= 0 && brace <= 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let semi = semi?;
+        Some((
+            Item {
+                kind,
+                name,
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, self.code[semi].end),
+                sig_end: self.code[semi].start,
+                body: None,
+                children: Vec::new(),
+                is_trait_impl: false,
+            },
+            semi + 1,
+        ))
+    }
+
+    fn item_macro_def(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        // `macro_rules ! name <delim> … <close>` (+ `;` for non-brace).
+        let name = self.ident_after(kw + 2)?;
+        let open = kw + 3;
+        let (o, c) = match self.code.get(open).map(|t| t.text(self.src)) {
+            Some("{") => ("{", "}"),
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            _ => return None,
+        };
+        let close = self.matching_close(open, hi, o, c)?;
+        // Paren/bracket bodies need a trailing `;`.
+        let (end_tok, next) = if o != "{" && self.is(close + 1, ";") {
+            (close + 1, close + 2)
+        } else {
+            (close, close + 1)
+        };
+        Some((
+            Item {
+                kind: ItemKind::MacroDef,
+                name: Some(name),
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, self.code[end_tok].end),
+                sig_end: self.code[open].start,
+                body: None,
+                children: Vec::new(),
+                is_trait_impl: false,
+            },
+            next,
+        ))
+    }
+
+    fn item_extern(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        if self.is(kw + 1, "crate") {
+            return self
+                .item_to_semi(kw, hi, ItemKind::Extern, false)
+                .map(|(mut it, n)| {
+                    it.name = self.ident_after(kw + 2);
+                    (it, n)
+                });
+        }
+        // `extern "C" { … }` foreign block.
+        let open = if self.kind(kw + 1) == Some(TokenKind::Str) {
+            kw + 2
+        } else {
+            kw + 1
+        };
+        if !self.is(open, "{") {
+            return None;
+        }
+        let (body, end, next) = self.close_braced(open, hi);
+        let inner = self.token_range_inside(open, next.saturating_sub(1), hi);
+        let children = self.parse_range(inner.0, inner.1, body.0, body.1);
+        Some((
+            Item {
+                kind: ItemKind::Extern,
+                name: None,
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, end),
+                sig_end: self.code[open].start,
+                body: Some(body),
+                children,
+                is_trait_impl: false,
+            },
+            next,
+        ))
+    }
+
+    /// Item-position macro invocation: `name ! ( … );` / `name ! { … }`.
+    fn item_macro_call(&mut self, kw: usize, hi: usize) -> Option<(Item, usize)> {
+        let open = kw + 2;
+        let (o, c) = match self.code.get(open).map(|t| t.text(self.src)) {
+            Some("{") => ("{", "}"),
+            Some("(") => ("(", ")"),
+            Some("[") => ("[", "]"),
+            _ => return None,
+        };
+        let close = self.matching_close(open, hi, o, c)?;
+        let (end_tok, next) = if o != "{" && self.is(close + 1, ";") {
+            (close + 1, close + 2)
+        } else {
+            (close, close + 1)
+        };
+        Some((
+            Item {
+                kind: ItemKind::MacroCall,
+                name: self.ident_after(kw),
+                vis: Vis::Private,
+                attrs: Vec::new(),
+                span: (self.code[kw].start, self.code[end_tok].end),
+                sig_end: self.code[open].start,
+                body: None,
+                children: Vec::new(),
+                is_trait_impl: false,
+            },
+            next,
+        ))
+    }
+}
+
+/// Check the tiling invariant over a parse of `src`: top-level nodes
+/// tile `[0, len)` and every container's children tile its body.
+/// Returns a typed description of the first violation, for tests.
+pub fn check_tiling(src: &str, nodes: &[Node]) -> fault::Result<()> {
+    fn check(nodes: &[Node], lo: usize, hi: usize) -> fault::Result<()> {
+        let violation = |msg: String| Err(fault::Error::invalid(msg));
+        let mut cursor = lo;
+        for n in nodes {
+            let (s, e) = n.span();
+            if s != cursor {
+                return violation(format!(
+                    "gap/overlap: node starts at {s}, cursor at {cursor}"
+                ));
+            }
+            if e < s || e > hi {
+                return violation(format!("node span ({s},{e}) escapes region ({lo},{hi})"));
+            }
+            if let Node::Item(it) = n {
+                if let Some((bs, be)) = it.body {
+                    if !(s <= bs && be <= e) {
+                        return violation(format!("body ({bs},{be}) outside item span ({s},{e})"));
+                    }
+                    if !it.children.is_empty() {
+                        check(&it.children, bs, be)?;
+                    }
+                }
+            }
+            cursor = e;
+        }
+        if cursor != hi {
+            return violation(format!("tail uncovered: cursor {cursor}, region end {hi}"));
+        }
+        Ok(())
+    }
+    check(nodes, 0, src.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Vec<Node> {
+        let nodes = parse(src, &lex(src));
+        check_tiling(src, &nodes).expect("tiling holds on test fixtures");
+        nodes
+    }
+
+    fn items(nodes: &[Node]) -> Vec<&Item> {
+        nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Item(it) => Some(it.as_ref()),
+                Node::Gap(..) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_top_level_items_with_vis_and_names() {
+        let src = "\
+//! doc
+use std::fmt;
+
+pub struct Point { x: f64, y: f64 }
+
+pub(crate) fn helper(n: usize) -> usize { n + 1 }
+
+pub fn api() {}
+
+const LIMIT: usize = 10;
+";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        let summary: Vec<(ItemKind, Option<&str>, Vis)> = its
+            .iter()
+            .map(|it| (it.kind, it.name.as_deref(), it.vis))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (ItemKind::Use, None, Vis::Private),
+                (ItemKind::Struct, Some("Point"), Vis::Pub),
+                (ItemKind::Fn, Some("helper"), Vis::Scoped),
+                (ItemKind::Fn, Some("api"), Vis::Pub),
+                (ItemKind::Const, Some("LIMIT"), Vis::Private),
+            ]
+        );
+    }
+
+    #[test]
+    fn mod_and_impl_children_are_parsed() {
+        let src = "\
+pub mod outer {
+    pub fn inner() {}
+    fn private() {}
+}
+struct S;
+impl S {
+    pub fn method(&self) -> usize { 1 }
+}
+impl Clone for S {
+    fn clone(&self) -> S { S }
+}
+";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        assert_eq!(its[0].kind, ItemKind::Mod);
+        let mod_children = items(&its[0].children);
+        assert_eq!(mod_children.len(), 2);
+        assert_eq!(mod_children[0].name.as_deref(), Some("inner"));
+        assert_eq!(mod_children[0].vis, Vis::Pub);
+        let inherent = its[2];
+        assert_eq!(inherent.kind, ItemKind::Impl);
+        assert!(!inherent.is_trait_impl);
+        assert_eq!(items(&inherent.children)[0].name.as_deref(), Some("method"));
+        let trait_impl = its[3];
+        assert!(trait_impl.is_trait_impl, "impl Clone for S is a trait impl");
+    }
+
+    #[test]
+    fn attributes_attach_to_their_item() {
+        let src = "#[derive(Debug)]\n#[repr(C)]\npub struct S(u8);\n";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        assert_eq!(its[0].attrs, vec!["#[derive(Debug)]", "#[repr(C)]"]);
+        assert_eq!(its[0].span.0, 0, "span starts at the first attribute");
+    }
+
+    #[test]
+    fn qualified_fns_parse() {
+        let src = "\
+pub async fn a() {}
+pub const fn b() -> usize { 1 }
+pub unsafe fn c() {}
+pub extern \"C\" fn d() {}
+pub const unsafe extern \"C\" fn e() {}
+";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        let names: Vec<_> = its
+            .iter()
+            .map(|it| it.name.as_deref().unwrap_or("?"))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+        assert!(its
+            .iter()
+            .all(|it| it.kind == ItemKind::Fn && it.vis == Vis::Pub));
+    }
+
+    #[test]
+    fn const_item_vs_const_fn() {
+        let src = "pub const N: usize = 3;\npub const fn f() {}\n";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        assert_eq!(its[0].kind, ItemKind::Const);
+        assert_eq!(its[0].name.as_deref(), Some("N"));
+        assert_eq!(its[1].kind, ItemKind::Fn);
+        assert_eq!(its[1].name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn macro_def_and_item_macro_call() {
+        let src = "macro_rules! m { () => {}; }\nthread_local! { static X: u8 = 0; }\n";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        assert_eq!(its[0].kind, ItemKind::MacroDef);
+        assert_eq!(its[0].name.as_deref(), Some("m"));
+        assert_eq!(its[1].kind, ItemKind::MacroCall);
+        assert_eq!(its[1].name.as_deref(), Some("thread_local"));
+    }
+
+    #[test]
+    fn fn_bodies_are_not_parsed_as_items() {
+        // The struct-like `let` statements inside a body must not
+        // produce child items or derail the next top-level item.
+        let src = "fn a() { let s = Struct { x: 1 }; if x { y() } }\npub fn b() {}\n";
+        let nodes = parse_src(src);
+        let its = items(&nodes);
+        assert_eq!(its.len(), 2);
+        assert!(its[0].children.is_empty());
+        assert_eq!(its[1].name.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn totality_on_garbage() {
+        for src in [
+            "",
+            "pub",
+            "pub fn",
+            "fn f(",
+            "struct",
+            "impl {",
+            "mod m {",
+            "}}}{{{",
+            "#[attr",
+            "#![inner]\nfn f() {}",
+            "🦀 pub fn ok() {} 🦀",
+        ] {
+            let nodes = parse(src, &lex(src));
+            check_tiling(src, &nodes).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn visit_items_reports_nesting() {
+        let src = "pub mod m { pub fn f() {} }\n";
+        let nodes = parse_src(src);
+        let mut seen = Vec::new();
+        visit_items(&nodes, &mut |it, stack| {
+            seen.push((it.name.clone(), stack.len()));
+        });
+        assert_eq!(seen, vec![(Some("m".into()), 0), (Some("f".into()), 1)]);
+    }
+}

@@ -26,10 +26,26 @@
 //! it, as does `--emit-waivers`), so pinning a reviewed finding is
 //! copy-paste, not archaeology.
 //!
-//! The parser is a deliberate TOML subset (`[[waiver]]` tables with
-//! string/integer scalars and `#` comments) — enough for this file
-//! format, zero dependencies, and strict about anything it does not
-//! understand.
+//! The env-var registry lives in the same file: every
+//! `std::env::var("PERFPREDICT_*")` read in the workspace must match a
+//! declared `[[env]]` entry with a one-line doc string, so runtime
+//! knobs cannot accumulate undocumented:
+//!
+//! ```toml
+//! [[env]]
+//! name = "PERFPREDICT_NN_SCALAR"
+//! doc = "1 = force the per-sample scalar NN path (bit-exactness oracle)"
+//! ```
+//!
+//! The `env-registry` pass enforces both directions (see
+//! [`crate::index`]): an undeclared read is a finding at the read site,
+//! and a declared entry no process reads is stale, exactly like a
+//! waiver matching no finding.
+//!
+//! The parser is a deliberate TOML subset (`[[waiver]]`/`[[env]]`
+//! tables with string/integer scalars and `#` comments) — enough for
+//! this file format, zero dependencies, and strict about anything it
+//! does not understand.
 
 use fault::{Error, Result};
 
@@ -45,41 +61,152 @@ pub struct Waiver {
     pub defined_at: usize,
 }
 
-/// Parse the waiver file text. Strict: unknown keys, missing keys,
-/// empty/TODO reasons, and malformed lines are `Error::InvalidInput`.
+/// One declared environment variable from the `[[env]]` registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvDecl {
+    pub name: String,
+    pub doc: String,
+    /// Line in `analyze.toml` where this entry starts (for messages).
+    pub defined_at: usize,
+}
+
+/// Everything `analyze.toml` configures.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    pub waivers: Vec<Waiver>,
+    pub envs: Vec<EnvDecl>,
+}
+
+/// Parse the waiver file text into waivers only — the historical
+/// surface, kept for callers that lint ad-hoc file lists where the env
+/// registry does not apply.
 pub fn parse(text: &str, source_name: &str) -> Result<Vec<Waiver>> {
-    let mut waivers: Vec<Waiver> = Vec::new();
-    let mut current: Option<PartialWaiver> = None;
+    parse_config(text, source_name).map(|c| c.waivers)
+}
+
+/// Parse the full config: `[[waiver]]` and `[[env]]` tables. Strict:
+/// unknown keys, missing keys, empty/TODO reasons and docs, and
+/// malformed lines are `Error::InvalidInput`.
+pub fn parse_config(text: &str, source_name: &str) -> Result<Config> {
+    let mut config = Config::default();
+    let mut current: Option<Partial> = None;
+    let finish = |p: Partial, config: &mut Config| -> Result<()> {
+        match p {
+            Partial::Waiver(w) => config.waivers.push(w.finish(source_name)?),
+            Partial::Env(e) => config.envs.push(e.finish(source_name)?),
+        }
+        Ok(())
+    };
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
         let line = strip_comment(raw).trim();
         if line.is_empty() {
             continue;
         }
-        if line == "[[waiver]]" {
+        if line == "[[waiver]]" || line == "[[env]]" {
             if let Some(p) = current.take() {
-                waivers.push(p.finish(source_name)?);
+                finish(p, &mut config)?;
             }
-            current = Some(PartialWaiver::new(lineno));
+            current = Some(if line == "[[waiver]]" {
+                Partial::Waiver(PartialWaiver::new(lineno))
+            } else {
+                Partial::Env(PartialEnv::new(lineno))
+            });
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
             return Err(Error::invalid(format!(
-                "{source_name}:{lineno}: expected `key = value` or `[[waiver]]`, got `{line}`"
+                "{source_name}:{lineno}: expected `key = value`, `[[waiver]]`, or `[[env]]`, \
+                 got `{line}`"
             )));
         };
         let Some(p) = current.as_mut() else {
             return Err(Error::invalid(format!(
-                "{source_name}:{lineno}: `{}` before the first [[waiver]] table",
+                "{source_name}:{lineno}: `{}` before the first [[waiver]]/[[env]] table",
                 key.trim()
             )));
         };
-        p.set(key.trim(), value.trim(), source_name, lineno)?;
+        match p {
+            Partial::Waiver(w) => w.set(key.trim(), value.trim(), source_name, lineno)?,
+            Partial::Env(e) => e.set(key.trim(), value.trim(), source_name, lineno)?,
+        }
     }
     if let Some(p) = current.take() {
-        waivers.push(p.finish(source_name)?);
+        finish(p, &mut config)?;
     }
-    Ok(waivers)
+    Ok(config)
+}
+
+enum Partial {
+    Waiver(PartialWaiver),
+    Env(PartialEnv),
+}
+
+#[derive(Default)]
+struct PartialEnv {
+    defined_at: usize,
+    name: Option<String>,
+    doc: Option<String>,
+}
+
+impl PartialEnv {
+    fn new(defined_at: usize) -> PartialEnv {
+        PartialEnv {
+            defined_at,
+            ..PartialEnv::default()
+        }
+    }
+
+    fn set(&mut self, key: &str, value: &str, src: &str, lineno: usize) -> Result<()> {
+        let unquote = |v: &str| -> Result<String> {
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    Error::invalid(format!("{src}:{lineno}: `{key}` must be a quoted string"))
+                })?;
+            Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+        };
+        match key {
+            "name" => self.name = Some(unquote(value)?),
+            "doc" => self.doc = Some(unquote(value)?),
+            other => {
+                return Err(Error::invalid(format!(
+                    "{src}:{lineno}: unknown env key `{other}` (expected name/doc)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, src: &str) -> Result<EnvDecl> {
+        let at = self.defined_at;
+        let missing = |k: &str| {
+            Error::invalid(format!(
+                "{src}:{at}: env entry is missing required key `{k}`"
+            ))
+        };
+        let e = EnvDecl {
+            name: self.name.ok_or_else(|| missing("name"))?,
+            doc: self.doc.ok_or_else(|| missing("doc"))?,
+            defined_at: at,
+        };
+        if e.name.trim().is_empty() || e.name.contains(|c: char| c.is_whitespace()) {
+            return Err(Error::invalid(format!(
+                "{src}:{at}: env `name` must be a single non-empty variable name"
+            )));
+        }
+        let d = e.doc.trim();
+        if d.is_empty()
+            || d.eq_ignore_ascii_case("todo")
+            || d.to_ascii_lowercase().contains("todo:")
+        {
+            return Err(Error::invalid(format!(
+                "{src}:{at}: env `doc` must be a real one-line description, not empty/TODO"
+            )));
+        }
+        Ok(e)
+    }
 }
 
 /// Strip a `#` comment, respecting `"…"` strings. Escapes are tracked
@@ -256,6 +383,36 @@ reason = "k is a column index, bounded by Table::width() <= 64"
         assert_eq!(
             strip_comment(r#"path = "a\\\\" # four"#).trim_end(),
             r#"path = "a\\\\""#
+        );
+    }
+
+    #[test]
+    fn env_table_parses_alongside_waivers() {
+        let text = format!(
+            "{GOOD}\n[[env]]\nname = \"PERFPREDICT_LOG\"\ndoc = \"console sink verbosity\"\n"
+        );
+        let c = parse_config(&text, "analyze.toml").expect("mixed tables parse");
+        assert_eq!(c.waivers.len(), 1);
+        assert_eq!(c.envs.len(), 1);
+        assert_eq!(c.envs[0].name, "PERFPREDICT_LOG");
+        assert_eq!(c.envs[0].doc, "console sink verbosity");
+    }
+
+    #[test]
+    fn env_table_rejects_todo_doc_and_bad_name() {
+        let todo = "[[env]]\nname = \"PERFPREDICT_X\"\ndoc = \"TODO\"\n";
+        assert!(parse_config(todo, "t").is_err(), "TODO doc must fail");
+        let spaced = "[[env]]\nname = \"TWO WORDS\"\ndoc = \"d\"\n";
+        assert!(
+            parse_config(spaced, "t").is_err(),
+            "name with space must fail"
+        );
+        let missing = "[[env]]\nname = \"PERFPREDICT_X\"\n";
+        assert!(parse_config(missing, "t").is_err(), "missing doc must fail");
+        let unknown = "[[env]]\nname = \"PERFPREDICT_X\"\ndoc = \"d\"\nreason = \"x\"\n";
+        assert!(
+            parse_config(unknown, "t").is_err(),
+            "waiver key in env must fail"
         );
     }
 

@@ -55,8 +55,46 @@ pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// All `.rs` files under the workspace's *reference* roots, sorted:
+/// integration tests, benches, and examples — the root `tests/`,
+/// `benches/`, `examples/` trees plus each crate's (compat excluded,
+/// `compat/simd` included, mirroring [`workspace_files`]). Reference
+/// files are never linted, but the `dead-pub-api` pass reads their
+/// identifier uses as external-consumer evidence: an API a bench or
+/// integration test exercises is alive. An empty result is fine here —
+/// a workspace without tests is lint-worthy, not an I/O error.
+pub(crate) fn reference_files(root: &Path) -> Result<Vec<PathBuf>> {
+    const REF_DIRS: &[&str] = &["tests", "benches", "examples"];
+    let mut files = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs = read_dir_sorted(&crates_dir)?;
+        crate_dirs.retain(|p| p.is_dir() && p.file_name().map(|n| n != "compat").unwrap_or(false));
+        let simd = crates_dir.join("compat").join("simd");
+        if simd.is_dir() {
+            crate_dirs.push(simd);
+        }
+        roots.extend(crate_dirs);
+    }
+    for base in roots {
+        for dir in REF_DIRS {
+            let d = base.join(dir);
+            if d.is_dir() {
+                collect_rs(&d, &mut files)?;
+            }
+        }
+    }
+    // The analyzer's own fixture corpus is deliberate-violation test
+    // data, not a real consumer of anything — its identifiers must not
+    // keep workspace API alive.
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+    files.sort();
+    Ok(files)
+}
+
 /// Recursively collect `.rs` files under `dir` (any order; caller sorts).
-pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
     for entry in read_dir_sorted(dir)? {
         if entry.is_dir() {
             collect_rs(&entry, out)?;

@@ -1,0 +1,118 @@
+//! Integration gate for the incremental diagnostic cache, run over the
+//! real workspace (not a fixture): a warm run must be byte-identical to
+//! the cold run that populated the cache, and demonstrably cheaper —
+//! every file served from cache, none re-analyzed. CI re-asserts the
+//! same property end-to-end through the CLI (`--cache` cold-then-warm,
+//! `cmp` on the JSONL outputs).
+
+use analyze::{analyze_workspace_with, AnalyzeOptions, Report};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze sits two levels below the workspace root")
+}
+
+/// A per-test cache path under the target dir (unique per test name so
+/// parallel tests never share a file).
+fn cache_path(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .join("target/analyze-cache-tests");
+    std::fs::create_dir_all(&dir).expect("cache test dir");
+    dir.join(format!("{test}-{}.jsonl", std::process::id()))
+}
+
+/// The full rendered output of a run — exactly what `--format json`
+/// prints, diagnostics then waived findings — as one string, so
+/// equality below means byte-identity of what a user would see.
+fn rendered(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.render_json());
+        out.push('\n');
+    }
+    for d in &report.waived_diagnostics {
+        out.push_str(&d.render_json_waived());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_with_cache(path: &Path) -> Report {
+    analyze_workspace_with(
+        workspace_root(),
+        &AnalyzeOptions {
+            cache_path: Some(path.to_path_buf()),
+        },
+    )
+    .expect("workspace analysis runs")
+}
+
+#[test]
+fn warm_run_is_byte_identical_to_cold_and_fully_cached() {
+    let cache = cache_path("cold-warm");
+    let _ = std::fs::remove_file(&cache);
+
+    let cold = run_with_cache(&cache);
+    assert_eq!(cold.cache_hits, 0, "first run starts from an empty cache");
+    assert!(cold.cache_misses > 50, "cold run analyzes the workspace");
+
+    let warm = run_with_cache(&cache);
+    assert_eq!(
+        warm.cache_misses, 0,
+        "nothing changed, so nothing re-analyzes"
+    );
+    assert_eq!(
+        warm.cache_hits, cold.cache_misses,
+        "every file the cold run analyzed is served from cache"
+    );
+    assert_eq!(
+        rendered(&cold),
+        rendered(&warm),
+        "warm output must be byte-identical to cold"
+    );
+    assert_eq!(warm.files, cold.files);
+    assert_eq!(warm.waived, cold.waived);
+
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn truncated_cache_degrades_to_partial_misses_with_identical_output() {
+    let cache = cache_path("truncated");
+    let _ = std::fs::remove_file(&cache);
+
+    let cold = run_with_cache(&cache);
+    let baseline = rendered(&cold);
+
+    // Chop the cache file mid-record: a crashed writer's torn tail.
+    let bytes = std::fs::read(&cache).expect("cache written");
+    std::fs::write(&cache, &bytes[..bytes.len() * 2 / 3]).expect("truncate");
+
+    let warm = run_with_cache(&cache);
+    assert!(
+        warm.cache_hits > 0,
+        "records before the tear still serve hits"
+    );
+    assert!(
+        warm.cache_misses > 0,
+        "records at/after the tear re-analyze"
+    );
+    assert_eq!(
+        baseline,
+        rendered(&warm),
+        "a torn cache may cost time, never correctness"
+    );
+
+    // The torn-tail run rewrote the cache; the next run is fully warm.
+    let healed = run_with_cache(&cache);
+    assert_eq!(healed.cache_misses, 0, "cache healed by the previous run");
+    assert_eq!(baseline, rendered(&healed));
+
+    let _ = std::fs::remove_file(&cache);
+}

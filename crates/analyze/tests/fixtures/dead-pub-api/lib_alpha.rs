@@ -1,0 +1,48 @@
+//@ path: crates/alpha/src/lib.rs
+// dead-pub-api fixture: pub items must be referenced outside their
+// defining crate (integration tests/benches/examples count). Markers
+// sit on the signature line the finding anchors to.
+
+pub fn used_everywhere() {}
+
+pub fn dead_api() {} //~ dead-pub-api
+
+pub(crate) fn scoped_fn() {} // ok: not pub
+
+fn private_fn() {} // ok: not pub
+
+pub struct SharedConfig;
+
+pub struct DeadStruct; //~ dead-pub-api
+
+pub mod inner {
+    pub fn deep_used() {}
+
+    pub fn deep_dead() {} //~ dead-pub-api
+}
+
+mod private_mod {
+    pub fn hidden() {} // ok: enclosing mod is private
+}
+
+pub trait Api {
+    fn call(&self); // ok: trait members belong to the trait
+}
+
+impl Api for SharedConfig {
+    fn call(&self) {} // ok: trait impl fulfills a contract
+}
+
+impl SharedConfig {
+    pub fn helper() {}
+
+    pub fn unused_method() {} //~ dead-pub-api
+}
+
+#[allow(dead_code)]
+pub fn excused() {} // ok: author already opted out of liveness
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helper() {} // ok: test region
+}

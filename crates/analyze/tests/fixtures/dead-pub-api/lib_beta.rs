@@ -1,0 +1,16 @@
+//@ path: crates/beta/src/lib.rs
+// Second crate: its references keep alpha's API alive, and its own
+// unreferenced pub items are flagged in turn.
+
+pub fn run_pipeline() { //~ dead-pub-api
+    alpha::used_everywhere();
+    alpha::inner::deep_used();
+}
+
+pub fn tested_only() {} // ok: the integration test below calls it
+
+pub struct Orchestrator; //~ dead-pub-api
+
+impl alpha::Api for Orchestrator {
+    fn call(&self) {}
+}

@@ -1,0 +1,9 @@
+//@ path: crates/alpha/tests/api.rs
+// Reference-role file: never linted, but its identifier uses are
+// external-consumer evidence for dead-pub-api.
+
+#[test]
+fn exercises_api() {
+    alpha::SharedConfig::helper();
+    beta::tested_only();
+}

@@ -1,0 +1,28 @@
+//@ path: crates/gamma/src/knobs.rs
+// env-registry fixture: every PERFPREDICT_* read must match a declared
+// [[env]] entry (see env.toml next to this file); non-PERFPREDICT vars
+// and test-region reads are out of scope.
+
+pub fn declared() -> bool {
+    std::env::var("PERFPREDICT_FIXTURE_MODE").is_ok() // ok: declared in env.toml
+}
+
+pub fn rogue() -> bool {
+    std::env::var("PERFPREDICT_FIXTURE_ROGUE").is_ok() //~ env-registry
+}
+
+pub fn rogue_os() -> bool {
+    std::env::var_os("PERFPREDICT_FIXTURE_SHADOW").is_some() //~ env-registry
+}
+
+pub fn foreign() -> bool {
+    std::env::var("HOME").is_ok() // ok: not a PERFPREDICT_* knob
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_reads_are_free() {
+        let _ = std::env::var("PERFPREDICT_FIXTURE_TESTONLY"); // ok: test region
+    }
+}

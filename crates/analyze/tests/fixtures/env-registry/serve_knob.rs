@@ -1,0 +1,7 @@
+//@ path: crates/epsilon/src/serve.rs
+// A second crate reading the same declared knob: one [[env]] entry
+// covers every read site in the workspace.
+
+pub fn mode_from_env() -> Option<String> {
+    std::env::var("PERFPREDICT_FIXTURE_MODE").ok() // ok: declared in env.toml
+}

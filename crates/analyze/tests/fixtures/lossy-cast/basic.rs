@@ -1,13 +1,19 @@
 // lossy-cast fixture: truncating `as` casts must be typed away or
-// argued safe in analyze.toml. `as f64` is exempt by policy (all
-// counts in this workspace stay below 2^53).
+// argued safe in analyze.toml. `as f64` is exempt only for sources
+// narrower than 64 bits — a 64-bit integer above 2^53 rounds silently.
 
 pub fn narrow(n: usize) -> u32 {
     n as u32 //~ lossy-cast
 }
 
 pub fn to_float(n: usize) -> f64 {
-    n as f64 // ok: exempt by policy
+    n as f64 //~ lossy-cast
+}
+
+pub fn to_float_narrow(k: u32) -> f64 {
+    // `k` is only ever ascribed u32 in this file, so the heuristic
+    // (rightly) leaves the exact u32 -> f64 conversion alone.
+    k as f64 // ok: u32 -> f64 is always exact
 }
 
 pub fn single_precision(x: f64) -> f32 {
@@ -20,6 +26,28 @@ pub fn widen_for_index(codes: &[u32], i: u16) -> u32 {
 
 pub fn two_on_one_line(a: u64, b: u64) -> u32 {
     (a as u32) ^ (b as u32) //~ lossy-cast //~ lossy-cast
+}
+
+pub fn chained_wide(x: u32) -> f64 {
+    // Two findings: the integer-target `as u64` (source unseen, as
+    // ever) and the wide-source `as f64` behind it.
+    x as u64 as f64 //~ lossy-cast //~ lossy-cast
+}
+
+pub fn suffixed_literal() -> f64 {
+    9_007_199_254_740_993u64 as f64 //~ lossy-cast
+}
+
+pub fn length_ratio(xs: &[f64], ys: &[f64]) -> f64 {
+    xs.len() as f64 / ys.len() as f64 //~ lossy-cast //~ lossy-cast
+}
+
+pub fn wide_fn() -> u64 {
+    42
+}
+
+pub fn from_wide_fn() -> f64 {
+    wide_fn() as f64 //~ lossy-cast
 }
 
 pub fn checked(n: usize) -> Option<u32> {

@@ -1,0 +1,6 @@
+//@ path: crates/telemetry/src/clock.rs
+// The telemetry crate is the sanctioned consumer of wall-clock time.
+
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now() // ok: telemetry crate is exempt
+}

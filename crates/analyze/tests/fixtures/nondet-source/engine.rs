@@ -1,0 +1,35 @@
+//@ path: crates/delta/src/engine.rs
+// nondet-source fixture: wall-clock and entropy sources in library
+// code are flagged unless the statement routes through telemetry.
+
+pub fn wall_clock_stamp() -> std::time::Instant {
+    std::time::Instant::now() //~ nondet-source
+}
+
+pub fn epoch_ms() -> u128 {
+    std::time::SystemTime::now() //~ nondet-source
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+pub fn seeded_rng() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::from_entropy() //~ nondet-source
+}
+
+pub fn ambient_rng() -> u32 {
+    let mut rng = rand::thread_rng(); //~ nondet-source
+    rng.next_u32()
+}
+
+pub fn gated_span() -> Option<std::time::Instant> {
+    telemetry::enabled().then(std::time::Instant::now) // ok: telemetry-gated statement
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time() {
+        let _ = std::time::Instant::now(); // ok: test region
+    }
+}

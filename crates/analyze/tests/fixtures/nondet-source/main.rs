@@ -1,0 +1,10 @@
+//@ path: crates/delta/src/main.rs
+// Binary entry points own operational timing; nothing here is flagged.
+
+fn main() {
+    let started = std::time::Instant::now(); // ok: binary entry point
+    run();
+    eprintln!("took {:?}", started.elapsed());
+}
+
+fn run() {}

@@ -1,0 +1,153 @@
+//! Property tests for the item parser's totality guarantees, mirroring
+//! the lexer's (tests/prop.rs): `syntax::parse` never panics, its node
+//! spans exactly tile the input (top-level nodes tile `[0, len)`,
+//! children tile their container's body interior — `check_tiling`
+//! verifies both), and parsing is deterministic. The fragment pool
+//! leans on item syntax: orphan attributes, visibility qualifiers
+//! without items, unterminated bodies, macro definitions, and the
+//! lexer pool's literal-breaking shrapnel.
+
+use analyze::lexer::lex;
+use analyze::syntax::{self, Node};
+use proptest::prelude::*;
+
+/// Item-level shrapnel: things that look like items, halves of items,
+/// attributes with item keywords inside, and literal-breakers from the
+/// lexer pool to corrupt everything downstream.
+const FRAGMENTS: &[&str] = &[
+    "pub fn f() {}",
+    "pub(crate) fn g(x: u64) -> f64 { x as f64 }",
+    "fn",
+    "pub",
+    "pub(in a::b)",
+    "struct",
+    "struct S;",
+    "pub struct S { x: u8 }",
+    "enum E { A, B }",
+    "impl S {",
+    "impl Clone for S {}",
+    "}",
+    "{",
+    "mod m {",
+    "pub mod m;",
+    "use a::b::{c, d};",
+    "use a as b;",
+    "const N: usize = { 1 };",
+    "static S: u8 = 0;",
+    "type T = u8;",
+    "trait T { fn f(&self); }",
+    "extern \"C\" { fn c(); }",
+    "macro_rules! m { () => {} }",
+    "thread_local! { static X: u8 = 0; }",
+    "#[derive(Debug)]",
+    "#[cfg(test)]",
+    "#![allow(dead_code)]",
+    "#[doc = \"has fn and struct inside\"]",
+    "#[",
+    "]",
+    "async unsafe fn h() {}",
+    "const fn k() {}",
+    "unsafe impl Send for S {}",
+    ";",
+    "// comment with fn inside\n",
+    "/* pub struct */",
+    "r#\"",
+    "\"",
+    "'",
+    "\\",
+    "🦀",
+    "é fn",
+    "let x = 1;",
+    "=> {}",
+    "\n",
+    " ",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Concatenations of item shrapnel parse without panicking, and
+    /// node spans tile the input exactly (recursively).
+    #[test]
+    fn parser_is_total_over_fragment_soup(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..40),
+    ) {
+        let input: String = parts.concat();
+        let tokens = lex(&input);
+        let nodes = syntax::parse(&input, &tokens);
+        prop_assert!(
+            syntax::check_tiling(&input, &nodes).is_ok(),
+            "tiling violated for {:?}: {:?}",
+            input,
+            syntax::check_tiling(&input, &nodes)
+        );
+    }
+
+    /// Same totality over raw byte soup forced into valid UTF-8 —
+    /// no item structure at all, parser must still tile.
+    #[test]
+    fn parser_is_total_over_byte_soup(bytes in prop::collection::vec(0u32..256, 0..120)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let input = String::from_utf8_lossy(&raw).into_owned();
+        let tokens = lex(&input);
+        let nodes = syntax::parse(&input, &tokens);
+        prop_assert!(syntax::check_tiling(&input, &nodes).is_ok(), "{input:?}");
+    }
+
+    /// Parsing is deterministic: same input, same item tree (spans,
+    /// kinds, names, in order).
+    #[test]
+    fn parsing_is_deterministic(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..24),
+    ) {
+        let input: String = parts.concat();
+        let tokens = lex(&input);
+        let a = syntax::parse(&input, &tokens);
+        let b = syntax::parse(&input, &tokens);
+        let mut fa = Vec::new();
+        let mut fb = Vec::new();
+        flatten(&a, &mut fa);
+        flatten(&b, &mut fb);
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// Every parsed item's span lies inside the input and starts/ends
+    /// on char boundaries, so downstream slicing can't panic.
+    #[test]
+    fn item_spans_are_sliceable(
+        parts in prop::collection::vec(prop::sample::select(FRAGMENTS.to_vec()), 0..32),
+    ) {
+        let input: String = parts.concat();
+        let tokens = lex(&input);
+        let nodes = syntax::parse(&input, &tokens);
+        syntax::visit_items(&nodes, &mut |item, _| {
+            let (s, e) = item.span;
+            assert!(s <= e && e <= input.len(), "span out of bounds in {input:?}");
+            assert!(
+                input.is_char_boundary(s) && input.is_char_boundary(e),
+                "span off char boundary in {input:?}"
+            );
+            assert!(
+                s <= item.sig_end && item.sig_end <= e,
+                "sig_end outside span in {input:?}"
+            );
+        });
+    }
+}
+
+/// Flatten a node tree into comparable (span, kind-ish, name) rows.
+fn flatten(nodes: &[Node], out: &mut Vec<(usize, usize, String)>) {
+    for n in nodes {
+        match n {
+            Node::Gap(s, e) => out.push((*s, *e, "<gap>".into())),
+            Node::Item(item) => {
+                out.push((
+                    item.span.0,
+                    item.span.1,
+                    format!("{:?}:{:?}", item.kind, item.name),
+                ));
+                flatten(&item.children, out);
+            }
+        }
+    }
+}

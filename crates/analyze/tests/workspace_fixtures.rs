@@ -1,0 +1,119 @@
+//! Cross-file fixture harness for the three workspace passes.
+//!
+//! Unlike the per-file corpus (tests/fixtures.rs), these corpora are
+//! miniature *workspaces*: every `.rs` file starts with a
+//! `//@ path: <workspace-relative path>` header assigning its virtual
+//! location (which decides crate identity and role), facts are
+//! extracted per file, and `index::check_workspace` runs over the
+//! whole set. `//~ <lint>` markers are the golden expectations, same
+//! contract as the per-file harness; an `env.toml` in the corpus
+//! supplies the `[[env]]` registry, with `#~ <lint>` markers for
+//! findings that anchor inside it (stale declarations).
+//!
+//! Each corpus is judged only against its own pass — a dead-pub-api
+//! corpus is free to contain, say, an unreferenced helper that
+//! nondet-source would ignore and vice versa.
+
+use analyze::index::{self, FileFacts};
+use analyze::source::SourceFile;
+use analyze::waiver::{self, EnvDecl};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+type Markers = BTreeMap<(String, usize), usize>;
+
+/// `//~ <lint>` (and `#~ <lint>` for TOML) marker counts for `lint`.
+fn markers(virtual_path: &str, text: &str, sigil: &str, lint: &str) -> Markers {
+    let mut out = Markers::new();
+    for (i, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find(sigil) {
+            rest = &rest[pos + sigil.len()..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(
+                !name.is_empty(),
+                "malformed {sigil} marker on line {}",
+                i + 1
+            );
+            if name == lint {
+                *out.entry((virtual_path.to_string(), i + 1)).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Load a corpus dir: per-file facts (virtual paths from `//@ path:`
+/// headers), the optional `env.toml` registry, and expected markers.
+fn load_corpus(lint: &str) -> (Vec<FileFacts>, Vec<EnvDecl>, Markers) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(lint);
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+
+    let mut facts = Vec::new();
+    let mut envs = Vec::new();
+    let mut expected = Markers::new();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("corpus file readable");
+        if path.file_name().is_some_and(|n| n == "env.toml") {
+            let config = waiver::parse_config(&text, "env.toml").expect("fixture env.toml parses");
+            assert!(!config.envs.is_empty(), "env.toml without [[env]] entries");
+            envs = config.envs;
+            expected.extend(markers("env.toml", &text, "#~", lint));
+            continue;
+        }
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let first = text.lines().next().unwrap_or("");
+        let vpath = first
+            .strip_prefix("//@ path:")
+            .unwrap_or_else(|| panic!("{}: first line must be `//@ path: …`", path.display()))
+            .trim()
+            .to_string();
+        expected.extend(markers(&vpath, &text, "//~", lint));
+        let file = SourceFile::new(vpath.clone(), text);
+        let tokens = analyze::lexer::lex(&file.text);
+        facts.push(index::extract_facts(&file, &tokens, index::role_of(&vpath)));
+    }
+    assert!(facts.len() >= 2, "{lint}: corpus must span multiple files");
+    (facts, envs, expected)
+}
+
+fn run_corpus(lint: &str) {
+    let (facts, envs, expected) = load_corpus(lint);
+    let mut actual = Markers::new();
+    for d in index::check_workspace(&facts, &envs, "env.toml") {
+        if d.lint == lint {
+            *actual.entry((d.path.clone(), d.line)).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(
+        actual, expected,
+        "{lint}: findings (left) disagree with markers (right)"
+    );
+}
+
+#[test]
+fn dead_pub_api_corpus_matches_markers() {
+    run_corpus("dead-pub-api");
+}
+
+#[test]
+fn env_registry_corpus_matches_markers() {
+    run_corpus("env-registry");
+}
+
+#[test]
+fn nondet_source_corpus_matches_markers() {
+    run_corpus("nondet-source");
+}

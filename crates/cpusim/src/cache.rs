@@ -142,7 +142,7 @@ impl Default for LatencyModel {
 
 impl LatencyModel {
     /// Latency of an access satisfied at `level`.
-    pub fn for_level(&self, level: HierLevel) -> u32 {
+    pub(crate) fn for_level(&self, level: HierLevel) -> u32 {
         match level {
             HierLevel::L1 => self.l1,
             HierLevel::L2 => self.l2,

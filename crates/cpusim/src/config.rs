@@ -69,7 +69,7 @@ pub struct CacheGeometry {
 
 impl CacheGeometry {
     /// Number of sets implied by the geometry.
-    pub fn num_sets(&self) -> usize {
+    pub(crate) fn num_sets(&self) -> usize {
         let lines = (self.size_kb as usize * 1024) / self.line_b as usize;
         (lines / self.assoc as usize).max(1)
     }
@@ -92,7 +92,7 @@ pub struct FuConfig {
 
 impl FuConfig {
     /// The 4-wide FU mix from Table 1: 4/2/2/4/2.
-    pub const NARROW: FuConfig = FuConfig {
+    pub(crate) const NARROW: FuConfig = FuConfig {
         ialu: 4,
         imult: 2,
         memport: 2,
@@ -413,7 +413,7 @@ impl SpaceSpec {
     /// The FU mix tied to a pipeline width: `width` integer/FP ALUs and
     /// `width/2` (at least 1) of everything else. Reproduces Table 1's
     /// NARROW (4-wide) and WIDE (8-wide) mixes exactly.
-    pub fn fu_for_width(width: u8) -> FuConfig {
+    pub(crate) fn fu_for_width(width: u8) -> FuConfig {
         let half = (width / 2).max(1);
         FuConfig {
             ialu: width,
@@ -442,7 +442,7 @@ impl SpaceSpec {
 
     /// Number of lattice points, or a typed error if any axis is empty or
     /// the product overflows `usize`.
-    pub fn try_len(&self) -> fault::Result<usize> {
+    pub(crate) fn try_len(&self) -> fault::Result<usize> {
         let mut n: usize = 1;
         for (axis, r) in Self::AXIS_NAMES.iter().zip(self.radices()) {
             if r == 0 {

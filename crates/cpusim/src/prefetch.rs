@@ -59,7 +59,7 @@ pub trait Prefetcher {
 
 /// Tagged next-line prefetcher.
 #[derive(Debug, Default)]
-pub struct NextLinePrefetcher {
+pub(crate) struct NextLinePrefetcher {
     line_shift: u32,
     issued: u64,
 }
@@ -102,7 +102,7 @@ struct RptEntry {
 
 /// Stride prefetcher (reference prediction table, Chen & Baer style).
 #[derive(Debug)]
-pub struct StridePrefetcher {
+pub(crate) struct StridePrefetcher {
     table: Vec<RptEntry>,
     mask: u32,
     /// Prefetch distance in strides once confident.

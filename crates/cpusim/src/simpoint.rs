@@ -15,7 +15,7 @@ use linalg::dist::{child_seed, seeded_rng};
 use rand::Rng;
 
 /// Projected dimensionality of the BBVs (SimPoint uses 15).
-pub const PROJECTED_DIMS: usize = 16;
+pub(crate) const PROJECTED_DIMS: usize = 16;
 
 /// One selected simulation point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,7 +42,7 @@ pub struct SimPointAnalysis {
 
 /// Collect per-interval basic-block vectors, already random-projected to
 /// [`PROJECTED_DIMS`] dimensions and L1-normalized.
-pub fn collect_bbvs(
+pub(crate) fn collect_bbvs(
     benchmark: Benchmark,
     seed: u64,
     n_intervals: usize,
@@ -87,7 +87,7 @@ fn dist2(a: &[f64; PROJECTED_DIMS], b: &[f64; PROJECTED_DIMS]) -> f64 {
 
 /// Lloyd's k-means with k-means++ seeding. Returns (assignments, centroids,
 /// within-cluster sum of squares).
-pub fn kmeans(
+pub(crate) fn kmeans(
     points: &[[f64; PROJECTED_DIMS]],
     k: usize,
     iters: usize,
@@ -181,7 +181,7 @@ pub fn kmeans(
 /// BIC-style score for a clustering (higher is better): spherical-Gaussian
 /// log-likelihood minus a complexity penalty, following the SimPoint paper's
 /// model-selection recipe.
-pub fn bic_score(n: usize, k: usize, wss: f64) -> f64 {
+pub(crate) fn bic_score(n: usize, k: usize, wss: f64) -> f64 {
     let n_f = n as f64;
     let d = PROJECTED_DIMS as f64;
     let variance = (wss / (n_f * d)).max(1e-12);

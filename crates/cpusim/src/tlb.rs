@@ -9,7 +9,7 @@ use crate::cache::Cache;
 use crate::config::CacheGeometry;
 
 /// Page size in bytes (4 KB, the SimpleScalar default).
-pub const PAGE_BYTES: u64 = 4096;
+pub(crate) const PAGE_BYTES: u64 = 4096;
 
 /// One TLB.
 #[derive(Debug, Clone)]

@@ -61,13 +61,13 @@ pub struct Inst {
 impl Inst {
     /// Instruction-fetch byte address. Blocks occupy disjoint 256-byte code
     /// regions, so total code footprint is `code_blocks * 256` bytes.
-    pub fn code_addr(&self) -> u64 {
+    pub(crate) fn code_addr(&self) -> u64 {
         self.block as u64 * CODE_BLOCK_BYTES + (self.code_offset as u64 % CODE_BLOCK_BYTES)
     }
 }
 
 /// Bytes of code address space reserved per basic block.
-pub const CODE_BLOCK_BYTES: u64 = 256;
+pub(crate) const CODE_BLOCK_BYTES: u64 = 256;
 
 /// Anything the pipeline can fetch instructions from: a live
 /// [`TraceGenerator`] or a materialized [`ReplaySource`] buffer (used by the
@@ -465,7 +465,7 @@ impl TraceGenerator {
     /// Generate one *wrong-path* instruction (fetched past a mispredicted
     /// branch, later squashed). Uses an independent RNG stream so the
     /// architectural trace is identical across configurations.
-    pub fn wrong_path_inst(&mut self) -> Inst {
+    pub(crate) fn wrong_path_inst(&mut self) -> Inst {
         let pi = self.phase_index();
         let ph = &self.phases[pi];
         let u: f64 = self.wp_rng.random();

@@ -32,7 +32,7 @@ use serde::{Deserialize, Serialize};
 /// Largest space the explorer will score or evaluate exhaustively. Past
 /// this, candidate scoring must be capped with [`AdaptiveConfig::pool`]
 /// and evaluation must use a holdout (or none) instead of the full space.
-pub const MAX_EXHAUSTIVE_SCORING: usize = 65_536;
+pub(crate) const MAX_EXHAUSTIVE_SCORING: usize = 65_536;
 
 /// Seed-stream layout for the adaptive loop.
 ///
@@ -492,21 +492,6 @@ pub fn try_run_adaptive(
     })
 }
 
-/// Panicking wrapper around [`try_run_adaptive`], kept for harnesses
-/// predating the typed-error path.
-#[deprecated(note = "use try_run_adaptive, which reports typed errors")]
-pub fn run_adaptive(
-    benchmark: Benchmark,
-    space: &DesignSpace,
-    cfg: &AdaptiveConfig,
-    precomputed: Option<Vec<SimResult>>,
-) -> AdaptiveResult {
-    match try_run_adaptive(benchmark, space, cfg, precomputed, None) {
-        Ok(r) => r,
-        Err(e) => panic!("adaptive exploration failed: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,19 +573,6 @@ mod tests {
             e.to_string().contains("exceeds the space"),
             "unexpected message: {e}"
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "exceeds the space")]
-    fn deprecated_wrapper_still_panics_on_oversized_budget() {
-        let cfg = AdaptiveConfig {
-            initial: 150,
-            batch: 50,
-            rounds: 10,
-            ..Default::default()
-        };
-        #[allow(deprecated)]
-        let _ = run_adaptive(Benchmark::Applu, &tiny_space(), &cfg, None);
     }
 
     #[test]

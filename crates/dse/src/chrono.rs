@@ -93,7 +93,7 @@ impl ChronoResult {
     /// The best model among those with a finite mean error, or
     /// [`Error::NoViableModel`] when every candidate failed or scored
     /// non-finite.
-    pub fn try_best(&self) -> Result<(&ChronoPoint, f64)> {
+    pub(crate) fn try_best(&self) -> Result<(&ChronoPoint, f64)> {
         let p = self
             .points
             .iter()

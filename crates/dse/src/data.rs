@@ -45,7 +45,7 @@ pub fn try_table_from_sweep(results: &[SimResult]) -> Result<Table> {
 /// target is inert. Column names and types are identical to
 /// [`try_table_from_sweep`] by construction (one shared row builder), so
 /// a model trained on labeled rows can predict these rows directly.
-pub fn try_table_from_configs(configs: &[CpuConfig]) -> Result<Table> {
+pub(crate) fn try_table_from_configs(configs: &[CpuConfig]) -> Result<Table> {
     if configs.is_empty() {
         return Err(Error::degenerate("empty candidate set"));
     }
@@ -113,7 +113,7 @@ pub fn table_from_announcements(records: &[&Announcement]) -> Table {
 /// Fallible announcement-table builder. An empty record set is
 /// [`Error::DegenerateData`], and a categorical vocabulary too large for
 /// the `u32` code space is reported instead of silently truncated.
-pub fn try_table_from_announcements(records: &[&Announcement]) -> Result<Table> {
+pub(crate) fn try_table_from_announcements(records: &[&Announcement]) -> Result<Table> {
     if records.is_empty() {
         return Err(Error::degenerate("empty announcement set"));
     }

@@ -20,7 +20,7 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
 /// header) is [`fault::Error::InvalidInput`]; an empty header renders as
 /// an empty string rather than underflowing the separator-width
 /// arithmetic (`2 * (ncol - 1)` wraps for `ncol == 0`).
-pub fn try_render_table(header: &[String], rows: &[Vec<String>]) -> fault::Result<String> {
+pub(crate) fn try_render_table(header: &[String], rows: &[Vec<String>]) -> fault::Result<String> {
     let ncol = header.len();
     if ncol == 0 {
         return if rows.iter().all(|r| r.is_empty()) {

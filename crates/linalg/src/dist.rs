@@ -28,7 +28,7 @@ pub fn child_seed(parent: u64, stream: u64) -> u64 {
 }
 
 /// Standard normal sample (Box–Muller, the non-cached variant).
-pub fn sample_std_normal(rng: &mut impl Rng) -> f64 {
+pub(crate) fn sample_std_normal(rng: &mut impl Rng) -> f64 {
     // Avoid ln(0) by sampling u1 from (0,1].
     let u1: f64 = 1.0 - rng.random::<f64>();
     let u2: f64 = rng.random::<f64>();

@@ -289,7 +289,7 @@ impl Matrix {
     }
 
     /// `selfᵀ * v` — the right-hand side of the normal equations.
-    pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
+    pub(crate) fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "t_matvec: dimension mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &vi) in v.iter().enumerate() {

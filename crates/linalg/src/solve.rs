@@ -40,7 +40,7 @@ pub enum LstsqMethod {
 /// Returns the lower-triangular factor `L` with `L Lᵀ = A`, or `None` if a
 /// non-positive pivot is met (matrix not positive definite to working
 /// precision).
-pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+pub(crate) fn cholesky(a: &Matrix) -> Option<Matrix> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "cholesky: matrix must be square");
     let mut l = Matrix::zeros(n, n);
@@ -66,14 +66,14 @@ pub fn cholesky(a: &Matrix) -> Option<Matrix> {
 }
 
 /// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
-pub fn solve_cholesky(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+pub(crate) fn solve_cholesky(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let l = cholesky(a)?;
     Some(cholesky_solve_with(&l, b))
 }
 
 /// Solve using a precomputed Cholesky factor (forward then back
 /// substitution).
-pub fn cholesky_solve_with(l: &Matrix, b: &[f64]) -> Vec<f64> {
+pub(crate) fn cholesky_solve_with(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let n = l.rows();
     debug_assert_eq!(b.len(), n);
     // Forward: L y = b

@@ -10,7 +10,7 @@
 ///
 /// Accurate to ~1e-13 over the positive reals, which is far more than the
 /// hypothesis tests here require.
-pub fn ln_gamma(x: f64) -> f64 {
+pub(crate) fn ln_gamma(x: f64) -> f64 {
     // Coefficients for g=7, n=9 from Numerical Recipes / Godfrey.
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_9,

@@ -45,17 +45,17 @@ use telemetry::json::{self, JsonObject, Value};
 
 /// Current artifact format version. Readers accept this version only;
 /// anything newer is a typed error telling the operator to upgrade.
-pub const FORMAT_VERSION: u64 = 1;
+pub(crate) const FORMAT_VERSION: u64 = 1;
 
 /// Cap on the per-column observed-value list stored in a
 /// [`TableSchema`] — enough for every lattice the paper sweeps, bounded
 /// for free-form numeric columns.
-pub const DOMAIN_CAP: usize = 64;
+pub(crate) const DOMAIN_CAP: usize = 64;
 
 /// FNV-1a 64-bit hash — the artifact checksum. Not cryptographic; it
 /// exists to catch torn writes and bit rot, same as the checkpoint
 /// layer's truncation tolerance catches killed processes.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -113,7 +113,7 @@ pub struct TableSchema {
 
 impl TableSchema {
     /// Capture the schema of a training table.
-    pub fn of(table: &Table) -> TableSchema {
+    pub(crate) fn of(table: &Table) -> TableSchema {
         let columns = table
             .names()
             .iter()

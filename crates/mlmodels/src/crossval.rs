@@ -18,7 +18,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Number of random splits (the paper uses five).
-pub const N_SPLITS: usize = 5;
+pub(crate) const N_SPLITS: usize = 5;
 
 /// Estimated predictive error from the five-split protocol.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]

@@ -52,7 +52,11 @@ impl LrGramCache {
     /// indices) and preprocesses with `fold_prep`, or `None` when the
     /// fold's plan diverges from the full table's and the O(p²) derivation
     /// would describe the wrong design.
-    pub fn normal_eq_for(&self, fold_prep: &Preprocessor, held_out: &[usize]) -> Option<NormalEq> {
+    pub(crate) fn normal_eq_for(
+        &self,
+        fold_prep: &Preprocessor,
+        held_out: &[usize],
+    ) -> Option<NormalEq> {
         if fold_prep.encoding() != Encoding::NumericCoded {
             return None;
         }

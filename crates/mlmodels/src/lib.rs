@@ -33,10 +33,10 @@
 
 pub mod artifact;
 pub mod crossval;
-pub mod gramcache;
+pub(crate) mod gramcache;
 pub mod importance;
 pub mod linreg;
-pub mod methods;
+pub(crate) mod methods;
 pub mod model;
 pub mod nn;
 pub mod prep;

@@ -60,7 +60,7 @@ impl LinearFit {
     /// Fallible fit with a ridge fallback for collinear active sets (the
     /// Enter method regresses on all predictors regardless of redundancy).
     /// Still errors on non-finite data or too few observations.
-    pub fn try_fit_ridge(x: &Matrix, y: &[f64], active: &[usize]) -> Result<LinearFit> {
+    pub(crate) fn try_fit_ridge(x: &Matrix, y: &[f64], active: &[usize]) -> Result<LinearFit> {
         Self::fit_impl(x, y, active, true)
     }
 
@@ -230,7 +230,7 @@ impl LinearFit {
 
     /// Partial-F statistic for adding this (larger) model over a smaller
     /// nested one: `F = ((RSS_small - RSS_big)/q) / (RSS_big/(n-p-1))`.
-    pub fn partial_f_vs(&self, smaller: &LinearFit) -> f64 {
+    pub(crate) fn partial_f_vs(&self, smaller: &LinearFit) -> f64 {
         assert!(
             self.active.len() > smaller.active.len(),
             "models must be nested"
@@ -242,7 +242,7 @@ impl LinearFit {
     }
 
     /// Residual degrees of freedom.
-    pub fn df_residual(&self) -> f64 {
+    pub(crate) fn df_residual(&self) -> f64 {
         (self.n - self.active.len() - 1).max(1) as f64
     }
 }

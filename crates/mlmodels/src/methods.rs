@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 
 /// Neural-network training method selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum NnMethod {
+pub(crate) enum NnMethod {
     /// NN-Q.
     Quick,
     /// NN-D.
@@ -120,7 +120,9 @@ fn finalize(proto: &Mlp, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Mlp {
 ///
 /// Infallible-signature wrapper over [`try_train_nn`]; panics on its
 /// error paths (degenerate data, divergence surviving all retries).
-/// Pipeline code uses [`try_train_nn`].
+/// Pipeline code uses [`try_train_nn`]; the method-level tests below
+/// are this wrapper's remaining callers.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn train_nn(method: NnMethod, x: &Matrix, y01: &[f64], seed: u64) -> Mlp {
     match try_train_nn(method, x, y01, seed) {
         Ok(net) => net,

@@ -140,7 +140,7 @@ impl Mlp {
     }
 
     /// Hidden-layer sizes.
-    pub fn hidden_sizes(&self) -> Vec<usize> {
+    pub(crate) fn hidden_sizes(&self) -> Vec<usize> {
         self.layers[..self.layers.len() - 1]
             .iter()
             .map(|l| l.outputs())
@@ -744,7 +744,7 @@ impl Mlp {
 
     /// Magnitude of a hidden unit: sum of |outgoing weights| (pruning
     /// heuristic — a unit nothing listens to contributes nothing).
-    pub fn hidden_unit_magnitude(&self, layer: usize, unit: usize) -> f64 {
+    pub(crate) fn hidden_unit_magnitude(&self, layer: usize, unit: usize) -> f64 {
         self.layers[layer + 1]
             .w
             .iter()
@@ -753,7 +753,7 @@ impl Mlp {
     }
 
     /// Remove one hidden unit (its row in `layer`, its column downstream).
-    pub fn prune_hidden_unit(&mut self, layer: usize, unit: usize) {
+    pub(crate) fn prune_hidden_unit(&mut self, layer: usize, unit: usize) {
         assert!(
             layer < self.layers.len() - 1,
             "cannot prune the output layer"
@@ -774,7 +774,7 @@ impl Mlp {
     }
 
     /// Total |weight| fanning out of an input (input-importance heuristic).
-    pub fn input_magnitude(&self, input: usize) -> f64 {
+    pub(crate) fn input_magnitude(&self, input: usize) -> f64 {
         if self.dead_inputs[input] {
             return 0.0;
         }
@@ -800,7 +800,7 @@ impl Mlp {
 
 /// Convenience: fresh random generator usable by callers that add noise to
 /// seeds per restart.
-pub fn restart_seed(base: u64, attempt: u64) -> u64 {
+pub(crate) fn restart_seed(base: u64, attempt: u64) -> u64 {
     linalg::dist::child_seed(base, attempt)
 }
 

@@ -214,7 +214,7 @@ impl Preprocessor {
     /// Check that `table` has the columns this plan reads, with the
     /// types it expects. Mismatches are typed `InvalidInput` (with the
     /// expected-vs-got shape) instead of downstream panics.
-    pub fn try_check_table(&self, table: &Table) -> Result<()> {
+    pub(crate) fn try_check_table(&self, table: &Table) -> Result<()> {
         let cols = table.columns();
         for (fp, info) in self.plan.iter().zip(&self.features) {
             let (col, want) = match *fp {
@@ -250,7 +250,7 @@ impl Preprocessor {
     /// [`Self::transform`] with the shape check of
     /// [`Self::try_check_table`] run first, so a table that does not
     /// match the fitted plan is a typed error rather than a panic.
-    pub fn try_transform(&self, table: &Table) -> Result<Matrix> {
+    pub(crate) fn try_transform(&self, table: &Table) -> Result<Matrix> {
         self.try_check_table(table)?;
         Ok(self.transform(table))
     }
@@ -332,7 +332,7 @@ impl Preprocessor {
     }
 
     /// Scaled target vector for a table.
-    pub fn scaled_targets(&self, table: &Table) -> Vec<f64> {
+    pub(crate) fn scaled_targets(&self, table: &Table) -> Vec<f64> {
         table
             .target()
             .iter()

@@ -120,7 +120,7 @@ pub fn try_select(
 /// each fold's statistics by row subtraction and rescaling) instead of
 /// re-accumulating it per fold; the statistics must describe exactly the
 /// rows of `x`/`y`.
-pub fn try_select_with(
+pub(crate) fn try_select_with(
     x: &Matrix,
     y: &[f64],
     ne: Option<&NormalEq>,

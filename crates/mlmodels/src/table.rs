@@ -154,7 +154,7 @@ impl Table {
     /// (no columns and no target). Callers that *require* rows use this
     /// so a column-less table surfaces as [`fault::Error::DegenerateData`]
     /// instead of being silently treated as empty.
-    pub fn try_n_rows(&self) -> fault::Result<usize> {
+    pub(crate) fn try_n_rows(&self) -> fault::Result<usize> {
         self.n_rows_opt().ok_or_else(|| {
             fault::Error::degenerate("table has no columns and no target; row count is undefined")
         })

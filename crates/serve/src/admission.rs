@@ -70,7 +70,7 @@ impl<T> AdmissionQueue<T> {
     /// Admit a data-plane item, or shed it with a typed
     /// [`Error::Overloaded`] when the queue is full (or closed —
     /// a closing daemon stops admitting, it does not drop silently).
-    pub fn try_admit(&self, item: T) -> Result<()> {
+    pub(crate) fn try_admit(&self, item: T) -> Result<()> {
         let mut inner = self.lock();
         if inner.closed || inner.items.len() >= self.capacity {
             inner.shed += 1;
@@ -87,7 +87,7 @@ impl<T> AdmissionQueue<T> {
 
     /// Admit a control-plane item regardless of depth. Fails only when
     /// the queue is already closed.
-    pub fn admit_priority(&self, item: T) -> Result<()> {
+    pub(crate) fn admit_priority(&self, item: T) -> Result<()> {
         let mut inner = self.lock();
         if inner.closed {
             let depth = inner.items.len();
@@ -104,7 +104,7 @@ impl<T> AdmissionQueue<T> {
     /// Block until at least one item is queued (or the queue is closed),
     /// then drain up to `max` items in admission order. `None` means
     /// closed *and* fully drained — the consumer's termination signal.
-    pub fn pop_window(&self, max: usize) -> Option<Vec<T>> {
+    pub(crate) fn pop_window(&self, max: usize) -> Option<Vec<T>> {
         let mut inner = self.lock();
         while inner.items.is_empty() {
             if inner.closed {
@@ -128,23 +128,18 @@ impl<T> AdmissionQueue<T> {
         self.readable.notify_all();
     }
 
-    /// Whether [`close`](AdmissionQueue::close) has been called.
-    pub fn is_closed(&self) -> bool {
-        self.lock().closed
-    }
-
     /// Current queue depth.
     pub fn depth(&self) -> usize {
         self.lock().items.len()
     }
 
     /// Deepest the queue has ever been.
-    pub fn high_water(&self) -> usize {
+    pub(crate) fn high_water(&self) -> usize {
         self.lock().high_water
     }
 
     /// Data-plane items rejected by [`try_admit`](AdmissionQueue::try_admit).
-    pub fn shed_count(&self) -> u64 {
+    pub(crate) fn shed_count(&self) -> u64 {
         self.lock().shed
     }
 

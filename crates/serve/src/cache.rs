@@ -81,7 +81,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
 
     /// Insert (or refresh) `key → value`, evicting the least recently
     /// used entry if the cache is full.
-    pub fn put(&mut self, key: K, value: V) {
+    pub(crate) fn put(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }

@@ -155,8 +155,11 @@ pub struct CompiledModel {
     f32p: Option<PredictorF32>,
 }
 
-/// Compile an artifact into its specialized f64 predictor.
-pub fn compile(artifact: ModelArtifact) -> Result<CompiledModel> {
+/// Compile an artifact into its specialized f64 predictor. Production
+/// callers pick a precision via [`compile_with`]; the equivalence tests
+/// are this shorthand's remaining users.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn compile(artifact: ModelArtifact) -> Result<CompiledModel> {
     compile_with(artifact, Precision::F64)
 }
 

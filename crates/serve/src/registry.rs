@@ -52,7 +52,7 @@ impl ServingModel {
 }
 
 /// Health of one registered version.
-pub enum VersionState {
+pub(crate) enum VersionState {
     /// Loaded and serving.
     Ready(Box<ServingModel>),
     /// Dark: the artifact failed to (re)load. The salvaged cache keeps
@@ -226,7 +226,7 @@ impl Registry {
     /// bound) — the new version is registered *quarantined* (with the
     /// reason) and the error is returned; previously healthy versions
     /// keep serving untouched.
-    pub fn load_with_precision(
+    pub(crate) fn load_with_precision(
         &mut self,
         name: &str,
         path: &str,
@@ -283,7 +283,7 @@ impl Registry {
     /// `route` is a name (newest version) or `name@version`. On a
     /// corrupt artifact the version transitions Ready → Quarantined but
     /// *keeps its accumulated cache*, enabling degraded hit-serving.
-    pub fn reload(&mut self, route: &str) -> Result<u64> {
+    pub(crate) fn reload(&mut self, route: &str) -> Result<u64> {
         let (name, pinned) = parse_route(route)?;
         // Resolve the target version number first (immutably), then
         // load outside the borrow so retry/backoff does not hold the
@@ -355,7 +355,7 @@ impl Registry {
     }
 
     /// Remove a version (`name@version`) or every version of a name.
-    pub fn unload(&mut self, route: &str) -> Result<()> {
+    pub(crate) fn unload(&mut self, route: &str) -> Result<()> {
         let (name, pinned) = parse_route(route)?;
         let entry = self
             .models
@@ -426,7 +426,7 @@ impl Registry {
     }
 
     /// Whether at least one healthy version exists anywhere.
-    pub fn has_ready(&self) -> bool {
+    pub(crate) fn has_ready(&self) -> bool {
         self.models.values().any(|e| {
             e.versions
                 .iter()
@@ -437,13 +437,13 @@ impl Registry {
     /// Fail-closed check: true when the registry has models but every
     /// single version is quarantined — the daemon's termination
     /// condition (exit code 8).
-    pub fn all_quarantined(&self) -> bool {
+    pub(crate) fn all_quarantined(&self) -> bool {
         !self.models.is_empty() && !self.has_ready()
     }
 
     /// The single registered name, when exactly one model is hosted —
     /// the daemon's implicit route for frames that omit `"model"`.
-    pub fn sole_name(&self) -> Option<&str> {
+    pub(crate) fn sole_name(&self) -> Option<&str> {
         let mut names = self.models.keys();
         match (names.next(), names.next()) {
             (Some(name), None) => Some(name.as_str()),
@@ -469,7 +469,7 @@ impl Registry {
     /// One JSON object per version, sorted by name then version — the
     /// body of the `status` op. Deterministic: `models` is a B-tree and
     /// versions are kept ascending.
-    pub fn status_json(&self) -> Vec<String> {
+    pub(crate) fn status_json(&self) -> Vec<String> {
         let mut out = Vec::new();
         for (name, entry) in &self.models {
             for v in &entry.versions {

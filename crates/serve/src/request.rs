@@ -46,7 +46,7 @@ impl Request {
     /// Canonical cache key: one `u64` per cell, in schema order. Numeric
     /// cells use the f64 bit pattern with `-0.0` folded into `0.0`, so
     /// arithmetically identical configs share a key.
-    pub fn canonical_key(&self) -> Vec<u64> {
+    pub(crate) fn canonical_key(&self) -> Vec<u64> {
         self.cells
             .iter()
             .map(|c| match *c {
@@ -79,7 +79,7 @@ pub fn parse_request_line(schema: &TableSchema, line: &str, line_no: u64) -> Res
 /// between one-shot replay and daemon mode; [`parse_request_line`]
 /// delegates here. `line_no` is the 1-based frame number, used for error
 /// messages and the default id.
-pub fn request_from_fields(
+pub(crate) fn request_from_fields(
     schema: &TableSchema,
     fields: &std::collections::BTreeMap<String, Value>,
     line_no: u64,
@@ -161,7 +161,7 @@ pub fn request_from_fields(
 /// Assemble a prediction [`Table`] from validated requests, in schema
 /// column order — the order the artifact's preprocessor addresses columns
 /// by. The target is a placeholder (predictions never read it).
-pub fn batch_table(schema: &TableSchema, requests: &[&Request]) -> Table {
+pub(crate) fn batch_table(schema: &TableSchema, requests: &[&Request]) -> Table {
     let n = requests.len();
     let mut table = Table::new();
     for (j, col) in schema.columns.iter().enumerate() {

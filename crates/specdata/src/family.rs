@@ -141,7 +141,7 @@ impl ProcessorFamily {
     }
 
     /// Manufacturer string.
-    pub fn company_pool(self) -> &'static [&'static str] {
+    pub(crate) fn company_pool(self) -> &'static [&'static str] {
         match self {
             ProcessorFamily::Xeon => &["Dell", "HP", "IBM", "Fujitsu", "Supermicro", "Intel"],
             ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD => {
@@ -156,7 +156,7 @@ impl ProcessorFamily {
     /// huge 3.72× range), Opteron 1.4→2.8 GHz over 2003–2006, Xeon
     /// 1.4→3.8 GHz but the population is dominated by recent mid-range
     /// parts.
-    pub fn clock_range_mhz(self, year: u32) -> (f64, f64) {
+    pub(crate) fn clock_range_mhz(self, year: u32) -> (f64, f64) {
         let (y0, _) = self.year_span();
         let age = (year.saturating_sub(y0)) as f64;
         match self {
@@ -188,7 +188,7 @@ impl ProcessorFamily {
     }
 
     /// L2 capacity options (KB) in a given year.
-    pub fn l2_options_kb(self, year: u32) -> &'static [u32] {
+    pub(crate) fn l2_options_kb(self, year: u32) -> &'static [u32] {
         match self {
             ProcessorFamily::Pentium4 => {
                 if year < 2002 {
@@ -214,7 +214,7 @@ impl ProcessorFamily {
     }
 
     /// Memory frequency options (MHz) in a given year.
-    pub fn mem_freq_options(self, year: u32) -> &'static [f64] {
+    pub(crate) fn mem_freq_options(self, year: u32) -> &'static [f64] {
         if year < 2002 {
             &[133.0, 200.0, 266.0]
         } else if year < 2004 {
@@ -227,7 +227,7 @@ impl ProcessorFamily {
     }
 
     /// Front-side-bus options (MHz) in a given year.
-    pub fn bus_options(self, year: u32) -> &'static [f64] {
+    pub(crate) fn bus_options(self, year: u32) -> &'static [f64] {
         match self {
             ProcessorFamily::Pentium4 => {
                 if year < 2003 {
@@ -251,7 +251,7 @@ impl ProcessorFamily {
 
     /// Whether systems in this family may carry an L3 cache, and its size
     /// options (KB).
-    pub fn l3_options_kb(self) -> &'static [u32] {
+    pub(crate) fn l3_options_kb(self) -> &'static [u32] {
         match self {
             // L3 appears only rarely in this population; the generator's
             // Xeon records carry none (Clementine would drop the constant
@@ -263,7 +263,7 @@ impl ProcessorFamily {
     }
 
     /// L1 cache sizes (I, D) in KB per core.
-    pub fn l1_kb(self) -> (u32, u32) {
+    pub(crate) fn l1_kb(self) -> (u32, u32) {
         match self {
             // Trace cache on NetBurst ≈ 16 KB equivalent, 16 KB L1D.
             ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD | ProcessorFamily::Xeon => {
@@ -274,7 +274,7 @@ impl ProcessorFamily {
     }
 
     /// Whether the family supports SMT (hyper-threading).
-    pub fn supports_smt(self) -> bool {
+    pub(crate) fn supports_smt(self) -> bool {
         matches!(
             self,
             ProcessorFamily::Xeon | ProcessorFamily::Pentium4 | ProcessorFamily::PentiumD

@@ -20,9 +20,9 @@
 //! * [`dataset`] — year splits and summary statistics used by the
 //!   chronological pipeline.
 
-pub mod dataset;
+pub(crate) mod dataset;
 pub mod family;
-pub mod generator;
+pub(crate) mod generator;
 pub mod rating;
 pub mod schema;
 

@@ -61,7 +61,7 @@ pub fn ratio(reference_seconds: f64, measured_seconds: f64) -> f64 {
 ///
 /// `traits` are roughly standardized deviations of the system's components
 /// from the family norm; `noise` is the per-app log-sd.
-pub fn synthesize_structured_ratios(
+pub(crate) fn synthesize_structured_ratios(
     rate: f64,
     n_apps: usize,
     traits: &[f64],

@@ -27,7 +27,7 @@ thread_local! {
 
 /// A monotonically-increasing counter safe to bump from many threads.
 #[derive(Debug, Default)]
-pub struct ShardedCounter {
+pub(crate) struct ShardedCounter {
     shards: [Shard; SHARDS],
 }
 
@@ -54,7 +54,7 @@ impl ShardedCounter {
 
 /// A last-write or running-max float gauge stored as `f64` bits.
 #[derive(Debug)]
-pub struct Gauge(AtomicU64);
+pub(crate) struct Gauge(AtomicU64);
 
 impl Gauge {
     /// A gauge holding `initial`.

@@ -48,7 +48,7 @@ pub const NUM_BUCKETS: usize = ((63 - SUB_BUCKET_BITS as usize) + 2) * SUB_BUCKE
 /// Convert a [`Duration`] to whole nanoseconds, saturating at
 /// `u64::MAX` (~585 years) instead of truncating the `u128`.
 #[inline]
-pub fn saturating_ns(d: Duration) -> u64 {
+pub(crate) fn saturating_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -211,7 +211,7 @@ impl Histogram {
     }
 
     /// Sparse `(bucket index, count)` pairs for non-empty buckets.
-    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+    pub(crate) fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.counts
             .iter()
             .enumerate()
@@ -351,7 +351,7 @@ impl AtomicHistogram {
     }
 
     /// Fold an already-filled plain histogram in (worker-local results).
-    pub fn merge_from(&self, other: &Histogram) {
+    pub(crate) fn merge_from(&self, other: &Histogram) {
         for (slot, &c) in self.counts.iter().zip(other.counts.iter()) {
             if c > 0 {
                 slot.fetch_add(c, Ordering::Relaxed);
@@ -365,7 +365,7 @@ impl AtomicHistogram {
 
     /// Materialize a plain [`Histogram`]. Call after parallel regions
     /// join for an exact snapshot.
-    pub fn snapshot(&self) -> Histogram {
+    pub(crate) fn snapshot(&self) -> Histogram {
         let mut h = Histogram::new();
         for (slot, src) in h.counts.iter_mut().zip(self.counts.iter()) {
             *slot = src.load(Ordering::Relaxed);

@@ -92,6 +92,12 @@ impl JsonObject {
         self
     }
 
+    /// Add a `usize` field — the typed conversion callers would
+    /// otherwise spell as `x as u64` at every count/length site.
+    pub fn usize(self, k: &str, v: usize) -> Self {
+        self.uint(k, u64::try_from(v).unwrap_or(u64::MAX))
+    }
+
     /// Add a boolean field.
     pub fn bool(mut self, k: &str, v: bool) -> Self {
         self.key(k);

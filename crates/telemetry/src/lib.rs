@@ -56,11 +56,12 @@ mod progress;
 mod sink;
 mod span;
 
-pub use counters::{Gauge, ShardedCounter};
-pub use hist::{saturating_ns, AtomicHistogram, Histogram};
+pub(crate) use counters::{Gauge, ShardedCounter};
+pub use hist::{AtomicHistogram, Histogram};
 pub use profile::ProfileEntry;
 pub use progress::Progress;
-pub use sink::{ConsoleLevel, ConsoleSink, Event, JsonlSink, RunSummary, Sink};
+pub use sink::{ConsoleLevel, Event, RunSummary};
+pub(crate) use sink::{ConsoleSink, JsonlSink, Sink};
 pub use span::SpanGuard;
 
 struct Global {

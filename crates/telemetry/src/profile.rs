@@ -74,7 +74,7 @@ impl Profiler {
 
     /// Materialize the aggregate, sorted by self time descending (ties
     /// broken by path, so output is deterministic).
-    pub fn snapshot(&self) -> Vec<ProfileEntry> {
+    pub(crate) fn snapshot(&self) -> Vec<ProfileEntry> {
         let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         let mut entries: Vec<ProfileEntry> = stats
             .iter()

@@ -155,7 +155,7 @@ impl MetricSet {
     }
 
     /// Add the comparable projections of one histogram.
-    pub fn add_histogram(&mut self, name: &str, h: &Histogram) {
+    pub(crate) fn add_histogram(&mut self, name: &str, h: &Histogram) {
         for (suffix, value) in [
             ("p50", h.quantile(0.50) as f64),
             ("p90", h.quantile(0.90) as f64),
@@ -237,7 +237,7 @@ impl Report {
     }
 
     /// Number of latency metrics actually compared.
-    pub fn compared(&self) -> usize {
+    pub(crate) fn compared(&self) -> usize {
         self.rows
             .iter()
             .filter(|d| d.status != Status::Info)

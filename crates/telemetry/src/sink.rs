@@ -31,7 +31,7 @@ pub enum ConsoleLevel {
 impl ConsoleLevel {
     /// Read the level from the `PERFPREDICT_LOG` environment variable
     /// (`off` / `info` / `debug`, case-insensitive; unset means off).
-    pub fn from_env() -> Self {
+    pub(crate) fn from_env() -> Self {
         match std::env::var("PERFPREDICT_LOG") {
             Ok(v) => match v.to_ascii_lowercase().as_str() {
                 "info" | "1" => ConsoleLevel::Info,
@@ -95,7 +95,7 @@ pub struct RunSummary {
 
 /// Render a nanosecond quantity at a human scale (`420ns`, `3.1µs`,
 /// `2.45ms`, `1.20s`).
-pub fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
         format!("{ns}ns")
     } else if ns < 1_000_000 {
@@ -150,7 +150,7 @@ impl RunSummary {
 }
 
 /// Receiver for telemetry events during a run.
-pub trait Sink: Send + Sync {
+pub(crate) trait Sink: Send + Sync {
     /// Record one event; `t_ms` is milliseconds since run start.
     fn record(&self, t_ms: f64, event: &Event<'_>);
     /// The run finished; flush any buffered output.
@@ -159,7 +159,7 @@ pub trait Sink: Send + Sync {
 
 /// Human-readable stderr sink.
 #[derive(Debug)]
-pub struct ConsoleSink {
+pub(crate) struct ConsoleSink {
     level: ConsoleLevel,
 }
 
@@ -233,7 +233,7 @@ impl Sink for ConsoleSink {
 /// `counter`, `gauge`, `histogram`, `profile`, `summary`. All
 /// timestamps are milliseconds since run start except the meta line's
 /// `unix_ms`.
-pub struct JsonlSink {
+pub(crate) struct JsonlSink {
     out: Mutex<BufWriter<File>>,
 }
 
